@@ -1,0 +1,85 @@
+// here-vulns prints the hypervisor vulnerability analysis behind the
+// paper's motivation and security evaluation: Table 1 (DoS CVE
+// statistics per product, 2013–2020), Table 2 (HERE's coverage
+// matrix), Table 5 (DoS-only outcome distribution), the §8.2 attack
+// vector breakdown, and the component-sharing matrix that justifies
+// the Xen + kvmtool pairing.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"github.com/here-ft/here/internal/experiments"
+	"github.com/here-ft/here/internal/metrics"
+	"github.com/here-ft/here/internal/vulns"
+)
+
+func main() {
+	log.SetFlags(0)
+	if err := run(); err != nil {
+		log.Fatal("here-vulns: ", err)
+	}
+}
+
+func run() error {
+	var vectors = flag.Bool("vectors", false, "also print the attack-vector breakdown")
+	var sharing = flag.Bool("sharing", false, "also print the component-sharing matrix")
+	flag.Parse()
+
+	fmt.Println(experiments.Table1())
+	fmt.Println(experiments.Table2())
+	fmt.Println(experiments.Table5())
+
+	if *vectors {
+		fmt.Println(vectorTable())
+	}
+	if *sharing {
+		fmt.Println(sharingTable())
+	}
+	return nil
+}
+
+func vectorTable() *metrics.Table {
+	counts := map[vulns.Vector]int{}
+	total := 0
+	for _, c := range vulns.Dataset() {
+		if c.Product == vulns.Xen && c.DoSOnly {
+			counts[c.Vector]++
+			total++
+		}
+	}
+	tab := metrics.NewTable("Attack vectors of Xen DoS-only vulnerabilities (sec 8.2)",
+		"Vector", "Count", "Share")
+	for _, v := range []vulns.Vector{
+		vulns.VectorDevice, vulns.VectorHypercall, vulns.VectorVCPU,
+		vulns.VectorShadow, vulns.VectorVMExit, vulns.VectorOther,
+	} {
+		tab.AddRow(v.String(), counts[v],
+			fmt.Sprintf("%.0f%%", 100*float64(counts[v])/float64(total)))
+	}
+	return tab
+}
+
+func sharingTable() *metrics.Table {
+	products := vulns.Products()
+	headers := []string{"Product"}
+	for _, p := range products {
+		headers = append(headers, string(p))
+	}
+	tab := metrics.NewTable("Component sharing (a shared component = shared vulnerabilities)",
+		headers...)
+	for _, a := range products {
+		row := []any{string(a)}
+		for _, b := range products {
+			cell := "-"
+			if vulns.Shared(a, b) {
+				cell = "SHARED"
+			}
+			row = append(row, cell)
+		}
+		tab.AddRow(row...)
+	}
+	return tab
+}

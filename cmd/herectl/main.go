@@ -1,0 +1,152 @@
+// herectl runs a configurable heterogeneous replication scenario from
+// the command line: boot a protected VM, drive a workload under a
+// chosen protection policy, optionally kill the primary with a DoS
+// exploit, and report what happened.
+//
+// Examples:
+//
+//	herectl -mem 4096 -vcpus 4 -workload membench -load 40 -duration 60s
+//	herectl -workload ycsb-A -period 3s -exploit
+//	herectl -workload spec-lbm -budget 0.3 -tmax 10s -exploit
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	here "github.com/here-ft/here"
+)
+
+func main() {
+	log.SetFlags(0)
+	if err := run(); err != nil {
+		log.Fatal("herectl: ", err)
+	}
+}
+
+func run() error {
+	var (
+		memMB    = flag.Int("mem", 1024, "guest memory in MiB")
+		vcpus    = flag.Int("vcpus", 4, "guest vCPUs")
+		wlName   = flag.String("workload", "membench", "workload: idle, membench, ycsb-A..F, spec-gcc|cactuBSSN|namd|lbm")
+		loadPct  = flag.Float64("load", 30, "membench working-set percentage")
+		duration = flag.Duration("duration", 30*time.Second, "replication run length (simulated)")
+		budget   = flag.Float64("budget", 0.3, "degradation budget D for dynamic control")
+		tmax     = flag.Duration("tmax", 25*time.Second, "maximum checkpoint interval")
+		period   = flag.Duration("period", 0, "fixed checkpoint period (disables dynamic control)")
+		remus    = flag.Bool("remus", false, "use the homogeneous Remus baseline instead of HERE")
+		doSploit = flag.Bool("exploit", false, "launch a DoS exploit at the primary afterwards and fail over")
+		compress = flag.Bool("compress", false, "compress checkpoint pages before transfer")
+		seed     = flag.Int64("seed", 42, "workload random seed")
+	)
+	flag.Parse()
+
+	cluster, err := here.NewCluster(here.ClusterConfig{Homogeneous: *remus})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("cluster : %s (%s) -> %s (%s)\n",
+		cluster.Primary().HostName(), cluster.Primary().Product(),
+		cluster.Secondary().HostName(), cluster.Secondary().Product())
+
+	vm, err := cluster.CreateProtectedVM(here.VMSpec{
+		Name:        "guest",
+		MemoryBytes: uint64(*memMB) << 20,
+		VCPUs:       *vcpus,
+	})
+	if err != nil {
+		return err
+	}
+	w, err := buildWorkload(vm, *wlName, *loadPct, *seed)
+	if err != nil {
+		return err
+	}
+
+	opts := here.ProtectOptions{Workload: w, Compression: *compress}
+	if *remus {
+		opts.Engine = here.EngineRemus
+	}
+	if *period > 0 {
+		opts.FixedPeriod = *period
+	} else {
+		opts.DegradationBudget = *budget
+		opts.MaxPeriod = *tmax
+	}
+	prot, err := cluster.Protect(vm, opts)
+	if err != nil {
+		return err
+	}
+	seedRes := prot.Seeding()
+	fmt.Printf("seeding : %v total, %v downtime, %d pages, %.1f MiB\n",
+		seedRes.Duration, seedRes.Downtime, seedRes.Pages,
+		float64(seedRes.Bytes)/(1<<20))
+
+	if _, err := prot.Run(*duration); err != nil {
+		return err
+	}
+	t := prot.Totals()
+	fmt.Printf("run     : %d checkpoints over %v, period now %v\n",
+		t.Checkpoints, *duration, prot.Period())
+	fmt.Printf("          mean degradation %.1f%%, %d pages sent, %.1f MiB\n",
+		100*t.MeanDegradation(), t.PagesSent, float64(t.BytesSent)/(1<<20))
+	if t.WorkloadStats.Ops > 0 {
+		fmt.Printf("          workload: %d ops (%.0f ops/s)\n",
+			t.WorkloadStats.Ops,
+			float64(t.WorkloadStats.Ops)/duration.Seconds())
+	}
+
+	if !*doSploit {
+		return nil
+	}
+	product := here.ProductOf(cluster.Primary())
+	ex, err := here.FindDoSExploit(product)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("exploit : launching %s (%s via %s) at the primary\n",
+		ex.CVE.ID, ex.CVE.Outcome, ex.CVE.Vector)
+	if out := ex.Launch(cluster.Primary()); out != here.ExploitSucceeded {
+		return fmt.Errorf("exploit outcome: %v", out)
+	}
+	if out := ex.Launch(cluster.Secondary()); out == here.ExploitSucceeded {
+		fmt.Println("          the SAME exploit also killed the secondary — homogeneous pair!")
+		fmt.Println("          service is DOWN. Use heterogeneous replication (drop -remus).")
+		os.Exit(2)
+	} else {
+		fmt.Printf("          same exploit vs secondary: %v\n", out)
+	}
+	detect, err := prot.DetectFailure(time.Minute)
+	if err != nil {
+		return err
+	}
+	res, err := prot.Failover()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("failover: detected in %v, replica resumed in %v on %s\n",
+		detect, res.ResumeTime, res.VM.Hypervisor().Product())
+	fmt.Printf("          %d unacknowledged packets discarded, service continues\n",
+		res.PacketsDropped)
+	return nil
+}
+
+func buildWorkload(vm *here.VM, name string, loadPct float64, seed int64) (here.Workload, error) {
+	switch {
+	case name == "idle":
+		return here.IdleWorkload{}, nil
+	case name == "membench":
+		return here.NewMemoryBench(loadPct, 600_000, seed)
+	case strings.HasPrefix(name, "ycsb-"):
+		kind := here.YCSBKind(strings.TrimPrefix(name, "ycsb-"))
+		w, _, err := here.NewYCSBWorkload(vm, kind, 20_000, seed)
+		return w, err
+	case strings.HasPrefix(name, "spec-"):
+		return here.NewSPECWorkload(here.SPECBenchmark(strings.TrimPrefix(name, "spec-")), seed)
+	default:
+		return nil, fmt.Errorf("unknown workload %q", name)
+	}
+}

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"testing"
+
+	here "github.com/here-ft/here"
+)
+
+func testVM(t *testing.T) *here.VM {
+	t.Helper()
+	cluster, err := here.NewCluster(here.ClusterConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm, err := cluster.CreateProtectedVM(here.VMSpec{
+		Name: "t", MemoryBytes: 64 << 20, VCPUs: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vm
+}
+
+func TestBuildWorkload(t *testing.T) {
+	vm := testVM(t)
+	for _, name := range []string{
+		"idle", "membench", "ycsb-A", "ycsb-F", "spec-gcc", "spec-lbm",
+	} {
+		w, err := buildWorkload(vm, name, 20, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if w == nil {
+			t.Fatalf("%s: nil workload", name)
+		}
+	}
+}
+
+func TestBuildWorkloadErrors(t *testing.T) {
+	vm := testVM(t)
+	for _, name := range []string{"", "unknown", "ycsb-Z", "spec-povray"} {
+		if _, err := buildWorkload(vm, name, 20, 1); err == nil {
+			t.Fatalf("%q accepted", name)
+		}
+	}
+}

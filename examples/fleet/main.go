@@ -1,0 +1,102 @@
+// fleet demonstrates HERE as a data-center control plane (§7.7): four
+// hosts of two hypervisor kinds, three protected services, a rolling
+// series of DoS exploits — and the orchestrator keeping everything
+// alive by failing over and re-protecting onto fresh heterogeneous
+// pairs, until the attacker finally runs out of targets to leave
+// standing.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	here "github.com/here-ft/here"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	fleet, clock, err := here.NewFleet(here.FleetConfig{})
+	if err != nil {
+		return err
+	}
+	hosts := map[string]here.Hypervisor{}
+	for _, h := range []struct {
+		name string
+		kvm  bool
+	}{
+		{"rack1-xen", false}, {"rack1-kvm", true},
+		{"rack2-xen", false}, {"rack2-kvm", true},
+	} {
+		var host here.Hypervisor
+		if h.kvm {
+			host, err = here.AddKVMHost(fleet, clock, h.name)
+		} else {
+			host, err = here.AddXenHost(fleet, clock, h.name)
+		}
+		if err != nil {
+			return err
+		}
+		hosts[h.name] = host
+	}
+
+	for _, svc := range []string{"web", "db", "queue"} {
+		if _, err := fleet.Protect(here.FleetVMSpec{
+			Name: svc, MemoryBytes: 64 << 20, VCPUs: 2,
+		}); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("fleet: %v protecting %v\n\n", fleet.Hosts(), fleet.Protections())
+
+	step := func(label string) error {
+		fmt.Println("==", label)
+		if err := fleet.Tick(); err != nil {
+			fmt.Println("   tick:", err)
+		}
+		for _, name := range fleet.Protections() {
+			p, err := fleet.Lookup(name)
+			if err != nil {
+				return err
+			}
+			state := "protected"
+			if p.Lost() {
+				state = "LOST"
+			} else if p.Secondary() == nil {
+				state = "UNPROTECTED"
+			}
+			sec := "-"
+			if p.Secondary() != nil {
+				sec = p.Secondary().HostName()
+			}
+			fmt.Printf("   %-6s on %-10s replica %-10s [%s]\n",
+				name, p.Primary().HostName(), sec, state)
+		}
+		fmt.Println()
+		return nil
+	}
+
+	if err := step("steady state"); err != nil {
+		return err
+	}
+
+	here.FailHost(hosts["rack1-xen"], "Xen zero-day #1")
+	if err := step("attacker takes down rack1-xen"); err != nil {
+		return err
+	}
+
+	here.FailHost(hosts["rack1-kvm"], "KVM zero-day #1")
+	if err := step("attacker takes down rack1-kvm"); err != nil {
+		return err
+	}
+
+	fmt.Println("== fleet event log ==")
+	for _, e := range fleet.Events() {
+		fmt.Printf("   %-18s %-6s %s\n", e.Kind, e.VM, e.Detail)
+	}
+	return nil
+}

@@ -1,0 +1,98 @@
+// Quickstart: protect a VM across hypervisors, crash the primary, and
+// watch the replica take over on a different hypervisor with the
+// guest's data intact.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	here "github.com/here-ft/here"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// A heterogeneous cluster: Xen primary, KVM/kvmtool secondary,
+	// 100 Gb replication link, driven by a virtual clock so this demo
+	// finishes instantly.
+	cluster, err := here.NewCluster(here.ClusterConfig{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("cluster: %s (%s)  ->  %s (%s)\n",
+		cluster.Primary().HostName(), cluster.Primary().Product(),
+		cluster.Secondary().HostName(), cluster.Secondary().Product())
+
+	vm, err := cluster.CreateProtectedVM(here.VMSpec{
+		Name:        "webapp",
+		MemoryBytes: 256 << 20,
+		VCPUs:       2,
+		DiskBytes:   8 << 30,
+	})
+	if err != nil {
+		return err
+	}
+
+	// The guest writes some state we must not lose.
+	important := []byte("order #4242: paid")
+	if err := vm.WriteGuest(0, 0x10000, important); err != nil {
+		return err
+	}
+
+	// Protect: seed to the secondary, then checkpoint continuously
+	// under a 30% degradation budget.
+	prot, err := cluster.Protect(vm, here.ProtectOptions{
+		DegradationBudget: 0.3,
+		MaxPeriod:         10 * time.Second,
+	})
+	if err != nil {
+		return err
+	}
+	seed := prot.Seeding()
+	fmt.Printf("seeded: %v total, %v downtime, %d pages\n",
+		seed.Duration, seed.Downtime, seed.Pages)
+
+	if _, err := prot.Run(30 * time.Second); err != nil {
+		return err
+	}
+	totals := prot.Totals()
+	fmt.Printf("replicated: %d checkpoints, %.1f%% mean degradation, period now %v\n",
+		totals.Checkpoints, 100*totals.MeanDegradation(), prot.Period())
+
+	// Disaster: the primary hypervisor takes a DoS exploit.
+	exploit, err := here.FindDoSExploit(here.ProductXen)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("launching %s at the primary... outcome: %v\n",
+		exploit.CVE.ID, exploit.Launch(cluster.Primary()))
+
+	detect, err := prot.DetectFailure(time.Minute)
+	if err != nil {
+		return err
+	}
+	res, err := prot.Failover()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("failover: detected in %v, replica resumed in %v on %s\n",
+		detect, res.ResumeTime, res.VM.Hypervisor().Product())
+
+	// The committed data survived the hypervisor boundary.
+	got := make([]byte, len(important))
+	if err := res.VM.ReadGuest(0x10000, got); err != nil {
+		return err
+	}
+	fmt.Printf("recovered guest data: %q\n", got)
+	if string(got) != string(important) {
+		return fmt.Errorf("data mismatch after failover")
+	}
+	fmt.Println("service survived a zero-day DoS on its hypervisor.")
+	return nil
+}

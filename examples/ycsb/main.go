@@ -1,0 +1,170 @@
+// ycsb runs the YCSB core workloads against a key-value store living
+// inside a protected VM's memory, under three protection policies —
+// none, fixed-period HERE, and budgeted dynamic HERE — and then proves
+// the database survives a hypervisor failover intact by re-reading it
+// from the replica on the other hypervisor.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	here "github.com/here-ft/here"
+)
+
+const (
+	records = 10_000
+	memSize = 512 << 20
+	window  = 20 * time.Second
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	fmt.Println("workload  policy            kops/s   degradation")
+	for _, kind := range here.YCSBKinds() {
+		base, err := measureBaseline(kind)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("YCSB-%s    %-16s  %7.1f  -\n", kind, "unprotected", base/1000)
+		for _, policy := range []struct {
+			label string
+			opts  here.ProtectOptions
+		}{
+			{"HERE(T=3s)", here.ProtectOptions{FixedPeriod: 3 * time.Second}},
+			{"HERE(D=30%)", here.ProtectOptions{DegradationBudget: 0.3, MaxPeriod: 5 * time.Second}},
+		} {
+			tput, err := measureProtected(kind, policy.opts)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("YCSB-%s    %-16s  %7.1f  %.0f%%\n",
+				kind, policy.label, tput/1000, 100*(1-tput/base))
+		}
+	}
+	return failoverDemo()
+}
+
+func measureBaseline(kind here.YCSBKind) (float64, error) {
+	cluster, err := here.NewCluster(here.ClusterConfig{})
+	if err != nil {
+		return 0, err
+	}
+	vm, err := cluster.CreateProtectedVM(here.VMSpec{
+		Name: "db", MemoryBytes: memSize, VCPUs: 4,
+	})
+	if err != nil {
+		return 0, err
+	}
+	w, _, err := here.NewYCSBWorkload(vm, kind, records, 7)
+	if err != nil {
+		return 0, err
+	}
+	clock := cluster.Clock()
+	start := clock.Now()
+	var ops int64
+	for clock.Since(start) < window {
+		clock.Sleep(time.Second)
+		st, err := w.Step(vm, time.Second)
+		if err != nil {
+			return 0, err
+		}
+		ops += st.Ops
+	}
+	return float64(ops) / clock.Since(start).Seconds(), nil
+}
+
+func measureProtected(kind here.YCSBKind, opts here.ProtectOptions) (float64, error) {
+	cluster, err := here.NewCluster(here.ClusterConfig{})
+	if err != nil {
+		return 0, err
+	}
+	vm, err := cluster.CreateProtectedVM(here.VMSpec{
+		Name: "db", MemoryBytes: memSize, VCPUs: 4,
+	})
+	if err != nil {
+		return 0, err
+	}
+	w, _, err := here.NewYCSBWorkload(vm, kind, records, 7)
+	if err != nil {
+		return 0, err
+	}
+	opts.Workload = w
+	prot, err := cluster.Protect(vm, opts)
+	if err != nil {
+		return 0, err
+	}
+	clock := cluster.Clock()
+	start := clock.Now()
+	if _, err := prot.Run(window); err != nil {
+		return 0, err
+	}
+	return float64(prot.Totals().WorkloadStats.Ops) / clock.Since(start).Seconds(), nil
+}
+
+func failoverDemo() error {
+	fmt.Println()
+	fmt.Println("=== database failover demo ===")
+	cluster, err := here.NewCluster(here.ClusterConfig{})
+	if err != nil {
+		return err
+	}
+	vm, err := cluster.CreateProtectedVM(here.VMSpec{
+		Name: "db", MemoryBytes: memSize, VCPUs: 4,
+	})
+	if err != nil {
+		return err
+	}
+	w, store, err := here.NewYCSBWorkload(vm, "A", records, 7)
+	if err != nil {
+		return err
+	}
+	// A record the business depends on.
+	if err := store.Put(0, []byte("account:alice"), []byte("balance=9000")); err != nil {
+		return err
+	}
+	prot, err := cluster.Protect(vm, here.ProtectOptions{
+		Workload: w, FixedPeriod: time.Second,
+	})
+	if err != nil {
+		return err
+	}
+	if _, err := prot.Run(5 * time.Second); err != nil {
+		return err
+	}
+	exploit, err := here.FindDoSExploit(here.ProductXen)
+	if err != nil {
+		return err
+	}
+	exploit.Launch(cluster.Primary())
+	if _, err := prot.DetectFailure(time.Minute); err != nil {
+		return err
+	}
+	res, err := prot.Failover()
+	if err != nil {
+		return err
+	}
+	// Reopen the SAME store from the replica's memory on KVM.
+	replicaStore, err := here.AttachKVStore(res.VM, records)
+	if err != nil {
+		return err
+	}
+	val, err := replicaStore.Get([]byte("account:alice"))
+	if err != nil {
+		return err
+	}
+	n, err := replicaStore.Len()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("replica on %s resumed in %v; store has %d records; "+
+		"account:alice = %q\n",
+		res.VM.Hypervisor().Product(), res.ResumeTime, n, val)
+	return nil
+}

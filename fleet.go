@@ -1,0 +1,101 @@
+package here
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/here-ft/here/internal/hypervisor"
+	"github.com/here-ft/here/internal/kvm"
+	"github.com/here-ft/here/internal/orchestrator"
+	"github.com/here-ft/here/internal/vclock"
+	"github.com/here-ft/here/internal/xen"
+)
+
+// Fleet-orchestration surface (§7.7): a multi-host control plane that
+// places protected VMs on heterogeneous pairs, monitors them, and
+// automates failover and re-protection.
+type (
+	// Fleet manages a pool of hypervisor hosts and their protections.
+	Fleet = orchestrator.Manager
+	// FleetProtection is one orchestrated VM.
+	FleetProtection = orchestrator.Protection
+	// FleetEvent is one fleet-level occurrence.
+	FleetEvent = orchestrator.Event
+	// FleetVMSpec describes a VM for Fleet.Protect.
+	FleetVMSpec = orchestrator.VMSpec
+)
+
+// Fleet event kinds.
+const (
+	FleetEventProtected    = orchestrator.EventProtected
+	FleetEventFailureFound = orchestrator.EventFailureFound
+	FleetEventFailedOver   = orchestrator.EventFailedOver
+	FleetEventReprotected  = orchestrator.EventReprotected
+	FleetEventUnprotected  = orchestrator.EventUnprotected
+	FleetEventServiceLost  = orchestrator.EventServiceLost
+)
+
+// Fleet errors.
+var (
+	ErrNoHost          = orchestrator.ErrNoHost
+	ErrNoHeterogeneous = orchestrator.ErrNoHeterogeneous
+	ErrServiceLost     = orchestrator.ErrServiceLost
+)
+
+// FleetConfig parameterizes NewFleet.
+type FleetConfig struct {
+	// Clock drives the fleet (nil = fresh virtual clock).
+	Clock Clock
+	// DegradationBudget and MaxPeriod configure each protection's
+	// dynamic period controller (defaults 0.3 / 25 s).
+	DegradationBudget float64
+	MaxPeriod         time.Duration
+}
+
+// NewFleet returns an empty fleet manager and its clock.
+func NewFleet(cfg FleetConfig) (*Fleet, Clock, error) {
+	clock := cfg.Clock
+	if clock == nil {
+		clock = vclock.NewSim()
+	}
+	m, err := orchestrator.New(orchestrator.Config{
+		Clock:             clock,
+		DegradationBudget: cfg.DegradationBudget,
+		MaxPeriod:         cfg.MaxPeriod,
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("here: %w", err)
+	}
+	return m, clock, nil
+}
+
+// AddXenHost registers a new Xen host with the fleet.
+func AddXenHost(f *Fleet, clock Clock, name string) (Hypervisor, error) {
+	h, err := xen.New(name, clock)
+	if err != nil {
+		return nil, fmt.Errorf("here: %w", err)
+	}
+	if err := f.AddHost(h); err != nil {
+		return nil, fmt.Errorf("here: %w", err)
+	}
+	return h, nil
+}
+
+// AddKVMHost registers a new KVM/kvmtool host with the fleet.
+func AddKVMHost(f *Fleet, clock Clock, name string) (Hypervisor, error) {
+	h, err := kvm.New(name, clock)
+	if err != nil {
+		return nil, fmt.Errorf("here: %w", err)
+	}
+	if err := f.AddHost(h); err != nil {
+		return nil, fmt.Errorf("here: %w", err)
+	}
+	return h, nil
+}
+
+// FailHost injects a failure into a fleet host (for demos and tests).
+func FailHost(h Hypervisor, reason string) {
+	if host, ok := h.(*hypervisor.Host); ok {
+		host.Fail(hypervisor.Crashed, reason)
+	}
+}

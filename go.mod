@@ -1,0 +1,3 @@
+module github.com/here-ft/here
+
+go 1.24

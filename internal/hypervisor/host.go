@@ -1,0 +1,257 @@
+package hypervisor
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/here-ft/here/internal/arch"
+	"github.com/here-ft/here/internal/memory"
+	"github.com/here-ft/here/internal/vclock"
+)
+
+// Flavor supplies everything implementation-specific about a simulated
+// hypervisor: its identity, feature set, device models, cost model,
+// native machine-state layout and wire codec. internal/xen and
+// internal/kvm each provide one Flavor; Host supplies the shared
+// VM-registry and health machinery around it.
+type Flavor interface {
+	Kind() Kind
+	Product() string
+	Features() arch.FeatureSet
+	DeviceModel(class arch.DeviceClass) (string, error)
+	Costs() CostModel
+	// NewMachineState builds the initial, native-flavored machine
+	// state for a freshly booted VM.
+	NewMachineState(cfg VMConfig) (arch.MachineState, error)
+	// ValidateNative checks that machine state is in this hypervisor's
+	// native flavor (irqchip kind, device model names) and is loadable.
+	ValidateNative(st arch.MachineState) error
+	EncodeState(st arch.MachineState) ([]byte, error)
+	DecodeState(b []byte) (arch.MachineState, error)
+}
+
+// Host is the shared Hypervisor implementation: one simulated physical
+// machine running one hypervisor flavor. It is safe for concurrent use.
+type Host struct {
+	flavor   Flavor
+	hostName string
+	clock    vclock.Clock
+
+	mu     sync.Mutex
+	vms    map[string]*VM
+	health HealthState
+	reason string
+}
+
+var _ Hypervisor = (*Host)(nil)
+
+// NewHost returns a healthy host running the given flavor.
+func NewHost(flavor Flavor, hostName string, clock vclock.Clock) (*Host, error) {
+	if flavor == nil {
+		return nil, fmt.Errorf("host %q: nil flavor", hostName)
+	}
+	if clock == nil {
+		return nil, fmt.Errorf("host %q: nil clock", hostName)
+	}
+	if hostName == "" {
+		return nil, fmt.Errorf("host: empty host name")
+	}
+	return &Host{
+		flavor:   flavor,
+		hostName: hostName,
+		clock:    clock,
+		vms:      make(map[string]*VM),
+		health:   Healthy,
+	}, nil
+}
+
+// Kind reports the hypervisor family.
+func (h *Host) Kind() Kind { return h.flavor.Kind() }
+
+// Product reports the hypervisor product name.
+func (h *Host) Product() string { return h.flavor.Product() }
+
+// HostName reports the machine name.
+func (h *Host) HostName() string { return h.hostName }
+
+// Features reports the exposable CPUID features.
+func (h *Host) Features() arch.FeatureSet { return h.flavor.Features() }
+
+// DeviceModel reports the native device model name for a class.
+func (h *Host) DeviceModel(class arch.DeviceClass) (string, error) {
+	return h.flavor.DeviceModel(class)
+}
+
+// Costs reports the replication cost model.
+func (h *Host) Costs() CostModel { return h.flavor.Costs() }
+
+// Clock reports the host time source.
+func (h *Host) Clock() vclock.Clock { return h.clock }
+
+// EncodeState serializes to the native wire format.
+func (h *Host) EncodeState(st arch.MachineState) ([]byte, error) {
+	return h.flavor.EncodeState(st)
+}
+
+// DecodeState parses the native wire format.
+func (h *Host) DecodeState(b []byte) (arch.MachineState, error) {
+	return h.flavor.DecodeState(b)
+}
+
+func (h *Host) checkUp() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.health != Healthy {
+		return fmt.Errorf("host %q (%s) is %s: %w", h.hostName, h.Product(), h.health, ErrHostDown)
+	}
+	return nil
+}
+
+// CreateVM boots a fresh VM with this hypervisor's native device
+// models and leaves it running.
+func (h *Host) CreateVM(cfg VMConfig) (*VM, error) {
+	if err := h.checkUp(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	st, err := h.flavor.NewMachineState(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("host %q: %w", h.hostName, err)
+	}
+	vm, err := NewVM(cfg.Name, h, st, memory.NewGuestMemory(cfg.MemBytes), cfg.PMLRingCap)
+	if err != nil {
+		return nil, err
+	}
+	if err := h.register(vm); err != nil {
+		return nil, err
+	}
+	vm.Start()
+	return vm, nil
+}
+
+// RestoreVM instantiates a paused VM from native-flavored machine
+// state and received guest memory. The caller resumes it after device
+// reconfiguration, matching the failover flow of §7.3.
+func (h *Host) RestoreVM(cfg VMConfig, st arch.MachineState, mem *memory.GuestMemory) (*VM, error) {
+	if err := h.checkUp(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if mem == nil {
+		return nil, fmt.Errorf("host %q: restore %q with nil memory", h.hostName, cfg.Name)
+	}
+	if err := h.flavor.ValidateNative(st); err != nil {
+		return nil, fmt.Errorf("host %q: restore %q: %w", h.hostName, cfg.Name, err)
+	}
+	if !st.Features.IsSubsetOf(h.Features()) {
+		return nil, fmt.Errorf("host %q: restore %q: guest features %v not supported (host has %v)",
+			h.hostName, cfg.Name, st.Features, h.Features())
+	}
+	vm, err := NewVM(cfg.Name, h, st, mem, cfg.PMLRingCap)
+	if err != nil {
+		return nil, err
+	}
+	if err := h.register(vm); err != nil {
+		return nil, err
+	}
+	return vm, nil
+}
+
+func (h *Host) register(vm *VM) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, ok := h.vms[vm.Name()]; ok {
+		return fmt.Errorf("host %q: vm %q: %w", h.hostName, vm.Name(), ErrVMExists)
+	}
+	h.vms[vm.Name()] = vm
+	return nil
+}
+
+// LookupVM finds a VM by name.
+func (h *Host) LookupVM(name string) (*VM, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	vm, ok := h.vms[name]
+	if !ok {
+		return nil, fmt.Errorf("host %q: vm %q: %w", h.hostName, name, ErrVMNotFound)
+	}
+	return vm, nil
+}
+
+// DestroyVM removes a VM from the host.
+func (h *Host) DestroyVM(name string) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	vm, ok := h.vms[name]
+	if !ok {
+		return fmt.Errorf("host %q: vm %q: %w", h.hostName, name, ErrVMNotFound)
+	}
+	vm.Pause()
+	delete(h.vms, name)
+	return nil
+}
+
+// VMs lists VM names, sorted.
+func (h *Host) VMs() []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	names := make([]string, 0, len(h.vms))
+	for n := range h.vms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Health reports the host's health.
+func (h *Host) Health() HealthState {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.health
+}
+
+// Fail forces the host into a failure state. All VMs stop executing:
+// a crashed or hung hypervisor runs no guests (paper §8.2). The VMs'
+// memory is NOT preserved across a crash — this is exactly why the
+// replica on the second host matters.
+func (h *Host) Fail(state HealthState, reason string) {
+	if state == Healthy {
+		return
+	}
+	h.mu.Lock()
+	vms := make([]*VM, 0, len(h.vms))
+	for _, vm := range h.vms {
+		vms = append(vms, vm)
+	}
+	h.health = state
+	h.reason = reason
+	h.mu.Unlock()
+	for _, vm := range vms {
+		// Stop without accounting pause cost: the host died, nobody
+		// ran the orderly pause path.
+		vm.mu.Lock()
+		vm.running = false
+		vm.mu.Unlock()
+	}
+}
+
+// Recover returns the host to Healthy with no VMs (a reboot).
+func (h *Host) Recover() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.health = Healthy
+	h.reason = ""
+	h.vms = make(map[string]*VM)
+}
+
+// FailureReason reports why the host failed, or "".
+func (h *Host) FailureReason() string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.reason
+}

@@ -1,0 +1,219 @@
+package kvm_test
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/here-ft/here/internal/arch"
+	"github.com/here-ft/here/internal/hypervisor"
+	"github.com/here-ft/here/internal/kvm"
+	"github.com/here-ft/here/internal/vclock"
+	"github.com/here-ft/here/internal/xen"
+)
+
+func newHost(t *testing.T) *hypervisor.Host {
+	t.Helper()
+	h, err := kvm.New("host-b", vclock.NewSim())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func richState() arch.MachineState {
+	return arch.MachineState{
+		Features: kvm.Features(),
+		Timers: arch.TimerState{
+			TSCFrequencyHz: 2_100_000_000,
+			SystemTimeNS:   55555555555,
+			WallClockSec:   1702252801,
+			WallClockNSec:  42,
+		},
+		IRQChip: arch.IRQChipState{
+			Kind: arch.IRQChipIOAPIC,
+			Pending: []arch.IRQBinding{
+				{Source: "net0", Vector: kvm.FirstGSI},
+				{Source: "disk0", Vector: kvm.FirstGSI + 1, Masked: true},
+			},
+		},
+		VCPUs: []arch.VCPUState{
+			{
+				ID:    0,
+				Regs:  arch.Registers{RIP: 0x1000, RAX: 0xA, RSP: 0x8000, CR3: 0x2000},
+				TSC:   777777,
+				MSRs:  map[uint32]uint64{0xC0000080: 0x500},
+				APIC:  arch.APICState{ID: 0, Timer: 5, TimerDiv: 2, ISR: []uint8{1}, IRR: []uint8{2, 3}},
+				Index: 3,
+			},
+			{ID: 1, Halt: true, APIC: arch.APICState{ID: 1}},
+		},
+		Devices: []arch.DeviceState{
+			{Class: arch.DeviceNet, ID: "net0", Model: "virtio-net",
+				MAC: "52:54:00:11:22:33", MTU: 1500},
+			{Class: arch.DeviceBlock, ID: "disk0", Model: "virtio-blk",
+				CapacityB: 32 << 30},
+		},
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	h := newHost(t)
+	st := richState()
+	data, err := h.EncodeState(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := h.DecodeState(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(st, got) {
+		t.Fatalf("round trip changed state:\nwant %+v\ngot  %+v", st, got)
+	}
+}
+
+func TestTSCFrequencyKHzGranularity(t *testing.T) {
+	h := newHost(t)
+	st := richState()
+	st.Timers.TSCFrequencyHz = 2_100_000_999 // sub-kHz precision is lost
+	data, err := h.EncodeState(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := h.DecodeState(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Timers.TSCFrequencyHz != 2_100_000_000 {
+		t.Fatalf("TSC Hz = %d, want kHz-truncated 2100000000", got.Timers.TSCFrequencyHz)
+	}
+}
+
+func TestEncodeRejectsForeignFlavor(t *testing.T) {
+	h := newHost(t)
+	st := richState()
+	st.IRQChip.Kind = arch.IRQChipEventChannel
+	if _, err := h.EncodeState(st); err == nil {
+		t.Fatal("encoded event-channel state as KVM")
+	}
+	st = richState()
+	st.Devices[0].Model = "xen-netfront"
+	if _, err := h.EncodeState(st); err == nil {
+		t.Fatal("encoded PV device as KVM")
+	}
+}
+
+func TestDecodeRejectsGarbageAndXenImages(t *testing.T) {
+	h := newHost(t)
+	if _, err := h.DecodeState(nil); err == nil {
+		t.Fatal("decoded empty image")
+	}
+	if _, err := h.DecodeState([]byte("JUNKJUNKJUNK")); err == nil {
+		t.Fatal("decoded junk")
+	}
+	// A Xen image must not decode on KVM: the formats are distinct.
+	xh, err := xen.New("host-a", vclock.NewSim())
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm, err := xh.CreateVM(hypervisor.VMConfig{Name: "v", MemBytes: 1 << 20, VCPUs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm.Pause()
+	st, err := vm.CaptureState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	xenImage, err := xh.EncodeState(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.DecodeState(xenImage); err == nil {
+		t.Fatal("KVM decoded a Xen save image")
+	}
+}
+
+func TestFormatMagicDiffersFromXen(t *testing.T) {
+	h := newHost(t)
+	data, err := h.EncodeState(richState())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "KVMTOOL") {
+		t.Fatalf("magic = %q", data[:8])
+	}
+}
+
+func TestDeviceModels(t *testing.T) {
+	h := newHost(t)
+	want := map[arch.DeviceClass]string{
+		arch.DeviceNet:     "virtio-net",
+		arch.DeviceBlock:   "virtio-blk",
+		arch.DeviceConsole: "virtio-console",
+	}
+	for class, model := range want {
+		got, err := h.DeviceModel(class)
+		if err != nil || got != model {
+			t.Errorf("DeviceModel(%v) = %q, %v; want %q", class, got, err, model)
+		}
+	}
+	if _, err := h.DeviceModel(arch.DeviceClass(99)); err == nil {
+		t.Error("unknown class accepted")
+	}
+}
+
+func TestBootStateUsesIOAPICGSIs(t *testing.T) {
+	h := newHost(t)
+	vm, err := h.CreateVM(hypervisor.VMConfig{
+		Name: "vm", MemBytes: 1 << 20, VCPUs: 2,
+		Devices: []hypervisor.DeviceSpec{
+			{Class: arch.DeviceNet, ID: "net0"},
+			{Class: arch.DeviceBlock, ID: "disk0"},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := vm.MachineState()
+	if st.IRQChip.Kind != arch.IRQChipIOAPIC {
+		t.Fatalf("irqchip = %v", st.IRQChip.Kind)
+	}
+	for _, b := range st.IRQChip.Pending {
+		if b.Vector < kvm.FirstGSI {
+			t.Fatalf("device %q on legacy GSI %d", b.Source, b.Vector)
+		}
+	}
+}
+
+func TestFeatureSetsDiverge(t *testing.T) {
+	// The heterogeneity premise: neither host's feature set is a
+	// subset of the other, so the translator must intersect.
+	if kvm.Features().IsSubsetOf(xen.Features()) {
+		t.Fatal("KVM features ⊆ Xen features; intersection would be trivial")
+	}
+	if xen.Features().IsSubsetOf(kvm.Features()) {
+		t.Fatal("Xen features ⊆ KVM features; intersection would be trivial")
+	}
+}
+
+func TestKVMResumeCheaperThanXen(t *testing.T) {
+	// Fig 7 attributes millisecond resumption to kvmtool's lightweight
+	// userspace; our cost models must preserve that ordering.
+	clk := vclock.NewSim()
+	kh, err := kvm.New("b", clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xh, err := xen.New("a", clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kh.Costs().ResumeVM >= xh.Costs().ResumeVM {
+		t.Fatal("kvmtool resume not cheaper than Xen")
+	}
+	if kh.Costs().DevicePlug >= xh.Costs().DevicePlug {
+		t.Fatal("kvmtool device plug not cheaper than Xen")
+	}
+}

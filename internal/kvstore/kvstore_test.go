@@ -1,0 +1,251 @@
+package kvstore_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"github.com/here-ft/here/internal/hypervisor"
+	"github.com/here-ft/here/internal/kvstore"
+	"github.com/here-ft/here/internal/memory"
+	"github.com/here-ft/here/internal/vclock"
+	"github.com/here-ft/here/internal/xen"
+)
+
+func newVM(t *testing.T, pages int) *hypervisor.VM {
+	t.Helper()
+	h, err := xen.New("a", vclock.NewSim())
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm, err := h.CreateVM(hypervisor.VMConfig{
+		Name: "vm", MemBytes: uint64(pages) * memory.PageSize, VCPUs: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vm
+}
+
+func openStore(t *testing.T, vm *hypervisor.VM) *kvstore.Store {
+	t.Helper()
+	s, err := kvstore.Open(vm, memory.PageSize, 256*memory.PageSize, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestOpenValidation(t *testing.T) {
+	vm := newVM(t, 512)
+	if _, err := kvstore.Open(nil, 0, 1<<20, 16); err == nil {
+		t.Fatal("nil vm accepted")
+	}
+	if _, err := kvstore.Open(vm, 0, 1<<20, 0); err == nil {
+		t.Fatal("zero buckets accepted")
+	}
+	if _, err := kvstore.Open(vm, 0, 64, 16); err == nil {
+		t.Fatal("tiny region accepted")
+	}
+	if _, err := kvstore.Open(vm, memory.Addr(511*memory.PageSize), 2*memory.PageSize, 16); err == nil {
+		t.Fatal("region beyond memory accepted")
+	}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	vm := newVM(t, 512)
+	s := openStore(t, vm)
+	if err := s.Put(0, []byte("user1"), []byte("alice")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get([]byte("user1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "alice" {
+		t.Fatalf("Get = %q", got)
+	}
+	if _, err := s.Get([]byte("missing")); !errors.Is(err, kvstore.ErrNotFound) {
+		t.Fatalf("missing key err = %v", err)
+	}
+}
+
+func TestUpdateShadowsOldVersion(t *testing.T) {
+	vm := newVM(t, 512)
+	s := openStore(t, vm)
+	for i := 0; i < 5; i++ {
+		if err := s.Put(i%2, []byte("k"), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := s.Get([]byte("k"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "v4" {
+		t.Fatalf("Get after updates = %q, want v4", got)
+	}
+	n, err := s.Len()
+	if err != nil || n != 5 {
+		t.Fatalf("Len = %d, %v", n, err)
+	}
+}
+
+func TestCollidingKeysCoexist(t *testing.T) {
+	vm := newVM(t, 512)
+	// One bucket: every key collides.
+	s, err := kvstore.Open(vm, memory.PageSize, 128*memory.PageSize, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if err := s.Put(0, []byte(fmt.Sprintf("key%d", i)), []byte(fmt.Sprintf("val%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 20; i++ {
+		got, err := s.Get([]byte(fmt.Sprintf("key%d", i)))
+		if err != nil || string(got) != fmt.Sprintf("val%d", i) {
+			t.Fatalf("key%d = %q, %v", i, got, err)
+		}
+	}
+}
+
+func TestRegionFull(t *testing.T) {
+	vm := newVM(t, 512)
+	s, err := kvstore.Open(vm, 0, uint64(kvstore.MinRegionLen)+16*8+64, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawFull bool
+	for i := 0; i < 100; i++ {
+		err := s.Put(0, []byte(fmt.Sprintf("key-%03d", i)), make([]byte, 16))
+		if errors.Is(err, kvstore.ErrFull) {
+			sawFull = true
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !sawFull {
+		t.Fatal("store never reported ErrFull")
+	}
+}
+
+func TestPutKeyValidation(t *testing.T) {
+	vm := newVM(t, 512)
+	s := openStore(t, vm)
+	if err := s.Put(0, nil, []byte("v")); err == nil {
+		t.Fatal("empty key accepted")
+	}
+	if err := s.Put(0, make([]byte, 1<<16), []byte("v")); err == nil {
+		t.Fatal("oversized key accepted")
+	}
+}
+
+func TestScanVisitsRecordsInLogOrder(t *testing.T) {
+	vm := newVM(t, 512)
+	s := openStore(t, vm)
+	for i := 0; i < 10; i++ {
+		if err := s.Put(0, []byte(fmt.Sprintf("key%02d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	keys, err := s.Scan(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 4 {
+		t.Fatalf("Scan returned %d keys", len(keys))
+	}
+	for i, k := range keys {
+		if string(k) != fmt.Sprintf("key%02d", i) {
+			t.Fatalf("scan order wrong: %q at %d", k, i)
+		}
+	}
+	// Scanning more than exists returns everything.
+	keys, err = s.Scan(1000)
+	if err != nil || len(keys) != 10 {
+		t.Fatalf("full scan = %d keys, %v", len(keys), err)
+	}
+}
+
+func TestAttachReopensStore(t *testing.T) {
+	vm := newVM(t, 512)
+	s := openStore(t, vm)
+	if err := s.Put(0, []byte("persisted"), []byte("yes")); err != nil {
+		t.Fatal(err)
+	}
+	base, size := s.Region()
+	re, err := kvstore.Attach(vm, base, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := re.Get([]byte("persisted"))
+	if err != nil || string(got) != "yes" {
+		t.Fatalf("reattached Get = %q, %v", got, err)
+	}
+	// Attaching at a non-store address fails cleanly.
+	if _, err := kvstore.Attach(vm, 400*memory.PageSize, 10*memory.PageSize); !errors.Is(err, kvstore.ErrBadMagic) {
+		t.Fatalf("bad attach err = %v", err)
+	}
+	if _, err := kvstore.Attach(nil, 0, 0); err == nil {
+		t.Fatal("nil vm accepted")
+	}
+}
+
+func TestOperationsDirtyGuestPages(t *testing.T) {
+	vm := newVM(t, 512)
+	s := openStore(t, vm)
+	vm.Tracker().Bitmap().Snapshot() // clear formatting dirt
+	if err := s.Put(1, []byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if vm.Tracker().Bitmap().Count() == 0 {
+		t.Fatal("Put dirtied no pages")
+	}
+	pages, _ := vm.Tracker().Ring(1).Drain()
+	if len(pages) == 0 {
+		t.Fatal("Put not attributed to its vCPU ring")
+	}
+}
+
+// Property: the store agrees with a map reference model under random
+// put/update/get sequences.
+func TestStoreMatchesMapModel(t *testing.T) {
+	type op struct {
+		Key byte
+		Val []byte
+	}
+	f := func(ops []op) bool {
+		vm := newVM(t, 2048)
+		s, err := kvstore.Open(vm, 0, 1024*memory.PageSize, 64)
+		if err != nil {
+			return false
+		}
+		ref := map[string]string{}
+		for _, o := range ops {
+			key := []byte{'k', o.Key}
+			val := o.Val
+			if len(val) > 256 {
+				val = val[:256]
+			}
+			if err := s.Put(int(o.Key)%2, key, val); err != nil {
+				return false
+			}
+			ref[string(key)] = string(val)
+		}
+		for k, v := range ref {
+			got, err := s.Get([]byte(k))
+			if err != nil || string(got) != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,338 @@
+// Package metrics provides the small measurement toolkit shared by the
+// HERE engines and the experiment harness: summary statistics, time
+// series, histograms and text table rendering for paper-style output.
+package metrics
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Summary accumulates scalar observations and reports basic statistics.
+// The zero value is ready to use. Summary is not safe for concurrent use.
+type Summary struct {
+	values []float64
+	sorted bool
+}
+
+// Add records one observation.
+func (s *Summary) Add(v float64) {
+	s.values = append(s.values, v)
+	s.sorted = false
+}
+
+// AddDuration records a duration observation in seconds.
+func (s *Summary) AddDuration(d time.Duration) { s.Add(d.Seconds()) }
+
+// N reports the number of observations.
+func (s *Summary) N() int { return len(s.values) }
+
+// Sum reports the sum of all observations.
+func (s *Summary) Sum() float64 {
+	var sum float64
+	for _, v := range s.values {
+		sum += v
+	}
+	return sum
+}
+
+// Mean reports the arithmetic mean, or 0 with no observations.
+func (s *Summary) Mean() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	return s.Sum() / float64(len(s.values))
+}
+
+// Min reports the smallest observation, or 0 with no observations.
+func (s *Summary) Min() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	m := s.values[0]
+	for _, v := range s.values[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Max reports the largest observation, or 0 with no observations.
+func (s *Summary) Max() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	m := s.values[0]
+	for _, v := range s.values[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Stddev reports the population standard deviation.
+func (s *Summary) Stddev() float64 {
+	n := len(s.values)
+	if n == 0 {
+		return 0
+	}
+	mean := s.Mean()
+	var acc float64
+	for _, v := range s.values {
+		d := v - mean
+		acc += d * d
+	}
+	return math.Sqrt(acc / float64(n))
+}
+
+// Percentile reports the p-th percentile (0 ≤ p ≤ 100) using
+// nearest-rank interpolation, or 0 with no observations.
+func (s *Summary) Percentile(p float64) float64 {
+	n := len(s.values)
+	if n == 0 {
+		return 0
+	}
+	if !s.sorted {
+		sort.Float64s(s.values)
+		s.sorted = true
+	}
+	if p <= 0 {
+		return s.values[0]
+	}
+	if p >= 100 {
+		return s.values[n-1]
+	}
+	rank := p / 100 * float64(n-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s.values[lo]
+	}
+	frac := rank - float64(lo)
+	return s.values[lo]*(1-frac) + s.values[hi]*frac
+}
+
+// Point is one sample of a time series.
+type Point struct {
+	T time.Duration // offset from the start of the experiment
+	V float64
+}
+
+// Series is an append-only time series, used for the Fig 9/10 traces
+// (checkpoint period and instantaneous degradation over time).
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// NewSeries returns an empty named series.
+func NewSeries(name string) *Series { return &Series{Name: name} }
+
+// Record appends a sample.
+func (s *Series) Record(t time.Duration, v float64) {
+	s.Points = append(s.Points, Point{T: t, V: v})
+}
+
+// Len reports the number of samples.
+func (s *Series) Len() int { return len(s.Points) }
+
+// At reports the value of the latest sample at or before t, or 0 if the
+// series has no sample that early.
+func (s *Series) At(t time.Duration) float64 {
+	var v float64
+	for _, p := range s.Points {
+		if p.T > t {
+			break
+		}
+		v = p.V
+	}
+	return v
+}
+
+// MeanBetween reports the mean of samples with lo ≤ T ≤ hi.
+func (s *Series) MeanBetween(lo, hi time.Duration) float64 {
+	var sum float64
+	var n int
+	for _, p := range s.Points {
+		if p.T < lo || p.T > hi {
+			continue
+		}
+		sum += p.V
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// LinearFit fits y = a*x + b by least squares over (x, y) pairs and
+// reports the slope a, the intercept b, and the coefficient of
+// determination r². It reports r² = 0 for fewer than two points.
+func LinearFit(xs, ys []float64) (slope, intercept, r2 float64) {
+	n := len(xs)
+	if n != len(ys) || n < 2 {
+		return 0, 0, 0
+	}
+	var sx, sy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/float64(n), sy/float64(n)
+	var sxx, sxy, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return 0, my, 0
+	}
+	slope = sxy / sxx
+	intercept = my - slope*mx
+	if syy == 0 {
+		return slope, intercept, 1
+	}
+	r2 = sxy * sxy / (sxx * syy)
+	return slope, intercept, r2
+}
+
+// Table renders aligned text tables in the style of the paper's tables,
+// for the bench harness output.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable returns a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+		case time.Duration:
+			row[i] = v.String()
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// NumRows reports the number of data rows added so far.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+func formatFloat(v float64) string {
+	switch {
+	case v == math.Trunc(v) && math.Abs(v) < 1e9:
+		return fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 100:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	total := len(t.Headers) - 1
+	for _, w := range widths {
+		total += w + 1
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// WriteCSV writes the series as "seconds,value" rows with a header.
+func (s *Series) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "t_seconds,%s\n", s.Name); err != nil {
+		return err
+	}
+	for _, p := range s.Points {
+		if _, err := fmt.Fprintf(w, "%.3f,%g\n", p.T.Seconds(), p.V); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSVMulti writes several series sharing a time axis as one CSV:
+// each row is the latest value of every series at one sample instant
+// (the union of all sample times).
+func WriteCSVMulti(w io.Writer, series ...*Series) error {
+	if len(series) == 0 {
+		return errors.New("metrics: no series")
+	}
+	names := make([]string, len(series))
+	times := map[time.Duration]bool{}
+	for i, s := range series {
+		names[i] = s.Name
+		for _, p := range s.Points {
+			times[p.T] = true
+		}
+	}
+	sorted := make([]time.Duration, 0, len(times))
+	for t := range times {
+		sorted = append(sorted, t)
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	if _, err := fmt.Fprintf(w, "t_seconds,%s\n", strings.Join(names, ",")); err != nil {
+		return err
+	}
+	for _, t := range sorted {
+		cells := make([]string, 0, len(series)+1)
+		cells = append(cells, fmt.Sprintf("%.3f", t.Seconds()))
+		for _, s := range series {
+			cells = append(cells, fmt.Sprintf("%g", s.At(t)))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(cells, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}

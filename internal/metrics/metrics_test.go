@@ -1,0 +1,200 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSummaryEmpty(t *testing.T) {
+	var s Summary
+	if s.N() != 0 || s.Mean() != 0 || s.Min() != 0 || s.Max() != 0 ||
+		s.Stddev() != 0 || s.Percentile(50) != 0 {
+		t.Fatal("empty summary must report zeros everywhere")
+	}
+}
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	for _, v := range []float64{4, 1, 3, 2, 5} {
+		s.Add(v)
+	}
+	if s.N() != 5 {
+		t.Fatalf("N = %d, want 5", s.N())
+	}
+	if s.Mean() != 3 {
+		t.Fatalf("Mean = %v, want 3", s.Mean())
+	}
+	if s.Min() != 1 || s.Max() != 5 {
+		t.Fatalf("Min/Max = %v/%v, want 1/5", s.Min(), s.Max())
+	}
+	if got := s.Percentile(50); got != 3 {
+		t.Fatalf("p50 = %v, want 3", got)
+	}
+	if got := s.Percentile(0); got != 1 {
+		t.Fatalf("p0 = %v, want 1", got)
+	}
+	if got := s.Percentile(100); got != 5 {
+		t.Fatalf("p100 = %v, want 5", got)
+	}
+	want := math.Sqrt(2)
+	if got := s.Stddev(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Stddev = %v, want %v", got, want)
+	}
+}
+
+func TestSummaryAddDuration(t *testing.T) {
+	var s Summary
+	s.AddDuration(1500 * time.Millisecond)
+	if got := s.Mean(); got != 1.5 {
+		t.Fatalf("Mean = %v, want 1.5", got)
+	}
+}
+
+func TestSummaryPercentileInterpolates(t *testing.T) {
+	var s Summary
+	s.Add(0)
+	s.Add(10)
+	if got := s.Percentile(50); got != 5 {
+		t.Fatalf("p50 of {0,10} = %v, want 5", got)
+	}
+}
+
+// Property: Min ≤ Percentile(p) ≤ Max and Percentile is monotone in p.
+func TestSummaryPercentileProperties(t *testing.T) {
+	f := func(raw []float64, pa, pb uint8) bool {
+		var s Summary
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 0
+			}
+			s.Add(v)
+		}
+		if s.N() == 0 {
+			return true
+		}
+		lo := float64(pa % 101)
+		hi := float64(pb % 101)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		vlo, vhi := s.Percentile(lo), s.Percentile(hi)
+		return vlo <= vhi && s.Min() <= vlo && vhi <= s.Max()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := NewSeries("period")
+	s.Record(0, 25)
+	s.Record(10*time.Second, 20)
+	s.Record(20*time.Second, 15)
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+	if got := s.At(15 * time.Second); got != 20 {
+		t.Fatalf("At(15s) = %v, want 20", got)
+	}
+	if got := s.At(-time.Second); got != 0 {
+		t.Fatalf("At before first sample = %v, want 0", got)
+	}
+	if got := s.MeanBetween(5*time.Second, 25*time.Second); got != 17.5 {
+		t.Fatalf("MeanBetween = %v, want 17.5", got)
+	}
+	if got := s.MeanBetween(100*time.Second, 200*time.Second); got != 0 {
+		t.Fatalf("MeanBetween empty window = %v, want 0", got)
+	}
+}
+
+func TestLinearFitExact(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{3, 5, 7, 9} // y = 2x + 1
+	slope, intercept, r2 := LinearFit(xs, ys)
+	if math.Abs(slope-2) > 1e-12 || math.Abs(intercept-1) > 1e-12 {
+		t.Fatalf("fit = %vx + %v, want 2x + 1", slope, intercept)
+	}
+	if r2 < 0.999999 {
+		t.Fatalf("r² = %v, want ~1", r2)
+	}
+}
+
+func TestLinearFitDegenerate(t *testing.T) {
+	if _, _, r2 := LinearFit([]float64{1}, []float64{1}); r2 != 0 {
+		t.Fatalf("single point r² = %v, want 0", r2)
+	}
+	if _, _, r2 := LinearFit([]float64{1, 2}, []float64{5}); r2 != 0 {
+		t.Fatalf("mismatched lengths r² = %v, want 0", r2)
+	}
+	slope, intercept, r2 := LinearFit([]float64{2, 2, 2}, []float64{1, 2, 3})
+	if slope != 0 || intercept != 2 || r2 != 0 {
+		t.Fatalf("vertical data fit = (%v,%v,%v)", slope, intercept, r2)
+	}
+	// Constant y is fit perfectly by the horizontal line.
+	_, _, r2 = LinearFit([]float64{1, 2, 3}, []float64{4, 4, 4})
+	if r2 != 1 {
+		t.Fatalf("constant y r² = %v, want 1", r2)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("Table 1", "Product", "CVEs", "DoS%")
+	tab.AddRow("Xen", 312, 48.7)
+	tab.AddRow("KVM", 74, 51.4)
+	out := tab.String()
+	for _, want := range []string{"Table 1", "Product", "Xen", "312", "48.7", "KVM"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table output missing %q:\n%s", want, out)
+		}
+	}
+	if tab.NumRows() != 2 {
+		t.Fatalf("NumRows = %d, want 2", tab.NumRows())
+	}
+}
+
+func TestTableFormatsDurations(t *testing.T) {
+	tab := NewTable("", "what", "dur")
+	tab.AddRow("pause", 250*time.Millisecond)
+	if !strings.Contains(tab.String(), "250ms") {
+		t.Fatalf("duration not formatted: %s", tab.String())
+	}
+}
+
+func TestSeriesWriteCSV(t *testing.T) {
+	s := NewSeries("period")
+	s.Record(0, 25)
+	s.Record(1500*time.Millisecond, 20.5)
+	var buf strings.Builder
+	if err := s.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "t_seconds,period\n0.000,25\n1.500,20.5\n"
+	if buf.String() != want {
+		t.Fatalf("csv = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestWriteCSVMulti(t *testing.T) {
+	a := NewSeries("load")
+	a.Record(0, 20)
+	a.Record(10*time.Second, 80)
+	b := NewSeries("deg")
+	b.Record(5*time.Second, 0.3)
+	var buf strings.Builder
+	if err := WriteCSVMulti(&buf, a, b); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "t_seconds,load,deg\n") {
+		t.Fatalf("header wrong: %q", out)
+	}
+	if !strings.Contains(out, "5.000,20,0.3") || !strings.Contains(out, "10.000,80,0.3") {
+		t.Fatalf("rows wrong: %q", out)
+	}
+	if err := WriteCSVMulti(&buf); err == nil {
+		t.Fatal("no series accepted")
+	}
+}

@@ -1,0 +1,287 @@
+// Package migration implements the seeding phase of VM replication
+// (paper §3.2 step ❷/❸ and §7.2): iterative pre-copy live migration of
+// guest memory to the secondary host, in two variants:
+//
+//   - ModeXen — the stock Xen algorithm: one migration thread scans
+//     the shared log-dirty bitmap and streams pages over a single
+//     connection.
+//   - ModeHERE — HERE's optimization: one migrator thread per vCPU.
+//     The initial full-memory pass cannot attribute pages to vCPUs, so
+//     it gains only network-stream parallelism; subsequent iterations
+//     drain each vCPU's PML ring independently, parallelizing the
+//     CPU-side work too. Pages transferred by several threads
+//     ("problematic" pages, written by multiple vCPUs mid-copy) are
+//     resent during the final stop-and-copy.
+//
+// The VM keeps executing its workload during every live iteration;
+// only the final stop-and-copy pauses it. Migration ends with the VM
+// paused and its memory and machine state materialized on the
+// destination — the caller either resumes it there (pure migration) or
+// enters continuous replication (seeding).
+package migration
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/here-ft/here/internal/arch"
+	"github.com/here-ft/here/internal/hypervisor"
+	"github.com/here-ft/here/internal/memory"
+	"github.com/here-ft/here/internal/simnet"
+	"github.com/here-ft/here/internal/workload"
+)
+
+// Mode selects the migration algorithm.
+type Mode int
+
+// Migration algorithms.
+const (
+	// ModeXen is stock Xen live migration (single-threaded).
+	ModeXen Mode = iota + 1
+	// ModeHERE is HERE's multithreaded migration (§7.2).
+	ModeHERE
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeXen:
+		return "xen"
+	case ModeHERE:
+		return "here"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// Defaults mirroring Xen's migration parameters.
+const (
+	// DefaultMaxIterations is Xen's live-iteration cap ("5 iterations
+	// in the case of Xen", §3.2).
+	DefaultMaxIterations = 5
+	// DefaultStopThreshold is the dirty-page count below which the
+	// final stop-and-copy is entered.
+	DefaultStopThreshold = 256
+)
+
+// Config parameterizes a migration.
+type Config struct {
+	// Link carries the migration traffic.
+	Link *simnet.Link
+	// Mode selects the algorithm.
+	Mode Mode
+	// Threads is the number of migrator threads for ModeHERE
+	// (defaults to the VM's vCPU count). Ignored by ModeXen.
+	Threads int
+	// MaxIterations caps the live pre-copy iterations
+	// (DefaultMaxIterations if 0).
+	MaxIterations int
+	// StopThreshold enters stop-and-copy once the dirty set is this
+	// small (DefaultStopThreshold if 0).
+	StopThreshold int
+	// Workload keeps executing inside the guest during live
+	// iterations (nil = idle guest).
+	Workload workload.Workload
+}
+
+// Result reports what a migration did.
+type Result struct {
+	// Duration is total migration time (Fig 6's metric).
+	Duration time.Duration
+	// Downtime is the stop-and-copy pause at the end.
+	Downtime time.Duration
+	// Iterations is the number of live pre-copy rounds.
+	Iterations int
+	// PagesSent counts page transfers, including resends.
+	PagesSent int64
+	// BytesSent is the traffic put on the link.
+	BytesSent int64
+	// ProblematicResent counts pages resent in stop-and-copy because
+	// multiple vCPUs modified them mid-transfer (ModeHERE only).
+	ProblematicResent int
+	// FinalState is the machine state captured at the end; the VM is
+	// left paused.
+	FinalState arch.MachineState
+}
+
+// Migrate runs the seeding migration of vm's memory into dst.
+// On success the VM is paused with its final state captured; dst holds
+// a byte-identical copy of guest memory.
+func Migrate(vm *hypervisor.VM, dst *memory.GuestMemory, cfg Config) (Result, error) {
+	var res Result
+	if vm == nil || dst == nil {
+		return res, errors.New("migration: nil vm or destination memory")
+	}
+	if cfg.Link == nil {
+		return res, errors.New("migration: nil link")
+	}
+	if cfg.Mode != ModeXen && cfg.Mode != ModeHERE {
+		return res, fmt.Errorf("migration: unknown mode %d", int(cfg.Mode))
+	}
+	if !vm.Running() {
+		return res, errors.New("migration: vm is not running")
+	}
+	maxIter := cfg.MaxIterations
+	if maxIter <= 0 {
+		maxIter = DefaultMaxIterations
+	}
+	threshold := cfg.StopThreshold
+	if threshold <= 0 {
+		threshold = DefaultStopThreshold
+	}
+	threads := 1
+	if cfg.Mode == ModeHERE {
+		threads = cfg.Threads
+		if threads <= 0 {
+			threads = vm.NumVCPUs()
+		}
+	}
+
+	clock := vm.Hypervisor().Clock()
+	costs := vm.Hypervisor().Costs()
+	start := clock.Now()
+
+	// Reset tracking so the migration sees a clean slate, then treat
+	// every page as dirty for the initial full-memory pass.
+	vm.Tracker().Bitmap().Snapshot()
+	for v := 0; v < vm.NumVCPUs(); v++ {
+		vm.Tracker().Ring(v).Drain()
+	}
+	totalPages := vm.Memory().NumPages()
+	batch := make([]memory.PageNum, totalPages)
+	for i := range batch {
+		batch[i] = memory.PageNum(i)
+	}
+
+	problematic := make(map[memory.PageNum]int)
+	for iter := 1; ; iter++ {
+		res.Iterations = iter
+		initialPass := iter == 1
+		dur, err := transferBatch(vm, dst, batch, cfg.Mode, initialPass, threads, costs, cfg.Link, &res)
+		if err != nil {
+			return res, err
+		}
+		// The guest executed during the whole transfer; its writes
+		// form the next iteration's dirty set.
+		if cfg.Workload != nil && dur > 0 {
+			if _, err := cfg.Workload.Step(vm, dur); err != nil {
+				return res, fmt.Errorf("migration: workload: %w", err)
+			}
+		}
+		// HERE attributes dirty pages to vCPUs via the PML rings and
+		// flags pages written by more than one vCPU as problematic.
+		if cfg.Mode == ModeHERE {
+			collectProblematic(vm, problematic)
+		}
+		batch = vm.Tracker().Bitmap().Snapshot()
+		if len(batch) <= threshold || iter >= maxIter {
+			break
+		}
+	}
+
+	// Stop-and-copy: pause the guest, send the remaining dirty pages
+	// plus any problematic pages, then the vCPU/device state record.
+	pauseStart := clock.Now()
+	vm.Pause()
+	final := batch
+	if len(problematic) > 0 {
+		final = appendProblematic(final, problematic)
+		res.ProblematicResent = len(problematic)
+	}
+	if _, err := transferBatch(vm, dst, final, cfg.Mode, false, threads, costs, cfg.Link, &res); err != nil {
+		return res, err
+	}
+	clock.Sleep(costs.StateRecord)
+	state, err := vm.CaptureState()
+	if err != nil {
+		return res, fmt.Errorf("migration: capture: %w", err)
+	}
+	res.FinalState = state
+	res.Downtime = clock.Since(pauseStart)
+	res.Duration = clock.Since(start)
+	return res, nil
+}
+
+// transferBatch accounts the cost of sending one batch of pages and
+// copies their content to the destination. The cost model follows
+// DESIGN.md §5:
+//
+//	scan:  totalPages × ScanPerPage, divided across threads
+//	cpu:   n × MigratePerPage — serial on the initial full pass (pages
+//	       unattributed to vCPUs) and under ModeXen; divided across
+//	       threads on HERE's ring-driven iterations
+//	net:   link transfer of n pages with `threads` streams
+func transferBatch(vm *hypervisor.VM, dst *memory.GuestMemory, pages []memory.PageNum,
+	mode Mode, initialPass bool, threads int, costs hypervisor.CostModel,
+	link *simnet.Link, res *Result) (time.Duration, error) {
+
+	clock := vm.Hypervisor().Clock()
+	begin := clock.Now()
+	n := len(pages)
+
+	scan := time.Duration(int64(costs.ScanPerPage) * int64(vm.Memory().NumPages()))
+	cpu := time.Duration(int64(costs.MigratePerPage) * int64(n))
+	if mode == ModeHERE {
+		scan /= time.Duration(threads)
+		if !initialPass {
+			// Ring-driven iterations parallelize the per-page work,
+			// but a share of it (grant mapping through the privileged
+			// interface) stays serialized in the hypervisor.
+			const serialShare = 0.30
+			cpu = time.Duration(float64(cpu)*serialShare +
+				float64(cpu)*(1-serialShare)/float64(threads))
+		}
+	}
+	clock.Sleep(scan + cpu)
+
+	if n > 0 {
+		if _, err := link.Transfer(int64(n)*memory.PageSize, threads); err != nil {
+			return 0, fmt.Errorf("migration: %w", err)
+		}
+		if err := vm.Memory().CopyPagesTo(pages, dst); err != nil {
+			return 0, fmt.Errorf("migration: %w", err)
+		}
+		res.PagesSent += int64(n)
+		res.BytesSent += int64(n) * memory.PageSize
+	}
+	return clock.Since(begin), nil
+}
+
+// collectProblematic drains every vCPU's PML ring and counts pages
+// that appear in more than one ring since the last drain.
+func collectProblematic(vm *hypervisor.VM, problematic map[memory.PageNum]int) {
+	owner := make(map[memory.PageNum]int)
+	for v := 0; v < vm.NumVCPUs(); v++ {
+		ring := vm.Tracker().Ring(v)
+		if ring == nil {
+			continue
+		}
+		pages, overflowed := ring.Drain()
+		if overflowed {
+			// Ring overflow loses attribution; the shared bitmap still
+			// has the pages, so correctness is unaffected — we only
+			// lose the ability to flag problematic pages this round.
+			continue
+		}
+		for _, p := range pages {
+			if prev, ok := owner[p]; ok && prev != v {
+				problematic[p]++
+			}
+			owner[p] = v
+		}
+	}
+}
+
+func appendProblematic(batch []memory.PageNum, problematic map[memory.PageNum]int) []memory.PageNum {
+	seen := make(map[memory.PageNum]bool, len(batch))
+	for _, p := range batch {
+		seen[p] = true
+	}
+	for p := range problematic {
+		if !seen[p] {
+			batch = append(batch, p)
+		}
+	}
+	return batch
+}

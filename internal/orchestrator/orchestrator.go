@@ -1,0 +1,462 @@
+// Package orchestrator manages a fleet of hypervisor hosts the way
+// the paper envisions HERE deployed in data centers (§7.7): it places
+// protected VMs on heterogeneous host pairs, keeps them replicating,
+// watches heartbeats, and on a primary failure automatically activates
+// the replica and re-protects it onto a new, again-heterogeneous
+// secondary — the control-plane role OpenStack/libvirt would play.
+package orchestrator
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/here-ft/here/internal/arch"
+	"github.com/here-ft/here/internal/failover"
+	"github.com/here-ft/here/internal/hypervisor"
+	"github.com/here-ft/here/internal/period"
+	"github.com/here-ft/here/internal/replication"
+	"github.com/here-ft/here/internal/simnet"
+	"github.com/here-ft/here/internal/translate"
+	"github.com/here-ft/here/internal/vclock"
+	"github.com/here-ft/here/internal/workload"
+)
+
+// Errors reported by the orchestrator.
+var (
+	ErrNoHost          = errors.New("orchestrator: no healthy host available")
+	ErrNoHeterogeneous = errors.New("orchestrator: no healthy host of a different hypervisor kind")
+	ErrUnknownVM       = errors.New("orchestrator: unknown protected vm")
+	ErrServiceLost     = errors.New("orchestrator: both hosts failed; service lost")
+)
+
+// EventKind classifies fleet events.
+type EventKind string
+
+// Fleet events.
+const (
+	EventProtected     EventKind = "protected"
+	EventFailureFound  EventKind = "failure-detected"
+	EventFailedOver    EventKind = "failed-over"
+	EventReprotected   EventKind = "re-protected"
+	EventSecondaryLost EventKind = "secondary-failed"
+	EventUnprotected   EventKind = "running-unprotected"
+	EventServiceLost   EventKind = "service-lost"
+)
+
+// Event is one fleet-level occurrence.
+type Event struct {
+	Time   time.Time
+	Kind   EventKind
+	VM     string
+	Detail string
+}
+
+// Config parameterizes the orchestrator.
+type Config struct {
+	// Clock drives the fleet; required, and every added host must
+	// share it.
+	Clock vclock.Clock
+	// Link is the replication interconnect configuration used between
+	// host pairs (default: Omni-Path 100).
+	Link simnet.LinkConfig
+	// HeartbeatInterval and HeartbeatTimeout tune failure detection.
+	HeartbeatInterval, HeartbeatTimeout time.Duration
+	// DegradationBudget and MaxPeriod configure each protection's
+	// dynamic period controller (defaults 0.3 / 25 s).
+	DegradationBudget float64
+	MaxPeriod         time.Duration
+}
+
+// VMSpec describes a VM to protect.
+type VMSpec struct {
+	Name        string
+	MemoryBytes uint64
+	VCPUs       int
+	Workload    workload.Workload // optional guest activity
+}
+
+// Protection is one VM under orchestration.
+type Protection struct {
+	Name       string
+	Generation int // bumped at every failover
+
+	vm        *hypervisor.VM
+	rep       *replication.Replicator
+	mon       *failover.Monitor
+	primary   hypervisor.Hypervisor
+	secondary hypervisor.Hypervisor
+	wl        workload.Workload
+	lost      bool
+}
+
+// VM returns the currently active VM of the protection.
+func (p *Protection) VM() *hypervisor.VM { return p.vm }
+
+// Primary returns the host currently running the VM.
+func (p *Protection) Primary() hypervisor.Hypervisor { return p.primary }
+
+// Secondary returns the host holding the replica.
+func (p *Protection) Secondary() hypervisor.Hypervisor { return p.secondary }
+
+// Lost reports whether the service was lost (no host left to run it).
+func (p *Protection) Lost() bool { return p.lost }
+
+// Manager orchestrates a host fleet. It is safe for concurrent use.
+type Manager struct {
+	cfg Config
+
+	mu     sync.Mutex
+	hosts  []*hypervisor.Host
+	links  map[string]*simnet.Link // "hostA->hostB"
+	prots  map[string]*Protection
+	events []Event
+}
+
+// New returns an empty fleet manager.
+func New(cfg Config) (*Manager, error) {
+	if cfg.Clock == nil {
+		return nil, errors.New("orchestrator: nil clock")
+	}
+	if cfg.Link.BytesPerSec == 0 {
+		cfg.Link = simnet.OmniPath100()
+	}
+	if cfg.DegradationBudget == 0 {
+		cfg.DegradationBudget = 0.3
+	}
+	if cfg.MaxPeriod == 0 {
+		cfg.MaxPeriod = 25 * time.Second
+	}
+	return &Manager{
+		cfg:   cfg,
+		links: make(map[string]*simnet.Link),
+		prots: make(map[string]*Protection),
+	}, nil
+}
+
+// AddHost registers a host with the fleet.
+func (m *Manager) AddHost(h *hypervisor.Host) error {
+	if h == nil {
+		return errors.New("orchestrator: nil host")
+	}
+	if h.Clock() != m.cfg.Clock {
+		return fmt.Errorf("orchestrator: host %q runs on a different clock", h.HostName())
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, existing := range m.hosts {
+		if existing.HostName() == h.HostName() {
+			return fmt.Errorf("orchestrator: host %q already registered", h.HostName())
+		}
+	}
+	m.hosts = append(m.hosts, h)
+	return nil
+}
+
+// Hosts lists registered host names, sorted.
+func (m *Manager) Hosts() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	names := make([]string, 0, len(m.hosts))
+	for _, h := range m.hosts {
+		names = append(names, h.HostName())
+	}
+	sort.Strings(names)
+	return names
+}
+
+// pickPrimary chooses the healthy host with the fewest VMs.
+func (m *Manager) pickPrimary() (*hypervisor.Host, error) {
+	var best *hypervisor.Host
+	for _, h := range m.hosts {
+		if h.Health() != hypervisor.Healthy {
+			continue
+		}
+		if best == nil || len(h.VMs()) < len(best.VMs()) {
+			best = h
+		}
+	}
+	if best == nil {
+		return nil, ErrNoHost
+	}
+	return best, nil
+}
+
+// pickSecondary chooses a healthy host of a different hypervisor kind
+// than the primary — the heterogeneity guarantee.
+func (m *Manager) pickSecondary(primary hypervisor.Hypervisor) (*hypervisor.Host, error) {
+	var best *hypervisor.Host
+	for _, h := range m.hosts {
+		if h.Health() != hypervisor.Healthy || h == primary {
+			continue
+		}
+		if h.Kind() == primary.Kind() {
+			continue
+		}
+		if best == nil || len(h.VMs()) < len(best.VMs()) {
+			best = h
+		}
+	}
+	if best == nil {
+		return nil, ErrNoHeterogeneous
+	}
+	return best, nil
+}
+
+func (m *Manager) linkBetween(a, b hypervisor.Hypervisor) (*simnet.Link, error) {
+	key := a.HostName() + "->" + b.HostName()
+	if l, ok := m.links[key]; ok {
+		return l, nil
+	}
+	l, err := simnet.NewLink(m.cfg.Link, m.cfg.Clock)
+	if err != nil {
+		return nil, err
+	}
+	m.links[key] = l
+	return l, nil
+}
+
+func (m *Manager) record(kind EventKind, vm, detail string) {
+	m.events = append(m.events, Event{
+		Time: m.cfg.Clock.Now(), Kind: kind, VM: vm, Detail: detail,
+	})
+}
+
+// Events returns a copy of the fleet event log.
+func (m *Manager) Events() []Event {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]Event(nil), m.events...)
+}
+
+// Protect boots spec on the best primary, pairs it with a
+// heterogeneous secondary, seeds replication and registers the
+// protection.
+func (m *Manager) Protect(spec VMSpec) (*Protection, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.prots[spec.Name]; ok {
+		return nil, fmt.Errorf("orchestrator: vm %q already protected", spec.Name)
+	}
+	primary, err := m.pickPrimary()
+	if err != nil {
+		return nil, err
+	}
+	secondary, err := m.pickSecondary(primary)
+	if err != nil {
+		return nil, err
+	}
+	vm, err := primary.CreateVM(hypervisor.VMConfig{
+		Name:     spec.Name,
+		MemBytes: spec.MemoryBytes,
+		VCPUs:    spec.VCPUs,
+		Features: translate.CompatibleFeatures(primary, secondary),
+		Devices: []hypervisor.DeviceSpec{
+			{Class: arch.DeviceNet, ID: "net0", MAC: "52:54:00:48:45:52"},
+			{Class: arch.DeviceConsole, ID: "con0"},
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	prot := &Protection{Name: spec.Name, vm: vm, wl: spec.Workload}
+	if err := m.wire(prot, primary, secondary); err != nil {
+		return nil, err
+	}
+	m.prots[spec.Name] = prot
+	m.record(EventProtected, spec.Name,
+		fmt.Sprintf("%s (%s) -> %s (%s)", primary.HostName(), primary.Product(),
+			secondary.HostName(), secondary.Product()))
+	return prot, nil
+}
+
+// wire builds the replicator and monitor for prot on the given pair
+// and seeds it. Caller holds m.mu.
+func (m *Manager) wire(prot *Protection, primary, secondary *hypervisor.Host) error {
+	link, err := m.linkBetween(primary, secondary)
+	if err != nil {
+		return err
+	}
+	pm, err := period.New(period.Config{
+		D: m.cfg.DegradationBudget, Tmax: m.cfg.MaxPeriod,
+	})
+	if err != nil {
+		return err
+	}
+	rep, err := replication.New(prot.vm, secondary, replication.Config{
+		Engine:        replication.EngineHERE,
+		Link:          link,
+		PeriodManager: pm,
+		Workload:      prot.wl,
+	})
+	if err != nil {
+		return err
+	}
+	if _, err := rep.Seed(); err != nil {
+		return err
+	}
+	mon, err := failover.NewMonitor(primary, m.cfg.HeartbeatInterval, m.cfg.HeartbeatTimeout)
+	if err != nil {
+		return err
+	}
+	prot.rep = rep
+	prot.mon = mon
+	prot.primary = primary
+	prot.secondary = secondary
+	return nil
+}
+
+// Lookup returns a protection by VM name.
+func (m *Manager) Lookup(name string) (*Protection, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p, ok := m.prots[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownVM, name)
+	}
+	return p, nil
+}
+
+// Protections lists protected VM names, sorted.
+func (m *Manager) Protections() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	names := make([]string, 0, len(m.prots))
+	for n := range m.prots {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Tick advances the fleet by one orchestration round: every healthy
+// protection runs one replication cycle; failed primaries are detected
+// and failed over, and survivors are re-protected onto a new
+// heterogeneous secondary when one exists.
+func (m *Manager) Tick() error {
+	m.mu.Lock()
+	prots := make([]*Protection, 0, len(m.prots))
+	for _, p := range m.prots {
+		prots = append(prots, p)
+	}
+	m.mu.Unlock()
+	sort.Slice(prots, func(i, j int) bool { return prots[i].Name < prots[j].Name })
+
+	var firstErr error
+	for _, p := range prots {
+		if err := m.tickOne(p); err != nil && firstErr == nil &&
+			!errors.Is(err, ErrServiceLost) && !errors.Is(err, ErrNoHeterogeneous) {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+func (m *Manager) tickOne(p *Protection) error {
+	if p.lost {
+		return nil
+	}
+	if p.primary.Health() == hypervisor.Healthy {
+		// A dead secondary means the replica is gone: drop the stale
+		// replication session and find a new heterogeneous partner.
+		if p.secondary != nil && p.secondary.Health() != hypervisor.Healthy {
+			m.dropSecondary(p)
+		}
+		if p.rep == nil {
+			// Running unprotected (no secondary was available); try to
+			// find one now.
+			return m.tryReprotect(p)
+		}
+		if _, err := p.rep.RunCycle(); err != nil {
+			switch {
+			case errors.Is(err, replication.ErrPrimaryDown):
+				return m.handleFailure(p)
+			case errors.Is(err, replication.ErrSecondaryDown):
+				m.dropSecondary(p)
+				return m.tryReprotect(p)
+			default:
+				return fmt.Errorf("orchestrator: vm %q: %w", p.Name, err)
+			}
+		}
+		return nil
+	}
+	return m.handleFailure(p)
+}
+
+// dropSecondary abandons a replication session whose replica host
+// died; the VM keeps running on the primary, unprotected until
+// re-pairing succeeds.
+func (m *Manager) dropSecondary(p *Protection) {
+	m.mu.Lock()
+	m.record(EventSecondaryLost, p.Name, p.secondary.HostName())
+	m.mu.Unlock()
+	p.secondary = nil
+	p.rep = nil
+	p.mon = nil
+}
+
+// handleFailure detects the failure via the heartbeat monitor, fails
+// over to the secondary and re-protects.
+func (m *Manager) handleFailure(p *Protection) error {
+	if p.rep == nil || p.secondary == nil ||
+		p.secondary.Health() != hypervisor.Healthy {
+		p.lost = true
+		m.mu.Lock()
+		m.record(EventServiceLost, p.Name, "no healthy replica host")
+		m.mu.Unlock()
+		return ErrServiceLost
+	}
+	detect, err := p.mon.WaitForFailure(0)
+	if err != nil {
+		return fmt.Errorf("orchestrator: vm %q: %w", p.Name, err)
+	}
+	m.mu.Lock()
+	m.record(EventFailureFound, p.Name,
+		fmt.Sprintf("%s %s (detected in %v)", p.primary.HostName(),
+			p.primary.Health(), detect))
+	m.mu.Unlock()
+
+	p.Generation++
+	res, err := failover.Activate(p.rep, fmt.Sprintf("%s-g%d", p.Name, p.Generation), nil)
+	if err != nil {
+		return fmt.Errorf("orchestrator: vm %q failover: %w", p.Name, err)
+	}
+	m.mu.Lock()
+	m.record(EventFailedOver, p.Name,
+		fmt.Sprintf("resumed on %s in %v", p.secondary.HostName(), res.ResumeTime))
+	newPrimary := p.secondary
+	p.vm = res.VM
+	p.primary = newPrimary
+	p.secondary = nil
+	p.rep = nil
+	p.mon = nil
+	m.mu.Unlock()
+	return m.tryReprotect(p)
+}
+
+// tryReprotect pairs an unprotected VM with a fresh heterogeneous
+// secondary and seeds replication again.
+func (m *Manager) tryReprotect(p *Protection) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	primary, ok := p.primary.(*hypervisor.Host)
+	if !ok {
+		return fmt.Errorf("orchestrator: vm %q: unexpected host type", p.Name)
+	}
+	secondary, err := m.pickSecondary(primary)
+	if err != nil {
+		if p.rep == nil {
+			m.record(EventUnprotected, p.Name, err.Error())
+		}
+		return err
+	}
+	if err := m.wire(p, primary, secondary); err != nil {
+		return err
+	}
+	m.record(EventReprotected, p.Name,
+		fmt.Sprintf("%s (%s) -> %s (%s)", primary.HostName(), primary.Product(),
+			secondary.HostName(), secondary.Product()))
+	return nil
+}

@@ -1,0 +1,94 @@
+package period
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// AdaptiveRemus implements the Adaptive Remus policy (Da Silva et al.,
+// 2017) that the paper contrasts with HERE's controller in §5.4:
+// exactly two period settings — a default period, and a lower period
+// enabled while I/O activity is detected in the VM. The key idea is
+// that a shorter checkpoint interval shortens the buffering time of
+// outgoing traffic, speeding up service delivery for I/O workloads.
+//
+// Unlike HERE's Algorithm 1 it has no degradation budget: it reacts
+// only to I/O, never to memory load, so it cannot bound replication
+// overhead under write-heavy workloads — the limitation HERE's
+// dynamic manager addresses.
+//
+// AdaptiveRemus is safe for concurrent use.
+type AdaptiveRemus struct {
+	defaultT time.Duration
+	ioT      time.Duration
+	// idleAfter is how many consecutive quiet checkpoints switch back
+	// to the default period.
+	idleAfter int
+
+	mu      sync.Mutex
+	ioSeen  bool
+	quiet   int
+	current time.Duration
+}
+
+// DefaultIdleAfter is the number of quiet checkpoints before Adaptive
+// Remus returns to its default period.
+const DefaultIdleAfter = 3
+
+// NewAdaptiveRemus returns the two-level policy with the given default
+// and I/O-active periods.
+func NewAdaptiveRemus(defaultPeriod, ioPeriod time.Duration) (*AdaptiveRemus, error) {
+	if defaultPeriod <= 0 || ioPeriod <= 0 {
+		return nil, fmt.Errorf("%w: periods must be positive (default %v, io %v)",
+			ErrBadConfig, defaultPeriod, ioPeriod)
+	}
+	if ioPeriod >= defaultPeriod {
+		return nil, fmt.Errorf("%w: io period %v must be below the default %v",
+			ErrBadConfig, ioPeriod, defaultPeriod)
+	}
+	return &AdaptiveRemus{
+		defaultT:  defaultPeriod,
+		ioT:       ioPeriod,
+		idleAfter: DefaultIdleAfter,
+		current:   defaultPeriod,
+	}, nil
+}
+
+// Period reports the interval for the next cycle.
+func (a *AdaptiveRemus) Period() time.Duration {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.current
+}
+
+// RecordIO notes outgoing traffic observed during the last epoch; any
+// traffic switches the policy to its low period.
+func (a *AdaptiveRemus) RecordIO(packets int) {
+	if packets <= 0 {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.ioSeen = true
+}
+
+// Observe implements the replication engine's period policy hook. The
+// pause duration itself is ignored — Adaptive Remus adapts to I/O
+// presence, not to load.
+func (a *AdaptiveRemus) Observe(pause time.Duration) (degradation float64, next time.Duration) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	degradation = Degradation(pause, a.current)
+	if a.ioSeen {
+		a.current = a.ioT
+		a.quiet = 0
+		a.ioSeen = false
+	} else {
+		a.quiet++
+		if a.quiet >= a.idleAfter {
+			a.current = a.defaultT
+		}
+	}
+	return degradation, a.current
+}

@@ -1,0 +1,63 @@
+// Package qemukvm simulates the hypervisor pairing the paper
+// deliberately rejected (§8.2): KVM with QEMU as the userspace device
+// model. It is functionally equivalent to the kvmtool-based host —
+// same virtio devices, same save format, same costs — but its code
+// base includes QEMU, which Xen HVM deployments also use for device
+// emulation. A single QEMU device-model vulnerability (the paper
+// cites CVE-2015-3456, "VENOM") therefore takes down BOTH sides of a
+// Xen → QEMU-KVM pair, defeating the purpose of heterogeneous
+// replication. HERE pairs Xen with kvmtool instead; this package
+// exists to demonstrate why, end to end.
+package qemukvm
+
+import (
+	"github.com/here-ft/here/internal/arch"
+	"github.com/here-ft/here/internal/hypervisor"
+	"github.com/here-ft/here/internal/kvm"
+	"github.com/here-ft/here/internal/vclock"
+)
+
+// Product is the simulated product string. exploit.ProductOf
+// recognizes the "QEMU" substring and attributes QEMU component
+// vulnerabilities to hosts running it.
+const Product = "QEMU-KVM 6.2"
+
+// New returns a host machine running KVM with the QEMU device model.
+func New(hostName string, clock vclock.Clock) (*hypervisor.Host, error) {
+	return hypervisor.NewHost(flavor{base: kvm.Flavor()}, hostName, clock)
+}
+
+// flavor behaves exactly like the kvmtool flavor except for its
+// product identity — the vulnerability-surface difference is the
+// entire point.
+type flavor struct {
+	base hypervisor.Flavor
+}
+
+var _ hypervisor.Flavor = flavor{}
+
+func (f flavor) Kind() hypervisor.Kind     { return f.base.Kind() }
+func (f flavor) Product() string           { return Product }
+func (f flavor) Features() arch.FeatureSet { return f.base.Features() }
+
+func (f flavor) DeviceModel(class arch.DeviceClass) (string, error) {
+	return f.base.DeviceModel(class)
+}
+
+func (f flavor) Costs() hypervisor.CostModel { return f.base.Costs() }
+
+func (f flavor) NewMachineState(cfg hypervisor.VMConfig) (arch.MachineState, error) {
+	return f.base.NewMachineState(cfg)
+}
+
+func (f flavor) ValidateNative(st arch.MachineState) error {
+	return f.base.ValidateNative(st)
+}
+
+func (f flavor) EncodeState(st arch.MachineState) ([]byte, error) {
+	return f.base.EncodeState(st)
+}
+
+func (f flavor) DecodeState(b []byte) (arch.MachineState, error) {
+	return f.base.DecodeState(b)
+}

@@ -1,0 +1,171 @@
+// Package simnet models the replication interconnect between the
+// primary and secondary hosts.
+//
+// The paper's testbed uses a dedicated 100 Gb Omni-Path link for
+// replication and a 10 GbE adapter for VM traffic (Table 3). Here a
+// Link computes transfer durations analytically from its bandwidth,
+// latency and a multi-stream efficiency model, and accounts them on a
+// vclock.Clock, so experiments with terabytes of simulated traffic run
+// instantly.
+//
+// The stream model captures the paper's core observation about
+// single-threaded Remus: one sender thread cannot saturate a modern
+// adapter (§1, "Optimized multithreaded replication"). A transfer with
+// k streams achieves min(1, k·SingleStreamShare) of the link rate.
+package simnet
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/here-ft/here/internal/vclock"
+)
+
+// ErrLinkDown is returned by Transfer when the link has failed.
+var ErrLinkDown = errors.New("simnet: link is down")
+
+// LinkConfig describes a point-to-point link.
+type LinkConfig struct {
+	// Name identifies the link in logs and errors.
+	Name string
+	// BytesPerSec is the aggregate link bandwidth.
+	BytesPerSec float64
+	// Latency is the one-way propagation delay added to each transfer.
+	Latency time.Duration
+	// SingleStreamShare is the fraction of the link one stream can
+	// drive. k streams achieve min(1, k·SingleStreamShare).
+	SingleStreamShare float64
+}
+
+// OmniPath100 returns the replication interconnect of the paper's
+// testbed: Intel Omni-Path HFI 100 (100 Gb/s).
+func OmniPath100() LinkConfig {
+	return LinkConfig{
+		Name:              "omni-path-100",
+		BytesPerSec:       100e9 / 8,
+		Latency:           2 * time.Microsecond,
+		SingleStreamShare: 0.30,
+	}
+}
+
+// TenGbE returns the client-facing adapter of the paper's testbed:
+// Intel X710 10 GbE.
+func TenGbE() LinkConfig {
+	return LinkConfig{
+		Name:              "10gbe",
+		BytesPerSec:       10e9 / 8,
+		Latency:           30 * time.Microsecond,
+		SingleStreamShare: 0.60,
+	}
+}
+
+// GigE returns a commodity 1 GbE link — the kind of constrained
+// replication path (e.g. cross-site) where checkpoint compression
+// pays for its CPU cost.
+func GigE() LinkConfig {
+	return LinkConfig{
+		Name:              "1gbe",
+		BytesPerSec:       1e9 / 8,
+		Latency:           100 * time.Microsecond,
+		SingleStreamShare: 0.80,
+	}
+}
+
+// Link is a point-to-point link with failure injection. It is safe for
+// concurrent use.
+type Link struct {
+	cfg   LinkConfig
+	clock vclock.Clock
+
+	mu       sync.Mutex
+	down     bool
+	sentB    int64
+	nXfers   int64
+	busyTime time.Duration
+}
+
+// NewLink returns a link timed against clock.
+func NewLink(cfg LinkConfig, clock vclock.Clock) (*Link, error) {
+	if cfg.BytesPerSec <= 0 {
+		return nil, fmt.Errorf("link %q: bandwidth must be positive, got %v", cfg.Name, cfg.BytesPerSec)
+	}
+	if cfg.SingleStreamShare <= 0 || cfg.SingleStreamShare > 1 {
+		return nil, fmt.Errorf("link %q: single-stream share must be in (0,1], got %v",
+			cfg.Name, cfg.SingleStreamShare)
+	}
+	if clock == nil {
+		return nil, fmt.Errorf("link %q: nil clock", cfg.Name)
+	}
+	return &Link{cfg: cfg, clock: clock}, nil
+}
+
+// Config returns the link configuration.
+func (l *Link) Config() LinkConfig { return l.cfg }
+
+// EffectiveRate reports the achievable throughput with the given number
+// of concurrent streams.
+func (l *Link) EffectiveRate(streams int) float64 {
+	if streams < 1 {
+		streams = 1
+	}
+	share := float64(streams) * l.cfg.SingleStreamShare
+	if share > 1 {
+		share = 1
+	}
+	return l.cfg.BytesPerSec * share
+}
+
+// TransferTime reports how long sending the given bytes with the given
+// stream count takes, without performing the transfer.
+func (l *Link) TransferTime(bytes int64, streams int) time.Duration {
+	if bytes <= 0 {
+		return l.cfg.Latency
+	}
+	secs := float64(bytes) / l.EffectiveRate(streams)
+	return l.cfg.Latency + time.Duration(secs*float64(time.Second))
+}
+
+// Transfer accounts a transfer of the given size on the clock and
+// returns its duration. It fails if the link is down.
+func (l *Link) Transfer(bytes int64, streams int) (time.Duration, error) {
+	l.mu.Lock()
+	if l.down {
+		l.mu.Unlock()
+		return 0, fmt.Errorf("link %q: %w", l.cfg.Name, ErrLinkDown)
+	}
+	l.mu.Unlock()
+
+	d := l.TransferTime(bytes, streams)
+	l.clock.Sleep(d)
+
+	l.mu.Lock()
+	l.sentB += bytes
+	l.nXfers++
+	l.busyTime += d
+	l.mu.Unlock()
+	return d, nil
+}
+
+// SetDown marks the link failed (true) or healthy (false).
+func (l *Link) SetDown(down bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.down = down
+}
+
+// Down reports whether the link is failed.
+func (l *Link) Down() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.down
+}
+
+// Stats reports total bytes sent, number of transfers and cumulative
+// busy time on the link.
+func (l *Link) Stats() (bytes int64, transfers int64, busy time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.sentB, l.nXfers, l.busyTime
+}

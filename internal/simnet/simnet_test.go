@@ -1,0 +1,165 @@
+package simnet
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/here-ft/here/internal/vclock"
+)
+
+func newTestLink(t *testing.T, cfg LinkConfig, clk vclock.Clock) *Link {
+	t.Helper()
+	l, err := NewLink(cfg, clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestNewLinkValidation(t *testing.T) {
+	clk := vclock.NewSim()
+	bad := []LinkConfig{
+		{Name: "no-bw", BytesPerSec: 0, SingleStreamShare: 0.5},
+		{Name: "neg-bw", BytesPerSec: -1, SingleStreamShare: 0.5},
+		{Name: "zero-share", BytesPerSec: 1e9, SingleStreamShare: 0},
+		{Name: "big-share", BytesPerSec: 1e9, SingleStreamShare: 1.5},
+	}
+	for _, cfg := range bad {
+		if _, err := NewLink(cfg, clk); err == nil {
+			t.Errorf("config %q accepted", cfg.Name)
+		}
+	}
+	if _, err := NewLink(OmniPath100(), nil); err == nil {
+		t.Error("nil clock accepted")
+	}
+}
+
+func TestEffectiveRateSaturates(t *testing.T) {
+	clk := vclock.NewSim()
+	l := newTestLink(t, LinkConfig{Name: "l", BytesPerSec: 1000, SingleStreamShare: 0.25}, clk)
+	if got := l.EffectiveRate(1); got != 250 {
+		t.Fatalf("1 stream rate = %v, want 250", got)
+	}
+	if got := l.EffectiveRate(2); got != 500 {
+		t.Fatalf("2 stream rate = %v, want 500", got)
+	}
+	if got := l.EffectiveRate(4); got != 1000 {
+		t.Fatalf("4 stream rate = %v, want 1000", got)
+	}
+	if got := l.EffectiveRate(16); got != 1000 {
+		t.Fatalf("16 stream rate = %v, want saturated 1000", got)
+	}
+	if got := l.EffectiveRate(0); got != 250 {
+		t.Fatalf("0 streams must clamp to 1: got %v", got)
+	}
+}
+
+func TestTransferAdvancesClock(t *testing.T) {
+	clk := vclock.NewSim()
+	l := newTestLink(t, LinkConfig{
+		Name: "l", BytesPerSec: 1 << 20, Latency: time.Millisecond, SingleStreamShare: 1,
+	}, clk)
+	d, err := l.Transfer(1<<20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := time.Second + time.Millisecond
+	if d != want {
+		t.Fatalf("duration = %v, want %v", d, want)
+	}
+	if clk.Elapsed() != want {
+		t.Fatalf("clock advanced %v, want %v", clk.Elapsed(), want)
+	}
+}
+
+func TestTransferZeroBytesCostsLatencyOnly(t *testing.T) {
+	clk := vclock.NewSim()
+	l := newTestLink(t, LinkConfig{
+		Name: "l", BytesPerSec: 1e9, Latency: 5 * time.Microsecond, SingleStreamShare: 1,
+	}, clk)
+	d, err := l.Transfer(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 5*time.Microsecond {
+		t.Fatalf("zero-byte transfer = %v, want latency only", d)
+	}
+}
+
+func TestLinkDown(t *testing.T) {
+	clk := vclock.NewSim()
+	l := newTestLink(t, OmniPath100(), clk)
+	l.SetDown(true)
+	if !l.Down() {
+		t.Fatal("Down not reported")
+	}
+	if _, err := l.Transfer(100, 1); !errors.Is(err, ErrLinkDown) {
+		t.Fatalf("transfer on down link: err = %v, want ErrLinkDown", err)
+	}
+	l.SetDown(false)
+	if _, err := l.Transfer(100, 1); err != nil {
+		t.Fatalf("transfer after heal: %v", err)
+	}
+}
+
+func TestLinkStats(t *testing.T) {
+	clk := vclock.NewSim()
+	l := newTestLink(t, OmniPath100(), clk)
+	if _, err := l.Transfer(1000, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Transfer(2000, 2); err != nil {
+		t.Fatal(err)
+	}
+	bytes, n, busy := l.Stats()
+	if bytes != 3000 || n != 2 || busy <= 0 {
+		t.Fatalf("Stats = (%d, %d, %v)", bytes, n, busy)
+	}
+}
+
+// Property: more streams never slow a transfer down; more bytes never
+// speed it up.
+func TestTransferTimeMonotonicity(t *testing.T) {
+	clk := vclock.NewSim()
+	l := newTestLink(t, OmniPath100(), clk)
+	f := func(bytes uint32, s1, s2 uint8) bool {
+		a, b := int(s1%16)+1, int(s2%16)+1
+		if a > b {
+			a, b = b, a
+		}
+		if l.TransferTime(int64(bytes), b) > l.TransferTime(int64(bytes), a) {
+			return false
+		}
+		return l.TransferTime(int64(bytes)+1000, a) >= l.TransferTime(int64(bytes), a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPresetsShapedLikeTestbed(t *testing.T) {
+	op := OmniPath100()
+	ge := TenGbE()
+	if op.BytesPerSec <= ge.BytesPerSec {
+		t.Fatal("Omni-Path must be faster than 10GbE")
+	}
+	// A single stream must not saturate the replication link — that is
+	// the premise of HERE's multithreaded transfer.
+	if op.SingleStreamShare >= 1 {
+		t.Fatal("single stream saturates Omni-Path; multithreading would be pointless")
+	}
+}
+
+func TestPresetTransferScale(t *testing.T) {
+	// 20 GB over saturated Omni-Path should take ~1.6 s — the right
+	// order of magnitude for Fig 6's tens-of-seconds migrations once
+	// CPU-side costs are added by the engines.
+	clk := vclock.NewSim()
+	l := newTestLink(t, OmniPath100(), clk)
+	d := l.TransferTime(20<<30, 8)
+	if d < time.Second || d > 5*time.Second {
+		t.Fatalf("20 GB saturated transfer = %v, want ~1.7s", d)
+	}
+}

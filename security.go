@@ -1,0 +1,73 @@
+package here
+
+import (
+	"github.com/here-ft/here/internal/exploit"
+	"github.com/here-ft/here/internal/vulns"
+)
+
+// Security-analysis surface: the vulnerability study behind the
+// paper's Tables 1/2/5 and the DoS exploit injection used to
+// demonstrate heterogeneous replication's robustness (§6, §8.2).
+type (
+	// CVE is one (synthesized) vulnerability record.
+	CVE = vulns.CVE
+	// Product is a virtualization product of the study.
+	Product = vulns.Product
+	// Exploit is a weaponized DoS vulnerability.
+	Exploit = exploit.Exploit
+	// ExploitOutcome reports what launching an exploit did.
+	ExploitOutcome = exploit.Outcome
+	// CampaignResult summarizes an attack campaign against a pair.
+	CampaignResult = exploit.CampaignResult
+)
+
+// Products of the vulnerability study (Table 1), plus the QEMU-KVM
+// deployment (affected by both KVM and QEMU component CVEs).
+const (
+	ProductXen     = vulns.Xen
+	ProductKVM     = vulns.KVM
+	ProductQEMU    = vulns.QEMU
+	ProductESXi    = vulns.ESXi
+	ProductHyperV  = vulns.HyperV
+	ProductQEMUKVM = vulns.QEMUKVM
+)
+
+// Exploit launch outcomes.
+const (
+	ExploitSucceeded     = exploit.Succeeded
+	ExploitNotVulnerable = exploit.NotVulnerable
+	ExploitAlreadyDown   = exploit.AlreadyDown
+)
+
+// VulnerabilityDataset returns the synthesized CVE dataset whose
+// aggregate statistics reproduce the paper's Table 1 and Table 5.
+func VulnerabilityDataset() []CVE { return vulns.Dataset() }
+
+// NewExploit weaponizes a DoS-only CVE.
+func NewExploit(cve CVE) (Exploit, error) { return exploit.New(cve) }
+
+// NewMitigatedExploit weaponizes a non-DoS CVE whose exploitation is
+// downgraded to a crash by an exploit-mitigation mechanism (§6).
+func NewMitigatedExploit(cve CVE) (Exploit, error) { return exploit.NewMitigated(cve) }
+
+// FindDoSExploit returns an exploit for the first DoS-only CVE
+// affecting the given product.
+func FindDoSExploit(p Product) (Exploit, error) {
+	cve, err := exploit.FirstDoS(vulns.Dataset(), p)
+	if err != nil {
+		return Exploit{}, err
+	}
+	return exploit.New(cve)
+}
+
+// RunCampaign launches every exploit against both hosts of a cluster
+// and reports whether the protected service survives (at least one
+// host healthy). Against a homogeneous pair one exploit suffices;
+// against HERE's heterogeneous pair the attacker needs two distinct
+// vulnerabilities at once (§6).
+func RunCampaign(exploits []Exploit, c *Cluster) CampaignResult {
+	return exploit.RunCampaign(exploits, c.primary, c.secondary)
+}
+
+// ProductOf reports the product family of a cluster host.
+func ProductOf(h Hypervisor) Product { return exploit.ProductOf(h) }

@@ -1,0 +1,128 @@
+package here
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/here-ft/here/internal/blockdev"
+	"github.com/here-ft/here/internal/kvstore"
+	"github.com/here-ft/here/internal/memory"
+	"github.com/here-ft/here/internal/sockperf"
+	"github.com/here-ft/here/internal/spec"
+	"github.com/here-ft/here/internal/workload"
+	"github.com/here-ft/here/internal/ycsb"
+)
+
+// Workload surface: constructors for the paper's benchmark workloads
+// (Table 4), usable as ProtectOptions.Workload or via SetWorkload.
+type (
+	// MemoryBench is the write-intensive memory microbenchmark; its
+	// working-set percentage can change mid-run (the Fig 9 staircase).
+	MemoryBench = workload.MemoryBench
+	// CPUKernel is a compute kernel with a fixed dirty-page profile.
+	CPUKernel = workload.CPUKernel
+	// YCSBWorkload drives a YCSB core workload against a key-value
+	// store living in the protected VM's memory.
+	YCSBWorkload = ycsb.Workload
+	// SockperfWorkload is the under-load network latency benchmark.
+	SockperfWorkload = sockperf.Workload
+	// KVStore is the in-guest key-value store (the RocksDB stand-in).
+	KVStore = kvstore.Store
+	// IdleWorkload does nothing.
+	IdleWorkload = workload.Idle
+	// ReplicatedDisk is a PV block device journaled per checkpoint
+	// epoch (see Protected.AttachDisk).
+	ReplicatedDisk = blockdev.ReplicatedDisk
+	// Disk is one side of a replicated disk.
+	Disk = blockdev.Disk
+)
+
+// SPECBenchmark names one of the modeled SPEC CPU 2006 benchmarks.
+type SPECBenchmark = spec.Name
+
+// The four SPEC benchmarks of the paper's Figs 14–16.
+const (
+	SPECGcc       = spec.GCC
+	SPECCactuBSSN = spec.CactuBSSN
+	SPECNamd      = spec.NAMD
+	SPECLbm       = spec.LBM
+)
+
+// NewMemoryBench returns the memory microbenchmark writing over the
+// given percentage of guest memory at writesPerSec page writes per
+// second (0 uses the default rate).
+func NewMemoryBench(percent, writesPerSec float64, seed int64) (*MemoryBench, error) {
+	return workload.NewMemoryBench(percent, writesPerSec, seed)
+}
+
+// NewSPECWorkload returns one of the modeled SPEC benchmarks.
+func NewSPECWorkload(name SPECBenchmark, seed int64) (*CPUKernel, error) {
+	return spec.New(name, seed)
+}
+
+// YCSBKind names a YCSB core workload ("A" through "F").
+type YCSBKind = ycsb.Kind
+
+// YCSBKinds lists the six core workloads.
+func YCSBKinds() []YCSBKind { return ycsb.Kinds() }
+
+// NewYCSBWorkload opens a key-value store inside the VM's guest
+// memory, loads records into it, and returns the YCSB workload bound
+// to it. The store occupies guest memory starting at the second page.
+func NewYCSBWorkload(vm *VM, kind YCSBKind, records int, seed int64) (*YCSBWorkload, *KVStore, error) {
+	if vm == nil {
+		return nil, nil, fmt.Errorf("here: nil vm")
+	}
+	region := uint64(records)*500 + (1 << 20)
+	if max := vm.Memory().SizeBytes() / 2; region > max {
+		region = max
+	}
+	store, err := kvstore.Open(vm, memory.PageSize, region, records/4+16)
+	if err != nil {
+		return nil, nil, fmt.Errorf("here: %w", err)
+	}
+	w, err := ycsb.New(store, ycsb.Config{Kind: kind, RecordCount: records, Seed: seed})
+	if err != nil {
+		return nil, nil, fmt.Errorf("here: %w", err)
+	}
+	if err := w.Load(0); err != nil {
+		return nil, nil, fmt.Errorf("here: %w", err)
+	}
+	return w, store, nil
+}
+
+// AttachKVStore reopens a store previously created by NewYCSBWorkload
+// from a VM's memory — typically the activated replica after failover.
+func AttachKVStore(vm *VM, records int) (*KVStore, error) {
+	region := uint64(records)*500 + (1 << 20)
+	if max := vm.Memory().SizeBytes() / 2; region > max {
+		region = max
+	}
+	return kvstore.Attach(vm, memory.PageSize, region)
+}
+
+// NewSockperfWorkload returns the under-load latency benchmark with
+// the given packet size, wired into the protected VM's I/O buffer.
+func NewSockperfWorkload(p *Protected, packetSize int) (*SockperfWorkload, error) {
+	return sockperf.New(p.rep.IOBuffer(), sockperf.Config{
+		Load: sockperf.Load{Name: fmt.Sprintf("%dB", packetSize), PacketSize: packetSize},
+	})
+}
+
+// LatencyCollector accumulates reply latencies from released packets;
+// use Sink as ProtectOptions.Sink.
+type LatencyCollector = sockperf.Collector
+
+// NewLatencyCollector returns an empty collector.
+func NewLatencyCollector() *LatencyCollector { return sockperf.NewCollector() }
+
+// PageSize is the guest page size in bytes.
+const PageSize = memory.PageSize
+
+// GuestAddr converts a byte offset into a guest physical address.
+func GuestAddr(off uint64) memory.Addr { return memory.Addr(off) }
+
+// SimDuration is a convenience for building durations in examples.
+func SimDuration(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second))
+}

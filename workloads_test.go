@@ -1,0 +1,198 @@
+package here_test
+
+import (
+	"testing"
+	"time"
+
+	here "github.com/here-ft/here"
+	"github.com/here-ft/here/internal/simnet"
+)
+
+func TestWorkloadConstructors(t *testing.T) {
+	cluster, err := here.NewCluster(here.ClusterConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm, err := cluster.CreateProtectedVM(here.VMSpec{
+		Name: "w", MemoryBytes: 64 << 20, VCPUs: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mb, err := here.NewMemoryBench(25, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mb.Step(vm, time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, name := range []here.SPECBenchmark{
+		here.SPECGcc, here.SPECCactuBSSN, here.SPECNamd, here.SPECLbm,
+	} {
+		k, err := here.NewSPECWorkload(name, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if k.Name() != string(name) {
+			t.Fatalf("kernel name = %q", k.Name())
+		}
+	}
+
+	if got := len(here.YCSBKinds()); got != 6 {
+		t.Fatalf("YCSBKinds = %d", got)
+	}
+	w, store, err := here.NewYCSBWorkload(vm, "B", 500, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !w.Loaded() {
+		t.Fatal("ycsb not loaded")
+	}
+	if n, err := store.Len(); err != nil || n != 500 {
+		t.Fatalf("store Len = %d, %v", n, err)
+	}
+	if _, _, err := here.NewYCSBWorkload(nil, "B", 500, 3); err == nil {
+		t.Fatal("nil vm accepted")
+	}
+}
+
+func TestSockperfFacadeAndCollector(t *testing.T) {
+	cluster, err := here.NewCluster(here.ClusterConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm, err := cluster.CreateProtectedVM(here.VMSpec{
+		Name: "s", MemoryBytes: 16 << 20, VCPUs: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	collector := here.NewLatencyCollector()
+	prot, err := cluster.Protect(vm, here.ProtectOptions{
+		FixedPeriod: time.Second,
+		Sink:        collector.Sink,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := here.NewSockperfWorkload(prot, 1400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prot.SetWorkload(w)
+	if _, err := prot.Run(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if collector.Count() == 0 {
+		t.Fatal("no replies collected")
+	}
+	if collector.MeanLatency() <= 0 || collector.Percentile(99) <= 0 {
+		t.Fatal("latency stats empty")
+	}
+	// Latency is bounded by roughly T + pause.
+	if collector.MeanLatency() > 2*time.Second {
+		t.Fatalf("mean latency = %v", collector.MeanLatency())
+	}
+}
+
+func TestFacadeHelpers(t *testing.T) {
+	if here.PageSize != 4096 {
+		t.Fatalf("PageSize = %d", here.PageSize)
+	}
+	if here.GuestAddr(8192).Page() != 2 {
+		t.Fatal("GuestAddr wrong")
+	}
+	if here.SimDuration(1.5) != 1500*time.Millisecond {
+		t.Fatal("SimDuration wrong")
+	}
+}
+
+func TestClusterCustomLink(t *testing.T) {
+	link := simnet.TenGbE()
+	cluster, err := here.NewCluster(here.ClusterConfig{
+		Link:        &link,
+		PrimaryName: "p1", SecondaryName: "s1",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cluster.Primary().HostName() != "p1" || cluster.Secondary().HostName() != "s1" {
+		t.Fatal("host names not applied")
+	}
+	if cluster.Link().Config().Name != "10gbe" {
+		t.Fatalf("link = %q", cluster.Link().Config().Name)
+	}
+	bad := simnet.LinkConfig{Name: "bad"}
+	if _, err := here.NewCluster(here.ClusterConfig{Link: &bad}); err == nil {
+		t.Fatal("invalid link accepted")
+	}
+}
+
+func TestRemusOnHomogeneousCluster(t *testing.T) {
+	cluster, err := here.NewCluster(here.ClusterConfig{Homogeneous: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm, err := cluster.CreateProtectedVM(here.VMSpec{
+		Name: "r", MemoryBytes: 32 << 20, VCPUs: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prot, err := cluster.Protect(vm, here.ProtectOptions{Engine: here.EngineRemus})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prot.Period() != 5*time.Second {
+		t.Fatalf("default Remus period = %v", prot.Period())
+	}
+	if _, err := prot.Run(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Homogeneous failover works too (the classic Remus case).
+	ex, err := here.FindDoSExploit(here.ProductXen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex.Launch(cluster.Primary())
+	res, err := prot.Failover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.VM.Hypervisor().Kind() != cluster.Primary().Kind() {
+		t.Fatal("homogeneous replica on wrong kind")
+	}
+}
+
+func TestBufferOutputReleasedThroughSink(t *testing.T) {
+	var released []here.Packet
+	cluster, err := here.NewCluster(here.ClusterConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm, err := cluster.CreateProtectedVM(here.VMSpec{
+		Name: "io", MemoryBytes: 16 << 20, VCPUs: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prot, err := cluster.Protect(vm, here.ProtectOptions{
+		FixedPeriod: time.Second,
+		Sink:        func(p []here.Packet) { released = append(released, p...) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := prot.BufferOutput(128, []byte("hello"))
+	if len(released) != 0 {
+		t.Fatal("output released before checkpoint")
+	}
+	if _, err := prot.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if len(released) != 1 || released[0].Seq != seq {
+		t.Fatalf("released = %+v", released)
+	}
+}
