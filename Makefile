@@ -1,0 +1,28 @@
+GO ?= go
+
+RACE_PKGS = ./internal/replication ./internal/failover ./internal/faults ./internal/simnet
+
+.PHONY: check vet fmt build test race
+
+check: vet fmt build test race
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed:"; echo "$$out"; exit 1; \
+	fi
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-check the packages with the concurrency-sensitive state
+# machines; the full suite under -race is slow (experiments alone runs
+# for minutes).
+race:
+	$(GO) test -race . $(RACE_PKGS)

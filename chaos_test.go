@@ -1,0 +1,287 @@
+package here_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	here "github.com/here-ft/here"
+)
+
+// TestChaosStormEndToEnd is the acceptance test for the fault-injection
+// subsystem: a deterministic, seeded fault storm — link flapping, a 5 s
+// outage, a latency spike, packet loss, and finally a real primary
+// crash — driven through the public API with a YCSB workload running.
+// It asserts the robustness contract end to end:
+//
+//   - acknowledged state is never lost (the activated replica is the
+//     last acknowledged checkpoint, bit for bit);
+//   - the post-outage delta resync ships less than the full memory;
+//   - a latency spike causes no spurious failure declaration;
+//   - activation is refused while the primary is observably healthy
+//     (split-brain guard) and after a prior activation;
+//   - the real crash is detected and failover succeeds.
+func TestChaosStormEndToEnd(t *testing.T) {
+	const seed = 42
+	const records = 2000
+
+	plan, clk := here.NewFaultPlan(seed)
+	t0 := clk.Now()
+	el := func() time.Duration { return clk.Now().Sub(t0) }
+
+	cluster, err := here.NewCluster(here.ClusterConfig{Clock: clk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan.AttachLink(cluster.Link())
+
+	vm, err := cluster.CreateProtectedVM(here.VMSpec{
+		Name: "db", MemoryBytes: 32 << 20, VCPUs: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, _, err := here.NewYCSBWorkload(vm, "A", records, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prot, err := cluster.Protect(vm, here.ProtectOptions{
+		FixedPeriod:  time.Second,
+		Workload:     w,
+		DegradedMode: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prot.State() != here.StateProtected {
+		t.Fatalf("state after seeding = %v", prot.State())
+	}
+
+	var lastAcked uint64
+	cycle := func() (here.CheckpointStats, error) {
+		st, err := prot.Checkpoint()
+		if err == nil && st.Mode == here.StateProtected {
+			// With no writes outside RunCycle, primary memory right
+			// after an acknowledged checkpoint IS the acknowledged state.
+			lastAcked = vm.Memory().Hash()
+		}
+		return st, err
+	}
+
+	// ---- Phase 1: link flapping (×3, 200 ms down / 800 ms up). ------
+	// The flaps intersect checkpoint transfers; the retry budget
+	// (420 ms worst case) rides them out without ever dropping
+	// protection.
+	plan.LinkFlap(el()+900*time.Millisecond, 3, 200*time.Millisecond, 800*time.Millisecond)
+	for i := 0; i < 4; i++ {
+		st, err := cycle()
+		if err != nil {
+			t.Fatalf("flap cycle %d: %v", i, err)
+		}
+		if st.Mode != here.StateProtected {
+			t.Fatalf("flap cycle %d dropped protection: %v", i, st.Mode)
+		}
+	}
+	afterFlaps := prot.Recovery()
+	if afterFlaps.Retries == 0 {
+		t.Fatal("flaps never exercised the retry path")
+	}
+	if afterFlaps.Rollbacks != 0 {
+		t.Fatalf("flaps caused %d rollbacks; the retry budget must absorb 200 ms outages", afterFlaps.Rollbacks)
+	}
+
+	// ---- Phase 2: a 5 s outage → degraded mode → delta resync. ------
+	plan.LinkOutage(el()+500*time.Millisecond, 5*time.Second)
+	sawDegraded, sawResync := false, false
+	for i := 0; i < 12 && !sawResync; i++ {
+		st, err := cycle()
+		if err != nil {
+			t.Fatalf("outage cycle %d: %v", i, err)
+		}
+		if st.Mode == here.StateDegraded {
+			sawDegraded = true
+		}
+		sawResync = st.Resync
+	}
+	if !sawDegraded || !sawResync {
+		t.Fatalf("outage phase: degraded=%v resync=%v, want both", sawDegraded, sawResync)
+	}
+	rec := prot.Recovery()
+	if rec.DegradedEntries != 1 {
+		t.Fatalf("DegradedEntries = %d, want exactly 1", rec.DegradedEntries)
+	}
+	if rec.Resyncs != 1 {
+		t.Fatalf("Resyncs = %d, want 1", rec.Resyncs)
+	}
+	if full := int64(32 << 20); rec.ResyncBytes <= 0 || rec.ResyncBytes >= full {
+		t.Fatalf("delta resync shipped %d bytes; must be positive and below the %d-byte full memory",
+			rec.ResyncBytes, full)
+	}
+	if rec.DegradedTime <= 0 {
+		t.Fatal("no degraded time accounted")
+	}
+	if prot.State() != here.StateProtected {
+		t.Fatalf("state after resync = %v", prot.State())
+	}
+
+	// ---- Phase 3: latency spike — no spurious failure. --------------
+	// 150 ms of +200 ms latency covers at most two consecutive
+	// heartbeats: below the 3-miss threshold, so detection must ride
+	// it out.
+	plan.LatencySpike(el()+200*time.Millisecond, 150*time.Millisecond, 200*time.Millisecond)
+	if _, err := prot.DetectFailure(time.Second); !errors.Is(err, here.ErrNoFailure) {
+		t.Fatalf("latency spike triggered spurious failure detection: %v", err)
+	}
+	if st, err := cycle(); err != nil || st.Mode != here.StateProtected {
+		t.Fatalf("cycle under spike: %+v, %v", st, err)
+	}
+
+	// ---- Phase 4: packet loss — retries absorb it. ------------------
+	plan.PacketLoss(el(), 2*time.Second, 0.3)
+	for i := 0; i < 2; i++ {
+		if st, err := cycle(); err != nil || st.Mode != here.StateProtected {
+			t.Fatalf("loss cycle %d: %+v, %v", i, st, err)
+		}
+	}
+
+	// ---- Phase 5: split-brain guard, then the real crash. -----------
+	// The primary is still healthy: activation must be refused.
+	if _, err := prot.Failover(); !errors.Is(err, here.ErrSplitBrain) {
+		t.Fatalf("failover on a healthy primary: err = %v, want ErrSplitBrain", err)
+	}
+	if prot.State() == here.StateFailedOver {
+		t.Fatal("refused activation still ended replication")
+	}
+
+	plan.HostCrash(el()+500*time.Millisecond, cluster.Primary(), "hypervisor DoS exploit")
+	// The crash lands mid-cycle; replication stops with an error.
+	for i := 0; ; i++ {
+		if _, err := cycle(); err != nil {
+			break
+		}
+		if i > 3 {
+			t.Fatal("scheduled crash never stopped replication")
+		}
+	}
+	if prot.PrimaryHealthy() {
+		t.Fatal("primary still healthy after scheduled crash")
+	}
+	detect, err := prot.DetectFailure(10 * time.Second)
+	if err != nil {
+		t.Fatalf("real crash not detected: %v", err)
+	}
+	if detect < 300*time.Millisecond {
+		t.Fatalf("detection latency %v below the consecutive-miss floor", detect)
+	}
+
+	res, err := prot.Failover()
+	if err != nil {
+		t.Fatalf("failover after real crash: %v", err)
+	}
+	if !res.VM.Running() {
+		t.Fatal("replica not running")
+	}
+	if res.VM.Hypervisor() != cluster.Secondary() {
+		t.Fatal("replica not on the secondary host")
+	}
+	// Zero lost acknowledged state: the replica is bit-for-bit the
+	// last acknowledged checkpoint.
+	if lastAcked == 0 {
+		t.Fatal("no acknowledged checkpoint recorded")
+	}
+	if res.VM.Memory().Hash() != lastAcked {
+		t.Fatal("replica is not the last acknowledged checkpoint")
+	}
+	// The YCSB store survives the hypervisor boundary intact and
+	// readable (the workload inserts beyond the initial load, so the
+	// count is a floor; bit-exactness is the hash check above).
+	store, err := here.AttachKVStore(res.VM, records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := store.Len(); err != nil || n < records {
+		t.Fatalf("store on replica: %d records, %v; want at least %d", n, err, records)
+	}
+
+	// Double activation must be refused, and replication is over.
+	if _, err := prot.Failover(); !errors.Is(err, here.ErrAlreadyActivated) {
+		t.Fatalf("second failover: err = %v, want ErrAlreadyActivated", err)
+	}
+	if prot.State() != here.StateFailedOver {
+		t.Fatalf("state = %v, want failed-over", prot.State())
+	}
+	if _, err := prot.Checkpoint(); !errors.Is(err, here.ErrFailedOver) {
+		t.Fatalf("checkpoint after failover: %v, want ErrFailedOver", err)
+	}
+
+	// The whole schedule fired.
+	if n := plan.Remaining(); n != 0 {
+		t.Fatalf("%d scheduled fault events never fired", n)
+	}
+	final := prot.Recovery()
+	if final.ProtectedTime <= final.DegradedTime {
+		t.Fatalf("availability upside down: protected %v vs degraded %v",
+			final.ProtectedTime, final.DegradedTime)
+	}
+}
+
+// TestChaosStormDeterministic replays a compact storm twice with the
+// same seed and requires identical observable history — the property
+// that makes fault-injection runs debuggable.
+func TestChaosStormDeterministic(t *testing.T) {
+	type outcome struct {
+		hash    uint64
+		retries int64
+		applied int
+		elapsed time.Duration
+	}
+	run := func() outcome {
+		plan, clk := here.NewFaultPlan(7)
+		t0 := clk.Now()
+		cluster, err := here.NewCluster(here.ClusterConfig{Clock: clk})
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan.AttachLink(cluster.Link())
+		vm, err := cluster.CreateProtectedVM(here.VMSpec{
+			Name: "d", MemoryBytes: 16 << 20, VCPUs: 2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, _, err := here.NewYCSBWorkload(vm, "B", 500, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prot, err := cluster.Protect(vm, here.ProtectOptions{
+			FixedPeriod: time.Second, Workload: w, DegradedMode: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		start := clk.Now().Sub(t0)
+		plan.LinkFlap(start+900*time.Millisecond, 2, 200*time.Millisecond, 800*time.Millisecond)
+		plan.PacketLoss(start+3*time.Second, 2*time.Second, 0.5)
+		for i := 0; i < 6; i++ {
+			if _, err := prot.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return outcome{
+			hash:    vm.Memory().Hash(),
+			retries: prot.Recovery().Retries,
+			applied: len(plan.Applied()),
+			elapsed: clk.Now().Sub(t0),
+		}
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same seed diverged:\n  %+v\n  %+v", a, b)
+	}
+	if a.retries == 0 {
+		t.Fatal("storm never exercised a retry; the replay proves nothing")
+	}
+	if a.applied != 6 {
+		t.Fatalf("applied %d events, want 6 (2 flaps ×2 + loss window ×2)", a.applied)
+	}
+}

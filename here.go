@@ -36,6 +36,7 @@ import (
 	"github.com/here-ft/here/internal/arch"
 	"github.com/here-ft/here/internal/devices"
 	"github.com/here-ft/here/internal/failover"
+	"github.com/here-ft/here/internal/faults"
 	"github.com/here-ft/here/internal/hypervisor"
 	"github.com/here-ft/here/internal/kvm"
 	"github.com/here-ft/here/internal/period"
@@ -71,7 +72,45 @@ type (
 	ReplicationTotals = replication.Totals
 	// FailoverResult describes a completed failover.
 	FailoverResult = failover.Result
+	// State is the protection state of a replicated VM.
+	State = replication.State
+	// RetryPolicy tunes transfer retry (exponential backoff + jitter).
+	RetryPolicy = replication.RetryPolicy
+	// RecoveryStats aggregates the recovery behaviour of a run: retries,
+	// rollbacks, degraded episodes, resync traffic and per-mode time.
+	RecoveryStats = replication.RecoveryStats
+	// FaultPlan is a deterministic, seeded schedule of fault events
+	// (link outages, flapping, latency spikes, bandwidth degradation,
+	// per-transfer loss, host crashes).
+	FaultPlan = faults.Plan
 )
+
+// Protection states.
+const (
+	// StateProtected: checkpoints flow and are acknowledged.
+	StateProtected = replication.StateProtected
+	// StateDegraded: the replication path is unavailable and the VM
+	// runs unprotected; dirty pages accumulate for resync.
+	StateDegraded = replication.StateDegraded
+	// StateResyncing: the path is back and a delta resync is shipping
+	// the pages dirtied during the outage.
+	StateResyncing = replication.StateResyncing
+	// StateFailedOver: the replica was activated; replication is over.
+	StateFailedOver = replication.StateFailedOver
+)
+
+// NewFaultPlan returns an empty fault plan with the given RNG seed and
+// the clock that delivers its events. Build the cluster on that clock,
+// then attach the cluster's link:
+//
+//	plan, clk := here.NewFaultPlan(42)
+//	cluster, _ := here.NewCluster(here.ClusterConfig{Clock: clk})
+//	plan.AttachLink(cluster.Link())
+//	plan.LinkOutage(2*time.Second, 5*time.Second)
+func NewFaultPlan(seed int64) (*FaultPlan, Clock) {
+	plan := faults.New(vclock.NewSim(), seed)
+	return plan, plan.Clock()
+}
 
 // MigrationResult reports what the seeding migration did.
 type MigrationResult struct {
@@ -241,6 +280,19 @@ type ProtectOptions struct {
 	Compression bool
 	// HeartbeatInterval and HeartbeatTimeout tune failure detection.
 	HeartbeatInterval, HeartbeatTimeout time.Duration
+	// HeartbeatMisses is the number of consecutive missed heartbeats
+	// required to declare the primary dead (0 derives
+	// ceil(timeout/interval)).
+	HeartbeatMisses int
+	// Retry tunes transfer retry on the replication path; the zero
+	// value uses the defaults (4 attempts, 50 ms initial backoff, ×2
+	// up to 2 s, ±20% jitter).
+	Retry RetryPolicy
+	// DegradedMode lets the VM keep running unprotected when an outage
+	// outlives the retry budget, accumulating dirty pages for a delta
+	// resync once the path recovers. Without it, an exhausted retry
+	// budget fails the checkpoint cycle.
+	DegradedMode bool
 }
 
 // Protected is a VM under live replication.
@@ -263,12 +315,14 @@ func (c *Cluster) Protect(vm *VM, opts ProtectOptions) (*Protected, error) {
 		engine = EngineHERE
 	}
 	cfg := replication.Config{
-		Engine:      engine,
-		Link:        c.link,
-		Threads:     opts.Threads,
-		Workload:    opts.Workload,
-		Sink:        opts.Sink,
-		Compression: opts.Compression,
+		Engine:       engine,
+		Link:         c.link,
+		Threads:      opts.Threads,
+		Workload:     opts.Workload,
+		Sink:         opts.Sink,
+		Compression:  opts.Compression,
+		Retry:        opts.Retry,
+		DegradedMode: opts.DegradedMode,
 	}
 	if opts.FixedPeriod > 0 {
 		cfg.Period = opts.FixedPeriod
@@ -297,7 +351,12 @@ func (c *Cluster) Protect(vm *VM, opts ProtectOptions) (*Protected, error) {
 	if err != nil {
 		return nil, fmt.Errorf("here: %w", err)
 	}
-	mon, err := failover.NewMonitor(c.primary, opts.HeartbeatInterval, opts.HeartbeatTimeout)
+	mon, err := failover.NewMonitorConfig(c.primary, failover.Config{
+		Interval: opts.HeartbeatInterval,
+		Timeout:  opts.HeartbeatTimeout,
+		Misses:   opts.HeartbeatMisses,
+		Via:      c.link,
+	})
 	if err != nil {
 		return nil, fmt.Errorf("here: %w", err)
 	}
@@ -354,6 +413,20 @@ func (p *Protected) Run(d time.Duration) ([]CheckpointStats, error) {
 // SetWorkload replaces the guest workload.
 func (p *Protected) SetWorkload(w Workload) { p.rep.SetWorkload(w) }
 
+// State reports the protection state: StateProtected while
+// checkpoints flow, StateDegraded while an outage leaves the VM
+// unprotected, StateResyncing during the post-outage delta resync,
+// StateFailedOver once the replica was activated.
+func (p *Protected) State() State { return p.rep.State() }
+
+// Recovery reports the recovery behaviour so far: retries, rollbacks,
+// degraded episodes, delta-resync traffic and time per protection mode.
+func (p *Protected) Recovery() RecoveryStats { return p.rep.Recovery() }
+
+// PrimaryHealthy is the out-of-band health probe of the primary host,
+// bypassing the heartbeat path — the signal the split-brain guard uses.
+func (p *Protected) PrimaryHealthy() bool { return p.monitor.Healthy() }
+
 // Totals reports aggregate replication statistics.
 func (p *Protected) Totals() ReplicationTotals { return p.rep.Totals() }
 
@@ -377,12 +450,44 @@ func (p *Protected) Failover() (FailoverResult, error) {
 
 // FailoverWithAgent is Failover with a guest agent receiving the
 // device unplug/replug notifications (the paper's 150-line guest
-// kernel module, §7.6).
+// kernel module, §7.6). Activation is refused with ErrSplitBrain while
+// the primary is still observably healthy (the heartbeat path, not the
+// host, failed) and with ErrAlreadyActivated after a prior activation.
 func (p *Protected) FailoverWithAgent(agent GuestAgent) (FailoverResult, error) {
 	name := p.rep.Primary().Name() + "-replica"
-	return failover.Activate(p.rep, name, agent)
+	return failover.ActivateOpts(p.rep, name, failover.Options{
+		Agent:   agent,
+		Monitor: p.monitor,
+	})
 }
 
-// ErrNoFailure is returned by DetectFailure when the primary stayed
-// healthy for the whole window.
-var ErrNoFailure = failover.ErrNoFailure
+// ForceFailover activates the replica even though the primary still
+// looks healthy — the operator overriding the split-brain guard after
+// fencing the primary out-of-band.
+func (p *Protected) ForceFailover(agent GuestAgent) (FailoverResult, error) {
+	name := p.rep.Primary().Name() + "-replica"
+	return failover.ActivateOpts(p.rep, name, failover.Options{
+		Agent:   agent,
+		Monitor: p.monitor,
+		Force:   true,
+	})
+}
+
+// Errors surfaced from detection, recovery and activation.
+var (
+	// ErrNoFailure is returned by DetectFailure when the primary stayed
+	// healthy for the whole window.
+	ErrNoFailure = failover.ErrNoFailure
+	// ErrSplitBrain is returned by failover while the primary is still
+	// observably healthy (use ForceFailover to override).
+	ErrSplitBrain = failover.ErrSplitBrain
+	// ErrAlreadyActivated is returned by a second failover attempt.
+	ErrAlreadyActivated = failover.ErrAlreadyActivated
+	// ErrDegraded is returned by a checkpoint cycle that could not
+	// reach the secondary and left the VM running unprotected (only
+	// without DegradedMode; with it the cycle reports StateDegraded
+	// in its stats instead).
+	ErrDegraded = replication.ErrDegraded
+	// ErrFailedOver is returned by replication calls after activation.
+	ErrFailedOver = replication.ErrFailedOver
+)

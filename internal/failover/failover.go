@@ -13,6 +13,7 @@ import (
 	"github.com/here-ft/here/internal/devices"
 	"github.com/here-ft/here/internal/hypervisor"
 	"github.com/here-ft/here/internal/replication"
+	"github.com/here-ft/here/internal/simnet"
 	"github.com/here-ft/here/internal/vclock"
 )
 
@@ -22,9 +23,37 @@ const (
 	DefaultTimeout  = 300 * time.Millisecond
 )
 
-// ErrNoFailure is returned by WaitForFailure when the primary stayed
-// healthy for the whole observation window.
-var ErrNoFailure = errors.New("failover: primary stayed healthy")
+// Errors reported by detection and activation.
+var (
+	// ErrNoFailure is returned by WaitForFailure when the primary
+	// stayed healthy for the whole observation window.
+	ErrNoFailure = errors.New("failover: primary stayed healthy")
+	// ErrSplitBrain is returned by activation when the split-brain
+	// guard's out-of-band probe still sees the primary healthy: the
+	// heartbeat path failed, not the host, and activating the replica
+	// would leave two live copies of the VM.
+	ErrSplitBrain = errors.New("failover: primary still observably healthy; refusing split-brain activation")
+	// ErrAlreadyActivated is returned by activation when the replica
+	// was already activated from this replicator.
+	ErrAlreadyActivated = errors.New("failover: replica already activated")
+)
+
+// Config tunes a heartbeat monitor. The zero value uses the defaults.
+type Config struct {
+	// Interval is the heartbeat period; Timeout is the detection
+	// budget the consecutive-miss threshold is derived from.
+	Interval, Timeout time.Duration
+	// Misses is the number of consecutive missed heartbeats required
+	// to declare the primary dead; 0 derives ceil(Timeout/Interval).
+	// Requiring several misses keeps transient latency spikes on the
+	// heartbeat path from triggering spurious failovers.
+	Misses int
+	// Via routes heartbeats over a monitored link: a down link, or a
+	// propagation delay pushing the round-trip past the heartbeat
+	// interval, counts as a missed beat. Nil observes the host
+	// directly (a dedicated management path).
+	Via *simnet.Link
+}
 
 // Monitor watches the primary host with a periodic heartbeat.
 type Monitor struct {
@@ -32,50 +61,104 @@ type Monitor struct {
 	clock    vclock.Clock
 	interval time.Duration
 	timeout  time.Duration
+	misses   int
+	via      *simnet.Link
 }
 
 // NewMonitor returns a heartbeat monitor for the primary host.
 // Zero interval/timeout use the defaults.
 func NewMonitor(primary hypervisor.Hypervisor, interval, timeout time.Duration) (*Monitor, error) {
+	return NewMonitorConfig(primary, Config{Interval: interval, Timeout: timeout})
+}
+
+// NewMonitorConfig returns a heartbeat monitor with the full policy.
+func NewMonitorConfig(primary hypervisor.Hypervisor, cfg Config) (*Monitor, error) {
 	if primary == nil {
 		return nil, errors.New("failover: nil primary")
 	}
-	if interval < 0 || timeout < 0 {
-		return nil, fmt.Errorf("failover: negative interval %v or timeout %v", interval, timeout)
+	if cfg.Interval < 0 || cfg.Timeout < 0 {
+		return nil, fmt.Errorf("failover: negative interval %v or timeout %v", cfg.Interval, cfg.Timeout)
 	}
-	if interval == 0 {
-		interval = DefaultInterval
+	if cfg.Misses < 0 {
+		return nil, fmt.Errorf("failover: negative miss threshold %d", cfg.Misses)
 	}
-	if timeout == 0 {
-		timeout = DefaultTimeout
+	if cfg.Interval == 0 {
+		cfg.Interval = DefaultInterval
+	}
+	if cfg.Timeout == 0 {
+		cfg.Timeout = DefaultTimeout
+	}
+	misses := cfg.Misses
+	if misses == 0 {
+		misses = int((cfg.Timeout + cfg.Interval - 1) / cfg.Interval)
+		if misses < 1 {
+			misses = 1
+		}
 	}
 	return &Monitor{
 		primary:  primary,
 		clock:    primary.Clock(),
-		interval: interval,
-		timeout:  timeout,
+		interval: cfg.Interval,
+		timeout:  cfg.Timeout,
+		misses:   misses,
+		via:      cfg.Via,
 	}, nil
 }
 
-// WaitForFailure polls heartbeats until the primary turns unhealthy or
-// maxWait elapses. On failure it accounts the detection latency (the
-// missed-heartbeat timeout) and returns how long detection took from
-// the start of the call. A hung or starved host also fails detection:
-// it no longer answers heartbeats.
+// Misses reports the consecutive-miss threshold in effect.
+func (m *Monitor) Misses() int { return m.misses }
+
+// Healthy is the split-brain guard's out-of-band probe: it checks the
+// primary host directly, bypassing the (possibly faulty) heartbeat
+// path. A monitor that declared the primary dead because the link
+// died will still report Healthy here.
+func (m *Monitor) Healthy() bool {
+	return m.primary.Health() == hypervisor.Healthy
+}
+
+// beatMissed reports whether one heartbeat failed to arrive on
+// schedule: the primary is down, or the heartbeat path is down or so
+// slow the beat overshoots its deadline.
+func (m *Monitor) beatMissed() bool {
+	if m.primary.Health() != hypervisor.Healthy {
+		return true
+	}
+	if m.via != nil {
+		if m.via.Down() {
+			return true
+		}
+		if rtt := 2 * m.via.PropagationDelay(); rtt > m.interval {
+			return true
+		}
+	}
+	return false
+}
+
+// WaitForFailure polls heartbeats until the consecutive-miss threshold
+// declares the primary dead or maxWait elapses, returning the
+// detection latency from the start of the call. Each beat's verdict
+// costs one heartbeat interval — a beat is only known missed when it
+// fails to arrive on schedule — so detection takes Misses() intervals
+// past the failure, plus the phase of the interval the failure fell
+// into. A single missed beat (latency spike, one lost heartbeat) does
+// not trigger detection; the counter resets on the next healthy beat.
 func (m *Monitor) WaitForFailure(maxWait time.Duration) (time.Duration, error) {
 	start := m.clock.Now()
 	deadline := start.Add(maxWait)
+	misses := 0
 	for {
-		if m.primary.Health() != hypervisor.Healthy {
-			// Heartbeats stop arriving; the secondary declares the
-			// primary dead after the timeout.
-			m.clock.Sleep(m.timeout)
-			return m.clock.Since(start), nil
+		m.clock.Sleep(m.interval)
+		if m.beatMissed() {
+			misses++
+			if misses >= m.misses {
+				return m.clock.Since(start), nil
+			}
+			continue
 		}
+		misses = 0
 		if !m.clock.Now().Before(deadline) {
 			return 0, ErrNoFailure
 		}
-		m.clock.Sleep(m.interval)
 	}
 }
 
@@ -99,15 +182,44 @@ type Result struct {
 	VM *hypervisor.VM
 }
 
+// Options tunes replica activation.
+type Options struct {
+	// Agent performs the guest-visible device replug, if any.
+	Agent devices.GuestAgent
+	// Monitor, when set, arms the split-brain guard: activation is
+	// refused with ErrSplitBrain while the monitor's out-of-band probe
+	// still sees the primary healthy.
+	Monitor *Monitor
+	// Force overrides the split-brain guard (operator says the primary
+	// really is gone, e.g. it is fenced off at the power strip).
+	Force bool
+}
+
 // Activate builds and resumes the replica VM from the replicator's
 // last acknowledged checkpoint: decode the translated state image,
 // restore it with the replicated memory, perform the guest-visible
 // device replug, and resume (paper §7.3, §8.4).
 func Activate(r *replication.Replicator, replicaName string, agent devices.GuestAgent) (Result, error) {
+	return ActivateOpts(r, replicaName, Options{Agent: agent})
+}
+
+// ActivateOpts is Activate with the full policy: it refuses double
+// activation (ErrAlreadyActivated), refuses split-brain activation
+// while opts.Monitor still sees the primary healthy unless opts.Force
+// (ErrSplitBrain), and marks the replicator failed-over on success so
+// further checkpoint cycles stop.
+func ActivateOpts(r *replication.Replicator, replicaName string, opts Options) (Result, error) {
 	var res Result
 	if r == nil {
 		return res, errors.New("failover: nil replicator")
 	}
+	if r.State() == replication.StateFailedOver {
+		return res, ErrAlreadyActivated
+	}
+	if opts.Monitor != nil && !opts.Force && opts.Monitor.Healthy() {
+		return res, ErrSplitBrain
+	}
+	agent := opts.Agent
 	dst := r.Destination()
 	if dst.Health() != hypervisor.Healthy {
 		return res, fmt.Errorf("failover: secondary host is %s", dst.Health())
@@ -147,6 +259,7 @@ func Activate(r *replication.Replicator, replicaName string, agent devices.Guest
 		return res, fmt.Errorf("failover: %w", err)
 	}
 	vm.Resume()
+	r.MarkFailedOver()
 
 	res.ResumeTime = clock.Since(start)
 	res.VM = vm

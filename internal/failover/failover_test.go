@@ -6,7 +6,9 @@ import (
 	"time"
 
 	"github.com/here-ft/here/internal/arch"
+	"github.com/here-ft/here/internal/devices"
 	"github.com/here-ft/here/internal/failover"
+	"github.com/here-ft/here/internal/faults"
 	"github.com/here-ft/here/internal/hypervisor"
 	"github.com/here-ft/here/internal/kvm"
 	"github.com/here-ft/here/internal/memory"
@@ -400,6 +402,266 @@ func TestDiskCrashConsistencyAcrossFailover(t *testing.T) {
 		if b != 0 {
 			t.Fatal("uncommitted sector leaked onto the replica disk")
 		}
+	}
+}
+
+func TestMonitorMissDerivation(t *testing.T) {
+	r := newRig(t, 1<<22)
+	m, err := failover.NewMonitor(r.xh, 100*time.Millisecond, 300*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Misses() != 3 {
+		t.Fatalf("Misses = %d, want ceil(300/100) = 3", m.Misses())
+	}
+	m, err = failover.NewMonitorConfig(r.xh, failover.Config{
+		Interval: 100 * time.Millisecond, Timeout: 250 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Misses() != 3 {
+		t.Fatalf("Misses = %d, want ceil(250/100) = 3", m.Misses())
+	}
+	m, err = failover.NewMonitorConfig(r.xh, failover.Config{Misses: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Misses() != 7 {
+		t.Fatalf("explicit Misses = %d, want 7", m.Misses())
+	}
+	if _, err := failover.NewMonitorConfig(r.xh, failover.Config{Misses: -1}); err == nil {
+		t.Fatal("negative miss threshold accepted")
+	}
+}
+
+// TestLatencySpikeDoesNotTriggerDetection: a heartbeat path whose
+// round-trip briefly exceeds the interval loses beats, but fewer than
+// the consecutive-miss threshold — no spurious failure declaration.
+func TestLatencySpikeDoesNotTriggerDetection(t *testing.T) {
+	plan := faults.New(vclock.NewSim(), 1)
+	clk := plan.Clock()
+	xh, err := xen.New("host-a", clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	link, err := simnet.NewLink(simnet.TenGbE(), clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan.AttachLink(link)
+	// The spike covers two heartbeats — below the 3-consecutive-miss
+	// threshold, so the counter resets on the third, healthy beat.
+	plan.LatencySpike(0, 250*time.Millisecond, time.Second)
+	m, err := failover.NewMonitorConfig(xh, failover.Config{
+		Interval: 100 * time.Millisecond, Timeout: 300 * time.Millisecond, Via: link,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.WaitForFailure(2 * time.Second); !errors.Is(err, failover.ErrNoFailure) {
+		t.Fatalf("err = %v, want ErrNoFailure (spike must not trigger failover)", err)
+	}
+	if !m.Healthy() {
+		t.Fatal("out-of-band probe must still see the primary healthy")
+	}
+}
+
+// TestLinkDeathTriggersDetectionButGuardRefuses: a dead heartbeat path
+// declares failure after N consecutive misses, but the out-of-band
+// probe knows the primary is alive — activation must refuse.
+func TestLinkDeathTriggersDetectionButGuardRefuses(t *testing.T) {
+	clk := vclock.NewSim()
+	xh, err := xen.New("host-a", clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kh, err := kvm.New("host-b", clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm, err := xh.CreateVM(hypervisor.VMConfig{
+		Name: "vm", MemBytes: 1 << 22, VCPUs: 2,
+		Features: translate.CompatibleFeatures(xh, kh),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	link, err := simnet.NewLink(simnet.OmniPath100(), clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := replication.New(vm, kh, replication.Config{
+		Engine: replication.EngineHERE, Link: link, Period: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rep.Seed(); err != nil {
+		t.Fatal(err)
+	}
+	m, err := failover.NewMonitorConfig(xh, failover.Config{Via: link})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	link.SetDown(true)
+	detect, err := m.WaitForFailure(10 * time.Second)
+	if err != nil {
+		t.Fatalf("dead heartbeat path not detected: %v", err)
+	}
+	if detect < 300*time.Millisecond {
+		t.Fatalf("detection latency %v below the 3-miss threshold", detect)
+	}
+	// The host is fine — only the path died. The guard must refuse.
+	_, err = failover.ActivateOpts(rep, "replica", failover.Options{Monitor: m})
+	if !errors.Is(err, failover.ErrSplitBrain) {
+		t.Fatalf("err = %v, want ErrSplitBrain", err)
+	}
+	if rep.State() == replication.StateFailedOver {
+		t.Fatal("refused activation still marked the replicator failed over")
+	}
+	// Force overrides (operator fenced the primary out-of-band).
+	res, err := failover.ActivateOpts(rep, "replica", failover.Options{Monitor: m, Force: true})
+	if err != nil {
+		t.Fatalf("forced activation failed: %v", err)
+	}
+	if !res.VM.Running() {
+		t.Fatal("forced activation did not resume the replica")
+	}
+}
+
+func TestDoubleActivationRefused(t *testing.T) {
+	r := newRig(t, 512*memory.PageSize)
+	if _, err := r.rep.Seed(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.rep.RunCycle(); err != nil {
+		t.Fatal(err)
+	}
+	r.xh.Fail(hypervisor.Crashed, "injected")
+	if _, err := failover.Activate(r.rep, "replica", nil); err != nil {
+		t.Fatal(err)
+	}
+	if r.rep.State() != replication.StateFailedOver {
+		t.Fatalf("state = %v after activation", r.rep.State())
+	}
+	if _, err := failover.Activate(r.rep, "replica-2", nil); !errors.Is(err, failover.ErrAlreadyActivated) {
+		t.Fatalf("err = %v, want ErrAlreadyActivated", err)
+	}
+	// Replication is over too.
+	if _, err := r.rep.RunCycle(); !errors.Is(err, replication.ErrFailedOver) {
+		t.Fatalf("RunCycle after activation: %v, want ErrFailedOver", err)
+	}
+}
+
+// TestFailoverRacesMidFlightCheckpoint is the never-acked-checkpoint
+// race: the primary dies while a checkpoint is in flight (its transfer
+// failed, never acknowledged). The activated replica must land on the
+// last acknowledged epoch, with the mid-flight epoch's packets and
+// disk writes dropped, not applied.
+func TestFailoverRacesMidFlightCheckpoint(t *testing.T) {
+	clk := vclock.NewSim()
+	xh, err := xen.New("host-a", clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kh, err := kvm.New("host-b", clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm, err := xh.CreateVM(hypervisor.VMConfig{
+		Name: "vm", MemBytes: 512 * memory.PageSize, VCPUs: 2,
+		Features: translate.CompatibleFeatures(xh, kh),
+		Devices: []hypervisor.DeviceSpec{
+			{Class: arch.DeviceNet, ID: "net0", MAC: "52:54:00:00:00:03"},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	link, err := simnet.NewLink(simnet.OmniPath100(), clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := replication.New(vm, kh, replication.Config{
+		Engine: replication.EngineHERE, Link: link, Period: time.Second,
+		Retry: replication.RetryPolicy{MaxAttempts: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	disk := rep.AttachDisk(1 << 20)
+	if _, err := rep.Seed(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Epoch 1: acknowledged. This is the state failover must land on.
+	committed := make([]byte, 512)
+	copy(committed, "acked-sector")
+	if err := disk.Write(5, committed); err != nil {
+		t.Fatal(err)
+	}
+	rep.IOBuffer().Buffer(64, []byte("acked-packet"))
+	var released int
+	rep.SetSink(func(p []devices.Packet) { released += len(p) })
+	if _, err := rep.RunCycle(); err != nil {
+		t.Fatal(err)
+	}
+	_, mem, err := rep.ReplicaImage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ackedHash := mem.Hash()
+
+	// Epoch 2: in flight when the link — then the primary — dies.
+	if err := vm.WriteGuest(0, 50*memory.PageSize, []byte("never acked")); err != nil {
+		t.Fatal(err)
+	}
+	unacked := make([]byte, 512)
+	copy(unacked, "unacked-sector")
+	if err := disk.Write(6, unacked); err != nil {
+		t.Fatal(err)
+	}
+	rep.IOBuffer().Buffer(64, []byte("unacked-packet"))
+	link.SetDown(true)
+	if _, err := rep.RunCycle(); err == nil {
+		t.Fatal("mid-flight checkpoint succeeded over a dead link")
+	}
+	xh.Fail(hypervisor.Crashed, "dies with checkpoint in flight")
+
+	res, err := failover.Activate(rep, "replica", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The replica is the acknowledged epoch — not the mid-flight one.
+	if res.VM.Memory().Hash() != ackedHash {
+		t.Fatal("replica not on the last acknowledged epoch")
+	}
+	probe := make([]byte, len("never acked"))
+	if err := res.VM.ReadGuest(50*memory.PageSize, probe); err != nil {
+		t.Fatal(err)
+	}
+	if string(probe) == "never acked" {
+		t.Fatal("never-acknowledged write visible on the replica")
+	}
+	// The unacked epoch's output and disk write are dropped...
+	if res.PacketsDropped != 1 {
+		t.Fatalf("PacketsDropped = %d, want 1 (the unacked packet)", res.PacketsDropped)
+	}
+	if res.DiskWritesDropped != 1 {
+		t.Fatalf("DiskWritesDropped = %d, want 1 (the unacked sector)", res.DiskWritesDropped)
+	}
+	// ...while the acknowledged epoch's effects survived.
+	buf := make([]byte, 512)
+	if err := res.Disk.ReadSector(5, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf[:12]) != "acked-sector" {
+		t.Fatalf("acknowledged sector lost: %q", buf[:12])
+	}
+	if released != 1 {
+		t.Fatalf("released %d acked packets, want 1", released)
 	}
 }
 

@@ -1,0 +1,318 @@
+// Package faults is HERE's deterministic fault-injection subsystem: a
+// seeded, vclock-driven schedule of fault events used to exercise the
+// recovery paths of the replication and failover engines.
+//
+// A Plan holds events programmed at offsets from its creation time —
+// link outages of bounded duration, link flapping, latency spikes,
+// bandwidth degradation, per-transfer loss windows, and host
+// crash/hang/starvation — and applies them as simulated time passes.
+// Two delivery paths make the schedule vclock-driven:
+//
+//   - Plan.Clock wraps the simulation clock so every observation of
+//     time (Sleep, Now) first applies all events that have come due.
+//     Drive the whole cluster with this clock and events fire even
+//     while components merely wait (heartbeat monitors, backoffs).
+//   - Plan implements simnet.Injector, so a link it is attached to
+//     consults it around every transfer: outages programmed to begin
+//     mid-transfer are observed when the modeled duration elapses, and
+//     loss windows can drop individual transfers.
+//
+// Everything probabilistic (per-transfer loss) draws from the plan's
+// seeded RNG, so a given schedule replays byte-for-byte identically.
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/here-ft/here/internal/hypervisor"
+	"github.com/here-ft/here/internal/simnet"
+	"github.com/here-ft/here/internal/vclock"
+)
+
+// Kind labels a fault event in the applied-event log.
+type Kind string
+
+// Fault event kinds.
+const (
+	KindLinkDown       Kind = "link-down"
+	KindLinkUp         Kind = "link-up"
+	KindLatencySpike   Kind = "latency-spike"
+	KindLatencyRestore Kind = "latency-restore"
+	KindBandwidthDrop  Kind = "bandwidth-drop"
+	KindBandwidthFull  Kind = "bandwidth-restore"
+	KindLossStart      Kind = "loss-start"
+	KindLossEnd        Kind = "loss-end"
+	KindHostCrash      Kind = "host-crash"
+	KindHostHang       Kind = "host-hang"
+	KindHostStarve     Kind = "host-starve"
+)
+
+// Applied is one fired event in the plan's log.
+type Applied struct {
+	At   time.Time
+	Kind Kind
+	Note string
+}
+
+// String renders the log entry.
+func (a Applied) String() string {
+	return fmt.Sprintf("%s %s (%s)", a.At.Format("15:04:05.000"), a.Kind, a.Note)
+}
+
+// event is one scheduled fault.
+type event struct {
+	at   time.Time
+	seq  int // insertion order, for a stable sort among simultaneous events
+	kind Kind
+	note string
+	do   func(p *Plan)
+}
+
+// Plan is a deterministic schedule of fault events. It is safe for
+// concurrent use.
+type Plan struct {
+	inner vclock.Clock
+	base  time.Time
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	events  []event
+	nextSeq int
+	sorted  bool
+	link    *simnet.Link
+	loss    float64
+	applied []Applied
+	pumping bool
+}
+
+var _ simnet.Injector = (*Plan)(nil)
+
+// New returns an empty plan whose event offsets are measured from
+// clock's current instant, with the given RNG seed for probabilistic
+// faults.
+func New(clock vclock.Clock, seed int64) *Plan {
+	if clock == nil {
+		clock = vclock.NewSim()
+	}
+	return &Plan{
+		inner: clock,
+		base:  clock.Now(),
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Clock returns a clock that applies due events on every observation.
+// Drive the cluster with it so the schedule fires as simulated time
+// passes, even in code paths that only sleep.
+func (p *Plan) Clock() vclock.Clock { return &pumpClock{p: p} }
+
+// pumpClock decorates the plan's inner clock with event delivery.
+type pumpClock struct{ p *Plan }
+
+func (c *pumpClock) Now() time.Time {
+	now := c.p.inner.Now()
+	c.p.Advance(now)
+	return now
+}
+
+func (c *pumpClock) Sleep(d time.Duration) {
+	c.p.inner.Sleep(d)
+	c.p.Advance(c.p.inner.Now())
+}
+
+func (c *pumpClock) Since(t time.Time) time.Duration {
+	return c.Now().Sub(t)
+}
+
+// AttachLink points the plan's link events at l and installs the plan
+// as l's injector, so transfers observe outages, shaping and loss.
+func (p *Plan) AttachLink(l *simnet.Link) {
+	p.mu.Lock()
+	p.link = l
+	p.mu.Unlock()
+	if l != nil {
+		l.SetInjector(p)
+	}
+}
+
+// Link returns the attached link, or nil.
+func (p *Plan) Link() *simnet.Link {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.link
+}
+
+// at converts a plan-relative offset to an absolute instant.
+func (p *Plan) at(offset time.Duration) time.Time { return p.base.Add(offset) }
+
+// add schedules one event.
+func (p *Plan) add(offset time.Duration, kind Kind, note string, do func(*Plan)) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.events = append(p.events, event{
+		at: p.at(offset), seq: p.nextSeq, kind: kind, note: note, do: do,
+	})
+	p.nextSeq++
+	p.sorted = false
+}
+
+// LinkOutage takes the link down at the given offset for the given
+// bounded duration.
+func (p *Plan) LinkOutage(at, duration time.Duration) {
+	down := p.at(at)
+	up := p.at(at + duration)
+	p.add(at, KindLinkDown, fmt.Sprintf("outage for %v", duration), func(p *Plan) {
+		if l := p.Link(); l != nil {
+			l.SetDownAt(true, down)
+		}
+	})
+	p.add(at+duration, KindLinkUp, "outage over", func(p *Plan) {
+		if l := p.Link(); l != nil {
+			l.SetDownAt(false, up)
+		}
+	})
+}
+
+// LinkFlap schedules cycles short outages starting at the given
+// offset: down for downFor, up for upFor, repeated.
+func (p *Plan) LinkFlap(at time.Duration, cycles int, downFor, upFor time.Duration) {
+	for i := 0; i < cycles; i++ {
+		p.LinkOutage(at+time.Duration(i)*(downFor+upFor), downFor)
+	}
+}
+
+// LatencySpike adds extra propagation delay to the link for the given
+// window.
+func (p *Plan) LatencySpike(at, duration, extra time.Duration) {
+	p.add(at, KindLatencySpike, fmt.Sprintf("+%v for %v", extra, duration), func(p *Plan) {
+		if l := p.Link(); l != nil {
+			l.SetExtraLatency(extra)
+		}
+	})
+	p.add(at+duration, KindLatencyRestore, "latency nominal", func(p *Plan) {
+		if l := p.Link(); l != nil {
+			l.SetExtraLatency(0)
+		}
+	})
+}
+
+// BandwidthDegrade scales the link bandwidth down to factor (in (0,1])
+// for the given window.
+func (p *Plan) BandwidthDegrade(at, duration time.Duration, factor float64) {
+	p.add(at, KindBandwidthDrop, fmt.Sprintf("×%.2f for %v", factor, duration), func(p *Plan) {
+		if l := p.Link(); l != nil {
+			l.SetRateScale(factor)
+		}
+	})
+	p.add(at+duration, KindBandwidthFull, "bandwidth nominal", func(p *Plan) {
+		if l := p.Link(); l != nil {
+			l.SetRateScale(1)
+		}
+	})
+}
+
+// PacketLoss drops each transfer with probability prob (drawn from the
+// plan's seeded RNG) during the given window.
+func (p *Plan) PacketLoss(at, duration time.Duration, prob float64) {
+	p.add(at, KindLossStart, fmt.Sprintf("p=%.2f for %v", prob, duration), func(p *Plan) {
+		p.setLoss(prob)
+	})
+	p.add(at+duration, KindLossEnd, "loss over", func(p *Plan) {
+		p.setLoss(0)
+	})
+}
+
+func (p *Plan) setLoss(prob float64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.loss = prob
+}
+
+// HostCrash crashes the host at the given offset.
+func (p *Plan) HostCrash(at time.Duration, h hypervisor.Hypervisor, reason string) {
+	p.hostFail(at, KindHostCrash, hypervisor.Crashed, h, reason)
+}
+
+// HostHang hangs the host at the given offset.
+func (p *Plan) HostHang(at time.Duration, h hypervisor.Hypervisor, reason string) {
+	p.hostFail(at, KindHostHang, hypervisor.Hung, h, reason)
+}
+
+// HostStarve puts the host into resource starvation at the given offset.
+func (p *Plan) HostStarve(at time.Duration, h hypervisor.Hypervisor, reason string) {
+	p.hostFail(at, KindHostStarve, hypervisor.Starved, h, reason)
+}
+
+func (p *Plan) hostFail(at time.Duration, kind Kind, state hypervisor.HealthState,
+	h hypervisor.Hypervisor, reason string) {
+	p.add(at, kind, fmt.Sprintf("%s: %s", h.HostName(), reason), func(*Plan) {
+		h.Fail(state, reason)
+	})
+}
+
+// Advance applies, in schedule order, every event due at or before
+// now. It is idempotent and re-entrancy-safe: a callback that observes
+// the pumping clock does not recurse.
+func (p *Plan) Advance(now time.Time) {
+	p.mu.Lock()
+	if p.pumping {
+		p.mu.Unlock()
+		return
+	}
+	p.pumping = true
+	if !p.sorted {
+		sort.Slice(p.events, func(i, j int) bool {
+			if !p.events[i].at.Equal(p.events[j].at) {
+				return p.events[i].at.Before(p.events[j].at)
+			}
+			return p.events[i].seq < p.events[j].seq
+		})
+		p.sorted = true
+	}
+	var due []event
+	for len(p.events) > 0 && !p.events[0].at.After(now) {
+		due = append(due, p.events[0])
+		p.events = p.events[1:]
+	}
+	p.mu.Unlock()
+
+	for _, e := range due {
+		e.do(p)
+		p.mu.Lock()
+		p.applied = append(p.applied, Applied{At: e.at, Kind: e.kind, Note: e.note})
+		p.mu.Unlock()
+	}
+
+	p.mu.Lock()
+	p.pumping = false
+	p.mu.Unlock()
+}
+
+// TransferFault implements simnet.Injector: during a loss window each
+// transfer is dropped with the configured probability.
+func (p *Plan) TransferFault(bytes int64, streams int) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.loss > 0 && p.rng.Float64() < p.loss {
+		return simnet.ErrTransferLost
+	}
+	return nil
+}
+
+// Remaining reports the number of scheduled events not yet applied.
+func (p *Plan) Remaining() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.events)
+}
+
+// Applied returns a copy of the log of fired events, in order.
+func (p *Plan) Applied() []Applied {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]Applied(nil), p.applied...)
+}

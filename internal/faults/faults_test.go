@@ -1,0 +1,211 @@
+package faults_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/here-ft/here/internal/faults"
+	"github.com/here-ft/here/internal/hypervisor"
+	"github.com/here-ft/here/internal/simnet"
+	"github.com/here-ft/here/internal/vclock"
+	"github.com/here-ft/here/internal/xen"
+)
+
+func newPlanLink(t *testing.T, seed int64) (*faults.Plan, vclock.Clock, *simnet.Link) {
+	t.Helper()
+	inner := vclock.NewSim()
+	plan := faults.New(inner, seed)
+	clk := plan.Clock()
+	link, err := simnet.NewLink(simnet.LinkConfig{
+		Name: "test", BytesPerSec: 1 << 20, SingleStreamShare: 1,
+	}, clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan.AttachLink(link)
+	return plan, clk, link
+}
+
+func TestEventsFireOnClockObservation(t *testing.T) {
+	plan, clk, link := newPlanLink(t, 1)
+	plan.LinkOutage(100*time.Millisecond, 50*time.Millisecond)
+	if link.Down() {
+		t.Fatal("link down before schedule")
+	}
+	// Sleeping past the outage start (but not its end) must take the
+	// link down even though nothing touched the link directly.
+	clk.Sleep(120 * time.Millisecond)
+	if !link.Down() {
+		t.Fatal("outage not applied on clock observation")
+	}
+	clk.Sleep(50 * time.Millisecond)
+	if link.Down() {
+		t.Fatal("outage did not end")
+	}
+	if got := plan.Remaining(); got != 0 {
+		t.Fatalf("Remaining = %d, want 0", got)
+	}
+	log := plan.Applied()
+	if len(log) != 2 || log[0].Kind != faults.KindLinkDown || log[1].Kind != faults.KindLinkUp {
+		t.Fatalf("applied log = %v", log)
+	}
+}
+
+func TestAppliedInScheduleOrderRegardlessOfInsertion(t *testing.T) {
+	plan, clk, _ := newPlanLink(t, 1)
+	// Inserted out of order; must fire in time order.
+	plan.LatencySpike(300*time.Millisecond, 100*time.Millisecond, time.Millisecond)
+	plan.LinkOutage(100*time.Millisecond, 50*time.Millisecond)
+	clk.Sleep(time.Second)
+	log := plan.Applied()
+	want := []faults.Kind{
+		faults.KindLinkDown, faults.KindLinkUp,
+		faults.KindLatencySpike, faults.KindLatencyRestore,
+	}
+	if len(log) != len(want) {
+		t.Fatalf("applied %d events, want %d", len(log), len(want))
+	}
+	for i, k := range want {
+		if log[i].Kind != k {
+			t.Fatalf("event %d = %s, want %s (%v)", i, log[i].Kind, k, log)
+		}
+	}
+	for i := 1; i < len(log); i++ {
+		if log[i].At.Before(log[i-1].At) {
+			t.Fatalf("log out of order: %v", log)
+		}
+	}
+}
+
+func TestLinkFlapExpandsToCycles(t *testing.T) {
+	plan, clk, link := newPlanLink(t, 1)
+	plan.LinkFlap(0, 3, 10*time.Millisecond, 10*time.Millisecond)
+	if got := plan.Remaining(); got != 6 {
+		t.Fatalf("flap ×3 scheduled %d events, want 6", got)
+	}
+	downs := 0
+	for i := 0; i < 12; i++ {
+		was := link.Down()
+		clk.Sleep(5 * time.Millisecond)
+		if link.Down() && !was {
+			downs++
+		}
+	}
+	if downs != 3 {
+		t.Fatalf("observed %d down edges, want 3", downs)
+	}
+	if link.Down() {
+		t.Fatal("link must end up")
+	}
+}
+
+func TestShapingEvents(t *testing.T) {
+	plan, clk, link := newPlanLink(t, 1)
+	plan.LatencySpike(0, 100*time.Millisecond, 5*time.Millisecond)
+	plan.BandwidthDegrade(0, 100*time.Millisecond, 0.25)
+	clk.Sleep(10 * time.Millisecond)
+	extra, scale := link.Shaping()
+	if extra != 5*time.Millisecond || scale != 0.25 {
+		t.Fatalf("Shaping = (%v, %v), want (5ms, 0.25)", extra, scale)
+	}
+	clk.Sleep(100 * time.Millisecond)
+	extra, scale = link.Shaping()
+	if extra != 0 || scale != 1 {
+		t.Fatalf("shaping not restored: (%v, %v)", extra, scale)
+	}
+}
+
+func TestMidTransferOutageObserved(t *testing.T) {
+	plan, clk, link := newPlanLink(t, 1)
+	// 1 MiB at 1 MiB/s = 1 s on the wire; the outage begins 250 ms in.
+	plan.LinkOutage(250*time.Millisecond, time.Second)
+	_ = clk // events delivered via the link's injector hook
+	_, err := link.Transfer(1<<20, 1)
+	var pe *simnet.PartialTransferError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want PartialTransferError", err)
+	}
+	if pe.Sent != 1<<18 {
+		t.Fatalf("sent %d bytes before outage, want %d", pe.Sent, 1<<18)
+	}
+}
+
+func TestPacketLossDeterministic(t *testing.T) {
+	run := func(seed int64) []bool {
+		plan, clk, link := newPlanLink(t, seed)
+		plan.PacketLoss(0, time.Hour, 0.5)
+		clk.Sleep(time.Millisecond)
+		var lost []bool
+		for i := 0; i < 32; i++ {
+			_, err := link.Transfer(1000, 1)
+			lost = append(lost, errors.Is(err, simnet.ErrTransferLost))
+		}
+		return lost
+	}
+	a, b := run(7), run(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at transfer %d", i)
+		}
+	}
+	someLost := false
+	for _, l := range a {
+		if l {
+			someLost = true
+		}
+	}
+	if !someLost {
+		t.Fatal("p=0.5 lost nothing in 32 transfers")
+	}
+	c := run(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical loss pattern")
+	}
+}
+
+func TestHostEventsFire(t *testing.T) {
+	inner := vclock.NewSim()
+	plan := faults.New(inner, 1)
+	clk := plan.Clock()
+	host, err := xen.New("victim", clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan.HostCrash(50*time.Millisecond, host, "CVE exploit")
+	if host.Health() != hypervisor.Healthy {
+		t.Fatal("host down before schedule")
+	}
+	clk.Sleep(60 * time.Millisecond)
+	if host.Health() != hypervisor.Crashed {
+		t.Fatalf("health = %v, want crashed", host.Health())
+	}
+	log := plan.Applied()
+	if len(log) != 1 || log[0].Kind != faults.KindHostCrash {
+		t.Fatalf("applied = %v", log)
+	}
+	if log[0].Note != "victim: CVE exploit" {
+		t.Fatalf("note = %q", log[0].Note)
+	}
+}
+
+func TestAdvanceIdempotent(t *testing.T) {
+	plan, clk, link := newPlanLink(t, 1)
+	plan.LinkOutage(10*time.Millisecond, 10*time.Millisecond)
+	clk.Sleep(100 * time.Millisecond)
+	n := len(plan.Applied())
+	plan.Advance(clk.Now())
+	plan.Advance(clk.Now())
+	if len(plan.Applied()) != n {
+		t.Fatal("Advance re-applied past events")
+	}
+	if link.Down() {
+		t.Fatal("link state wrong after repeated Advance")
+	}
+}

@@ -10,8 +10,116 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 )
+
+// Counter is a monotonically increasing event counter. It is safe for
+// concurrent use; the zero value is ready.
+type Counter struct {
+	mu sync.Mutex
+	n  int64
+}
+
+// Inc adds one to the counter.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n to the counter. Negative deltas are ignored: a Counter
+// only moves forward.
+func (c *Counter) Add(n int64) {
+	if n <= 0 {
+		return
+	}
+	c.mu.Lock()
+	c.n += n
+	c.mu.Unlock()
+}
+
+// Value reports the current count.
+func (c *Counter) Value() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// Timeline records labeled state transitions against a clock and
+// accumulates the time spent in each state. The replication engine
+// uses one to account protection modes (protected/degraded/resyncing),
+// from which availability statistics are derived. It is safe for
+// concurrent use.
+type Timeline struct {
+	mu          sync.Mutex
+	current     string
+	since       time.Time
+	totals      map[string]time.Duration
+	transitions int
+}
+
+// NewTimeline returns a timeline in the given initial state.
+func NewTimeline(start time.Time, initial string) *Timeline {
+	return &Timeline{
+		current: initial,
+		since:   start,
+		totals:  make(map[string]time.Duration),
+	}
+}
+
+// Current reports the present state.
+func (t *Timeline) Current() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.current
+}
+
+// Transitions reports how many state changes were recorded.
+func (t *Timeline) Transitions() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.transitions
+}
+
+// Transition moves the timeline into state at now, closing the open
+// interval. Transitioning into the current state is a no-op.
+func (t *Timeline) Transition(now time.Time, state string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if state == t.current {
+		return
+	}
+	if now.After(t.since) {
+		t.totals[t.current] += now.Sub(t.since)
+	}
+	t.current = state
+	t.since = now
+	t.transitions++
+}
+
+// Time reports the cumulative duration spent in state, including the
+// open interval up to now.
+func (t *Timeline) Time(now time.Time, state string) time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	d := t.totals[state]
+	if state == t.current && now.After(t.since) {
+		d += now.Sub(t.since)
+	}
+	return d
+}
+
+// Totals reports the cumulative duration per state, including the open
+// interval up to now.
+func (t *Timeline) Totals(now time.Time) map[string]time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[string]time.Duration, len(t.totals)+1)
+	for s, d := range t.totals {
+		out[s] = d
+	}
+	if now.After(t.since) {
+		out[t.current] += now.Sub(t.since)
+	}
+	return out
+}
 
 // Summary accumulates scalar observations and reports basic statistics.
 // The zero value is ready to use. Summary is not safe for concurrent use.

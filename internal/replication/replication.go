@@ -19,6 +19,7 @@ package replication
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"time"
 
@@ -27,6 +28,7 @@ import (
 	"github.com/here-ft/here/internal/devices"
 	"github.com/here-ft/here/internal/hypervisor"
 	"github.com/here-ft/here/internal/memory"
+	"github.com/here-ft/here/internal/metrics"
 	"github.com/here-ft/here/internal/migration"
 	"github.com/here-ft/here/internal/period"
 	"github.com/here-ft/here/internal/simnet"
@@ -60,6 +62,142 @@ func (e Engine) String() string {
 // DefaultThreads is HERE's default checkpoint transfer thread count.
 const DefaultThreads = 4
 
+// State is the protection mode of a replicated VM.
+type State int
+
+// Protection states.
+const (
+	// StateProtected is normal operation: checkpoints flow and are
+	// acknowledged; the replica trails the primary by one epoch.
+	StateProtected State = iota + 1
+	// StateDegraded is unprotected execution after a transfer outlived
+	// its retry budget: the guest keeps running while the dirty bitmap
+	// accumulates the delta for the eventual resync.
+	StateDegraded
+	// StateResyncing is the delta resync that ends a degraded
+	// interval: only pages dirtied during the outage are shipped.
+	StateResyncing
+	// StateFailedOver means the replica VM was activated on the
+	// secondary host; this replicator is finished.
+	StateFailedOver
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case StateProtected:
+		return "protected"
+	case StateDegraded:
+		return "degraded"
+	case StateResyncing:
+		return "resyncing"
+	case StateFailedOver:
+		return "failed-over"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// Retry defaults. The worst-case in-checkpoint stall (the "retry
+// budget") is the sum of the backoffs: ~350 ms with the defaults —
+// long enough to ride out a link flap, short enough that a real
+// outage drops into degraded mode quickly.
+const (
+	DefaultMaxAttempts    = 4
+	DefaultInitialBackoff = 50 * time.Millisecond
+	DefaultMaxBackoff     = 2 * time.Second
+	DefaultMultiplier     = 2.0
+	DefaultJitter         = 0.2
+)
+
+// RetryPolicy governs how a failed checkpoint transfer is retried:
+// exponential backoff with jitter, up to MaxAttempts total attempts.
+// Zero fields take the package defaults, so the zero value is a sane
+// policy. Jitter draws from a seeded RNG, keeping runs deterministic.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of transfer attempts (1 = no
+	// retries).
+	MaxAttempts int
+	// InitialBackoff is the delay before the first retry.
+	InitialBackoff time.Duration
+	// MaxBackoff caps the exponential growth.
+	MaxBackoff time.Duration
+	// Multiplier scales the backoff between attempts (≥ 1).
+	Multiplier float64
+	// Jitter randomizes each backoff by ±Jitter (fraction in [0, 1));
+	// 0 takes the default, negative disables jitter entirely.
+	Jitter float64
+	// Seed seeds the jitter RNG.
+	Seed int64
+}
+
+// withDefaults fills zero fields with the package defaults.
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = DefaultMaxAttempts
+	}
+	if p.InitialBackoff <= 0 {
+		p.InitialBackoff = DefaultInitialBackoff
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = DefaultMaxBackoff
+	}
+	if p.Multiplier < 1 {
+		p.Multiplier = DefaultMultiplier
+	}
+	switch {
+	case p.Jitter == 0 || p.Jitter >= 1:
+		p.Jitter = DefaultJitter
+	case p.Jitter < 0:
+		p.Jitter = 0
+	}
+	return p
+}
+
+// Budget reports the worst-case cumulative backoff delay of the
+// policy — an outage longer than this cannot be ridden out by retries
+// within one checkpoint.
+func (p RetryPolicy) Budget() time.Duration {
+	p = p.withDefaults()
+	var total time.Duration
+	b := p.InitialBackoff
+	for i := 1; i < p.MaxAttempts; i++ {
+		d := time.Duration(float64(b) * (1 + p.Jitter))
+		total += d
+		b = time.Duration(float64(b) * p.Multiplier)
+		if b > p.MaxBackoff {
+			b = p.MaxBackoff
+		}
+	}
+	return total
+}
+
+// RecoveryStats aggregates the recovery machinery's activity: retries,
+// abandoned checkpoints, degraded intervals and delta resyncs, plus
+// cumulative time per protection mode.
+type RecoveryStats struct {
+	// Retries counts transfer attempts beyond the first.
+	Retries int64
+	// Rollbacks counts checkpoints abandoned after the retry budget:
+	// the replica stayed on the last acknowledged epoch and the dirty
+	// pages were re-marked for the next attempt.
+	Rollbacks int64
+	// DegradedEntries counts transitions into degraded mode.
+	DegradedEntries int64
+	// Resyncs counts successful delta resyncs.
+	Resyncs int64
+	// ResyncPages and ResyncBytes are the delta shipped by resyncs —
+	// compare against the full memory size to see what a re-seed
+	// would have cost.
+	ResyncPages int64
+	ResyncBytes int64
+	// ProtectedTime, DegradedTime and ResyncTime are cumulative time
+	// per protection mode.
+	ProtectedTime time.Duration
+	DegradedTime  time.Duration
+	ResyncTime    time.Duration
+}
+
 // ackBytes is the size of the replica's checkpoint acknowledgement.
 const ackBytes = 64
 
@@ -90,6 +228,12 @@ var (
 	ErrNotSeeded     = errors.New("replication: not seeded yet")
 	ErrPrimaryDown   = errors.New("replication: primary host is down")
 	ErrSecondaryDown = errors.New("replication: secondary host is down")
+	ErrFailedOver    = errors.New("replication: replica already activated")
+	// ErrDegraded wraps a checkpoint failure that exhausted the retry
+	// budget while degraded mode is off: the cycle rolled back and the
+	// VM keeps running unprotected. errors.Is also matches the
+	// underlying transfer error (e.g. simnet.ErrLinkDown).
+	ErrDegraded = errors.New("replication: path unavailable, VM unprotected")
 )
 
 // Config parameterizes a Replicator.
@@ -121,6 +265,15 @@ type Config struct {
 	// Seeding overrides the seeding migration parameters (Link and
 	// Mode are filled in by the replicator).
 	Seeding migration.Config
+	// Retry governs transfer retries (zero fields take the package
+	// defaults).
+	Retry RetryPolicy
+	// DegradedMode allows the replicator to drop into degraded
+	// (unprotected) execution when a transfer outlives the retry
+	// budget, instead of failing the cycle. The guest keeps running,
+	// dirty pages accumulate, and a delta resync restores protection
+	// once the link recovers.
+	DegradedMode bool
 }
 
 // CheckpointStats describes one completed checkpoint.
@@ -143,6 +296,14 @@ type CheckpointStats struct {
 	NextPeriod time.Duration
 	// PacketsReleased is the buffered output released on ack.
 	PacketsReleased int
+	// Mode is the protection state when the cycle ended. A cycle that
+	// checkpointed successfully reports StateProtected; a cycle spent
+	// riding out an outage reports StateDegraded.
+	Mode State
+	// Resync marks the delta-resync checkpoint that ended a degraded
+	// interval: DirtyPages/Bytes cover only what was dirtied during
+	// the outage, not the full memory.
+	Resync bool
 }
 
 // Totals aggregates a replication run, including the resource
@@ -189,8 +350,20 @@ type Replicator struct {
 	src     hypervisor.Hypervisor
 	dst     hypervisor.Hypervisor
 	threads int
+	retry   RetryPolicy
+
+	// Recovery counters and the per-mode timeline (see RecoveryStats).
+	retries         metrics.Counter
+	rollbacks       metrics.Counter
+	degradedEntries metrics.Counter
+	resyncs         metrics.Counter
+	resyncPages     metrics.Counter
+	resyncBytes     metrics.Counter
+	timeline        *metrics.Timeline
 
 	mu         sync.Mutex
+	rng        *rand.Rand // jitter source for retry backoff
+	state      State
 	seeded     bool
 	seq        uint64
 	dstMem     *memory.GuestMemory
@@ -230,15 +403,63 @@ func New(vm *hypervisor.VM, dst hypervisor.Hypervisor, cfg Config) (*Replicator,
 			threads = DefaultThreads
 		}
 	}
+	retry := cfg.Retry.withDefaults()
 	return &Replicator{
-		cfg:     cfg,
-		primary: vm,
-		src:     vm.Hypervisor(),
-		dst:     dst,
-		threads: threads,
-		dstMem:  memory.NewGuestMemory(vm.Memory().SizeBytes()),
-		iob:     devices.NewIOBuffer(vm.Hypervisor().Clock()),
+		cfg:      cfg,
+		primary:  vm,
+		src:      vm.Hypervisor(),
+		dst:      dst,
+		threads:  threads,
+		retry:    retry,
+		rng:      rand.New(rand.NewSource(retry.Seed)),
+		state:    StateProtected,
+		timeline: metrics.NewTimeline(vm.Hypervisor().Clock().Now(), StateProtected.String()),
+		dstMem:   memory.NewGuestMemory(vm.Memory().SizeBytes()),
+		iob:      devices.NewIOBuffer(vm.Hypervisor().Clock()),
 	}, nil
+}
+
+// State reports the current protection mode.
+func (r *Replicator) State() State {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.state
+}
+
+// setState transitions the protection mode and the mode timeline.
+func (r *Replicator) setState(s State) {
+	now := r.src.Clock().Now()
+	r.mu.Lock()
+	if r.state != s {
+		r.state = s
+		r.timeline.Transition(now, s.String())
+	}
+	r.mu.Unlock()
+}
+
+// MarkFailedOver records that the replica was activated on the
+// secondary; further checkpoints and activations are refused. Called
+// by failover.Activate.
+func (r *Replicator) MarkFailedOver() { r.setState(StateFailedOver) }
+
+// Retry reports the normalized retry policy in effect.
+func (r *Replicator) Retry() RetryPolicy { return r.retry }
+
+// Recovery reports the recovery machinery's statistics so far.
+func (r *Replicator) Recovery() RecoveryStats {
+	now := r.src.Clock().Now()
+	totals := r.timeline.Totals(now)
+	return RecoveryStats{
+		Retries:         r.retries.Value(),
+		Rollbacks:       r.rollbacks.Value(),
+		DegradedEntries: r.degradedEntries.Value(),
+		Resyncs:         r.resyncs.Value(),
+		ResyncPages:     r.resyncPages.Value(),
+		ResyncBytes:     r.resyncBytes.Value(),
+		ProtectedTime:   totals[StateProtected.String()],
+		DegradedTime:    totals[StateDegraded.String()],
+		ResyncTime:      totals[StateResyncing.String()],
+	}
 }
 
 // SetWorkload replaces the guest workload (e.g. to attach an
@@ -355,6 +576,10 @@ func (r *Replicator) RunCycle() (CheckpointStats, error) {
 		r.mu.Unlock()
 		return CheckpointStats{}, ErrNotSeeded
 	}
+	if r.state == StateFailedOver {
+		r.mu.Unlock()
+		return CheckpointStats{}, ErrFailedOver
+	}
 	w := r.cfg.Workload
 	r.mu.Unlock()
 
@@ -405,7 +630,37 @@ func (r *Replicator) RunCycle() (CheckpointStats, error) {
 	r.mu.Lock()
 	r.totals.TotalRun += T
 	r.mu.Unlock()
-	return r.checkpoint(T)
+
+	if r.State() == StateDegraded {
+		// Probe the link before attempting the resync; while the
+		// outage lasts the guest just keeps running unprotected, the
+		// dirty bitmap accumulating the delta for the eventual resync.
+		if r.cfg.Link.Down() {
+			return r.degradedCycle(T), nil
+		}
+		return r.checkpoint(T, true)
+	}
+	return r.checkpoint(T, false)
+}
+
+// degradedCycle records one interval ridden out in degraded mode: no
+// pause, no transfer, protection still suspended.
+func (r *Replicator) degradedCycle(runPeriod time.Duration) CheckpointStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := CheckpointStats{
+		Seq:        r.seq, // the seq the eventual resync checkpoint will take
+		Epoch:      devices.Epoch(0),
+		DirtyPages: r.primary.Tracker().Bitmap().Count(),
+		RunPeriod:  runPeriod,
+		NextPeriod: r.cfg.Period,
+		Mode:       StateDegraded,
+	}
+	if r.cfg.PeriodManager != nil {
+		st.NextPeriod = r.cfg.PeriodManager.Period()
+	}
+	r.history = append(r.history, st)
+	return st
 }
 
 // RunFor executes replication cycles until at least d of simulated
@@ -424,12 +679,110 @@ func (r *Replicator) RunFor(d time.Duration) ([]CheckpointStats, error) {
 	return out, nil
 }
 
+// ship sends bytes over the replication link, retrying transient
+// failures with exponential backoff + jitter per the retry policy.
+// It returns the last transfer error once the budget is exhausted.
+func (r *Replicator) ship(bytes int64, streams int) error {
+	clock := r.src.Clock()
+	backoff := r.retry.InitialBackoff
+	for attempt := 1; ; attempt++ {
+		_, err := r.cfg.Link.Transfer(bytes, streams)
+		if err == nil {
+			return nil
+		}
+		if attempt >= r.retry.MaxAttempts {
+			return err
+		}
+		r.retries.Inc()
+		clock.Sleep(r.jittered(backoff))
+		backoff = time.Duration(float64(backoff) * r.retry.Multiplier)
+		if backoff > r.retry.MaxBackoff {
+			backoff = r.retry.MaxBackoff
+		}
+	}
+}
+
+// jittered randomizes d by ±Jitter from the seeded RNG.
+func (r *Replicator) jittered(d time.Duration) time.Duration {
+	if r.retry.Jitter <= 0 {
+		return d
+	}
+	r.mu.Lock()
+	f := 1 + r.retry.Jitter*(2*r.rng.Float64()-1)
+	r.mu.Unlock()
+	return time.Duration(float64(d) * f)
+}
+
+// dirtyRegions counts the distinct 2 MiB regions the dirty set spans —
+// the parallelism bound for a region-sharded transfer.
+func dirtyRegions(pages []memory.PageNum) int {
+	seen := make(map[int]struct{})
+	for _, p := range pages {
+		seen[memory.RegionOf(p)] = struct{}{}
+	}
+	return len(seen)
+}
+
+// rollback abandons an in-flight checkpoint whose transfer outlived
+// the retry budget. The replica stays on the last acknowledged epoch;
+// the sealed I/O and disk-journal epochs stay buffered (they release
+// when a later checkpoint is acknowledged); the dirty pages are
+// re-marked in the tracker so the next checkpoint — or the delta
+// resync — ships them. The guest resumes and keeps running.
+func (r *Replicator) rollback(pauseStart time.Time, runPeriod time.Duration,
+	dirty []memory.PageNum, cause error) (CheckpointStats, error) {
+
+	bm := r.primary.Tracker().Bitmap()
+	for _, p := range dirty {
+		bm.Set(p)
+	}
+	r.rollbacks.Inc()
+	r.primary.Resume()
+	pause := r.src.Clock().Since(pauseStart)
+	r.mu.Lock()
+	r.totals.TotalPause += pause
+	r.mu.Unlock()
+
+	if !r.cfg.DegradedMode {
+		return CheckpointStats{}, fmt.Errorf("%w: %w", ErrDegraded, cause)
+	}
+	// A failed resync attempt (state Resyncing) continues the same
+	// degraded episode; only a fall from Protected opens a new one.
+	if r.State() == StateProtected {
+		r.degradedEntries.Inc()
+	}
+	r.setState(StateDegraded)
+	r.mu.Lock()
+	st := CheckpointStats{
+		Seq:         r.seq,
+		DirtyPages:  len(dirty),
+		Pause:       pause,
+		RunPeriod:   runPeriod,
+		Degradation: period.Degradation(pause, runPeriod),
+		NextPeriod:  r.cfg.Period,
+		Mode:        StateDegraded,
+	}
+	if r.cfg.PeriodManager != nil {
+		st.NextPeriod = r.cfg.PeriodManager.Period()
+	}
+	r.history = append(r.history, st)
+	r.mu.Unlock()
+	return st, nil
+}
+
 // checkpoint performs the pause→copy→ack→resume sequence of Fig 3 and
-// releases the checkpoint's buffered output.
-func (r *Replicator) checkpoint(runPeriod time.Duration) (CheckpointStats, error) {
+// releases the checkpoint's buffered output. With resync it is the
+// delta resync ending a degraded interval: the dirty set is everything
+// accumulated since protection was lost, sharded into 2 MiB regions
+// handed round-robin to the transfer threads exactly like the seeding
+// path — far cheaper than a full re-seed.
+func (r *Replicator) checkpoint(runPeriod time.Duration, resync bool) (CheckpointStats, error) {
 	clock := r.src.Clock()
 	costs := r.src.Costs()
 	pauseStart := clock.Now()
+	if resync {
+		r.setState(StateResyncing)
+	}
 
 	r.primary.Pause()
 	epoch := r.iob.SealEpoch()
@@ -467,7 +820,9 @@ func (r *Replicator) checkpoint(runPeriod time.Duration) (CheckpointStats, error
 	}
 
 	// Ship dirtied memory + journaled disk writes + state record,
-	// then wait for the ack.
+	// then wait for the ack. Transient failures are retried with
+	// backoff; a transfer that outlives the retry budget rolls the
+	// checkpoint back.
 	bytes := int64(n)*memory.PageSize + diskBytes + int64(len(image))
 	var compress time.Duration
 	if r.cfg.Compression {
@@ -476,17 +831,25 @@ func (r *Replicator) checkpoint(runPeriod time.Duration) (CheckpointStats, error
 		clock.Sleep(compress)
 		bytes = int64(float64(bytes) * CompressionRatio)
 	}
-	if _, err := r.cfg.Link.Transfer(bytes, r.threads); err != nil {
-		return CheckpointStats{}, fmt.Errorf("replication: transfer: %w", err)
+	streams := r.threads
+	if regions := dirtyRegions(dirty); regions > 0 && regions < streams {
+		// Region sharding bounds the transfer parallelism: fewer
+		// dirtied 2 MiB regions than threads leaves threads idle.
+		streams = regions
 	}
-	// Apply atomically on the replica only after the full checkpoint
-	// arrived — a failed transfer must leave the previous checkpoint
-	// intact, which the early return above guarantees.
+	if err := r.ship(bytes, streams); err != nil {
+		return r.rollback(pauseStart, runPeriod, dirty, err)
+	}
+	if err := r.ship(ackBytes, 1); err != nil {
+		// The replica may hold the checkpoint data, but without the
+		// acknowledgement the primary must treat it as never applied.
+		return r.rollback(pauseStart, runPeriod, dirty, err)
+	}
+	// Apply atomically on the replica only once acknowledged — a
+	// checkpoint that failed mid-flight above leaves the previous
+	// acknowledged checkpoint intact.
 	if err := r.primary.Memory().CopyPagesTo(dirty, r.dstMem); err != nil {
 		return CheckpointStats{}, fmt.Errorf("replication: apply: %w", err)
-	}
-	if _, err := r.cfg.Link.Transfer(ackBytes, 1); err != nil {
-		return CheckpointStats{}, fmt.Errorf("replication: ack: %w", err)
 	}
 
 	pause := clock.Since(pauseStart)
@@ -525,6 +888,13 @@ func (r *Replicator) checkpoint(runPeriod time.Duration) (CheckpointStats, error
 		sink(released)
 	}
 
+	if resync {
+		r.resyncs.Inc()
+		r.resyncPages.Add(int64(n))
+		r.resyncBytes.Add(bytes + ackBytes)
+	}
+	r.setState(StateProtected)
+
 	st := CheckpointStats{
 		Seq:             seq,
 		Epoch:           epoch,
@@ -535,6 +905,8 @@ func (r *Replicator) checkpoint(runPeriod time.Duration) (CheckpointStats, error
 		Degradation:     period.Degradation(pause, runPeriod),
 		NextPeriod:      r.cfg.Period,
 		PacketsReleased: len(released),
+		Mode:            StateProtected,
+		Resync:          resync,
 	}
 	if r.cfg.PeriodManager != nil {
 		_, st.NextPeriod = r.cfg.PeriodManager.Observe(pause)

@@ -23,8 +23,54 @@ import (
 	"github.com/here-ft/here/internal/vclock"
 )
 
-// ErrLinkDown is returned by Transfer when the link has failed.
-var ErrLinkDown = errors.New("simnet: link is down")
+// Errors reported by transfers.
+var (
+	// ErrLinkDown is returned by Transfer when the link has failed —
+	// either before the transfer started or, wrapped in a
+	// PartialTransferError, while it was on the wire.
+	ErrLinkDown = errors.New("simnet: link is down")
+	// ErrTransferLost is returned by Transfer when an injector dropped
+	// the transfer in flight: the wire time and bytes were spent, but
+	// the receiver saw nothing usable.
+	ErrTransferLost = errors.New("simnet: transfer lost in flight")
+)
+
+// PartialTransferError reports a transfer interrupted mid-flight. Sent
+// is the number of bytes that made it onto the wire before the failure
+// began; it is already included in the link's Stats. Unwrap yields the
+// underlying cause (ErrLinkDown), so errors.Is keeps working.
+type PartialTransferError struct {
+	Link  string
+	Sent  int64
+	Total int64
+	Cause error
+}
+
+// Error describes the interrupted transfer.
+func (e *PartialTransferError) Error() string {
+	return fmt.Sprintf("link %q: transfer interrupted after %d of %d bytes: %v",
+		e.Link, e.Sent, e.Total, e.Cause)
+}
+
+// Unwrap returns the underlying cause.
+func (e *PartialTransferError) Unwrap() error { return e.Cause }
+
+// Injector lets a fault plan shape or fail individual transfers. A
+// Link with an injector attached consults it when sampling link state
+// (so scheduled outages are observed even mid-transfer) and once per
+// completed transfer (per-transfer loss).
+//
+// internal/faults.Plan is the canonical implementation.
+type Injector interface {
+	// Advance applies any scheduled fault events due at or before now
+	// (link up/down, shaping changes, host failures). Transfer calls it
+	// when sampling link state, both before the transfer and after its
+	// modeled duration elapsed.
+	Advance(now time.Time)
+	// TransferFault is consulted once per transfer after the wire time
+	// passed; a non-nil error drops the transfer (per-transfer loss).
+	TransferFault(bytes int64, streams int) error
+}
 
 // LinkConfig describes a point-to-point link.
 type LinkConfig struct {
@@ -79,11 +125,15 @@ type Link struct {
 	cfg   LinkConfig
 	clock vclock.Clock
 
-	mu       sync.Mutex
-	down     bool
-	sentB    int64
-	nXfers   int64
-	busyTime time.Duration
+	mu        sync.Mutex
+	down      bool
+	downSince time.Time
+	extraLat  time.Duration // added propagation delay (latency spike)
+	rateScale float64       // bandwidth multiplier in (0,1]; 0 = nominal
+	injector  Injector
+	sentB     int64
+	nXfers    int64
+	busyTime  time.Duration
 }
 
 // NewLink returns a link timed against clock.
@@ -105,7 +155,7 @@ func NewLink(cfg LinkConfig, clock vclock.Clock) (*Link, error) {
 func (l *Link) Config() LinkConfig { return l.cfg }
 
 // EffectiveRate reports the achievable throughput with the given number
-// of concurrent streams.
+// of concurrent streams, including any bandwidth degradation in effect.
 func (l *Link) EffectiveRate(streams int) float64 {
 	if streams < 1 {
 		streams = 1
@@ -114,22 +164,32 @@ func (l *Link) EffectiveRate(streams int) float64 {
 	if share > 1 {
 		share = 1
 	}
-	return l.cfg.BytesPerSec * share
+	_, scale := l.Shaping()
+	return l.cfg.BytesPerSec * share * scale
 }
 
 // TransferTime reports how long sending the given bytes with the given
-// stream count takes, without performing the transfer.
+// stream count takes under the current link conditions, without
+// performing the transfer.
 func (l *Link) TransferTime(bytes int64, streams int) time.Duration {
+	extra, _ := l.Shaping()
+	lat := l.cfg.Latency + extra
 	if bytes <= 0 {
-		return l.cfg.Latency
+		return lat
 	}
 	secs := float64(bytes) / l.EffectiveRate(streams)
-	return l.cfg.Latency + time.Duration(secs*float64(time.Second))
+	return lat + time.Duration(secs*float64(time.Second))
 }
 
 // Transfer accounts a transfer of the given size on the clock and
-// returns its duration. It fails if the link is down.
+// returns its duration. It fails before any bytes move if the link is
+// down, with a PartialTransferError if the link goes down while the
+// transfer is on the wire, and with ErrTransferLost if an injector
+// drops it.
 func (l *Link) Transfer(bytes int64, streams int) (time.Duration, error) {
+	if inj := l.Injector(); inj != nil {
+		inj.Advance(l.clock.Now())
+	}
 	l.mu.Lock()
 	if l.down {
 		l.mu.Unlock()
@@ -137,8 +197,43 @@ func (l *Link) Transfer(bytes int64, streams int) (time.Duration, error) {
 	}
 	l.mu.Unlock()
 
+	start := l.clock.Now()
 	d := l.TransferTime(bytes, streams)
 	l.clock.Sleep(d)
+	if inj := l.Injector(); inj != nil {
+		inj.Advance(l.clock.Now())
+	}
+
+	l.mu.Lock()
+	if l.down {
+		// The link failed while the transfer was on the wire: only the
+		// bytes sent before the outage began made it.
+		var sent int64
+		if l.downSince.After(start) && d > 0 {
+			frac := float64(l.downSince.Sub(start)) / float64(d)
+			if frac > 1 {
+				frac = 1
+			}
+			sent = int64(frac * float64(bytes))
+			l.busyTime += l.downSince.Sub(start)
+		}
+		l.sentB += sent
+		l.nXfers++
+		l.mu.Unlock()
+		return d, &PartialTransferError{Link: l.cfg.Name, Sent: sent, Total: bytes, Cause: ErrLinkDown}
+	}
+	l.mu.Unlock()
+
+	if inj := l.Injector(); inj != nil {
+		if err := inj.TransferFault(bytes, streams); err != nil {
+			l.mu.Lock()
+			l.sentB += bytes
+			l.nXfers++
+			l.busyTime += d
+			l.mu.Unlock()
+			return d, fmt.Errorf("link %q: %w", l.cfg.Name, err)
+		}
+	}
 
 	l.mu.Lock()
 	l.sentB += bytes
@@ -148,11 +243,78 @@ func (l *Link) Transfer(bytes int64, streams int) (time.Duration, error) {
 	return d, nil
 }
 
-// SetDown marks the link failed (true) or healthy (false).
+// SetDown marks the link failed (true) or healthy (false) as of now.
 func (l *Link) SetDown(down bool) {
+	l.SetDownAt(down, l.clock.Now())
+}
+
+// SetDownAt marks the link failed or healthy as of at. A fault plan
+// applying a scheduled outage passes the event's programmed time, so a
+// transfer already on the wire can tell how many of its bytes preceded
+// the outage.
+func (l *Link) SetDownAt(down bool, at time.Time) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if down && !l.down {
+		l.downSince = at
+	}
 	l.down = down
+}
+
+// SetInjector attaches a fault injector to the link (nil detaches).
+func (l *Link) SetInjector(inj Injector) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.injector = inj
+}
+
+// Injector returns the attached fault injector, or nil.
+func (l *Link) Injector() Injector {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.injector
+}
+
+// SetExtraLatency adds the given propagation delay to every transfer
+// (a latency spike); zero restores nominal latency.
+func (l *Link) SetExtraLatency(d time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if d < 0 {
+		d = 0
+	}
+	l.extraLat = d
+}
+
+// SetRateScale degrades the link bandwidth to the given fraction of
+// nominal; 1 (or 0) restores full rate.
+func (l *Link) SetRateScale(f float64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if f <= 0 || f > 1 {
+		f = 0 // nominal
+	}
+	l.rateScale = f
+}
+
+// Shaping reports the link conditions currently in effect: extra
+// propagation delay and the bandwidth scale (1 = nominal).
+func (l *Link) Shaping() (extra time.Duration, scale float64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	scale = l.rateScale
+	if scale == 0 {
+		scale = 1
+	}
+	return l.extraLat, scale
+}
+
+// PropagationDelay reports the current one-way delay of the link,
+// including any latency spike in effect — what a heartbeat riding this
+// link experiences.
+func (l *Link) PropagationDelay() time.Duration {
+	extra, _ := l.Shaping()
+	return l.cfg.Latency + extra
 }
 
 // Down reports whether the link is failed.

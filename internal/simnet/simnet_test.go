@@ -152,6 +152,125 @@ func TestPresetsShapedLikeTestbed(t *testing.T) {
 	}
 }
 
+// scriptedInjector is a minimal Injector: it takes the link down at a
+// scheduled instant and can drop transfers unconditionally.
+type scriptedInjector struct {
+	l      *Link
+	downAt time.Time
+	lose   bool
+}
+
+func (i *scriptedInjector) Advance(now time.Time) {
+	if !i.downAt.IsZero() && !now.Before(i.downAt) {
+		i.l.SetDownAt(true, i.downAt)
+	}
+}
+
+func (i *scriptedInjector) TransferFault(bytes int64, streams int) error {
+	if i.lose {
+		return ErrTransferLost
+	}
+	return nil
+}
+
+func TestTransferInterruptedMidFlight(t *testing.T) {
+	clk := vclock.NewSim()
+	l := newTestLink(t, LinkConfig{
+		Name: "l", BytesPerSec: 1 << 20, SingleStreamShare: 1,
+	}, clk)
+	// The transfer takes 1 s; the link dies 250 ms in. Only the first
+	// quarter of the bytes made it onto the wire.
+	inj := &scriptedInjector{l: l, downAt: clk.Now().Add(250 * time.Millisecond)}
+	l.SetInjector(inj)
+	_, err := l.Transfer(1<<20, 1)
+	if !errors.Is(err, ErrLinkDown) {
+		t.Fatalf("err = %v, want ErrLinkDown", err)
+	}
+	var pe *PartialTransferError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %T, want PartialTransferError", err)
+	}
+	want := int64(1 << 18)
+	if pe.Sent != want || pe.Total != 1<<20 {
+		t.Fatalf("partial = %d/%d bytes, want %d/%d", pe.Sent, pe.Total, want, int64(1<<20))
+	}
+	bytes, n, busy := l.Stats()
+	if bytes != want || n != 1 {
+		t.Fatalf("Stats = (%d, %d), want (%d, 1)", bytes, n, want)
+	}
+	if busy != 250*time.Millisecond {
+		t.Fatalf("busy = %v, want 250ms", busy)
+	}
+}
+
+func TestTransferDownBeforeStartSendsNothing(t *testing.T) {
+	clk := vclock.NewSim()
+	l := newTestLink(t, OmniPath100(), clk)
+	l.SetDown(true)
+	_, err := l.Transfer(1<<20, 4)
+	if !errors.Is(err, ErrLinkDown) {
+		t.Fatalf("err = %v, want ErrLinkDown", err)
+	}
+	var pe *PartialTransferError
+	if errors.As(err, &pe) {
+		t.Fatal("down-before-start must not be a partial transfer")
+	}
+	if bytes, _, _ := l.Stats(); bytes != 0 {
+		t.Fatalf("down link accounted %d bytes", bytes)
+	}
+}
+
+func TestShapingAffectsTransferTime(t *testing.T) {
+	clk := vclock.NewSim()
+	l := newTestLink(t, LinkConfig{
+		Name: "l", BytesPerSec: 1 << 20, Latency: time.Millisecond, SingleStreamShare: 1,
+	}, clk)
+	nominal := l.TransferTime(1<<20, 1)
+
+	l.SetExtraLatency(9 * time.Millisecond)
+	if got := l.TransferTime(1<<20, 1); got != nominal+9*time.Millisecond {
+		t.Fatalf("latency spike: %v, want %v", got, nominal+9*time.Millisecond)
+	}
+	if got := l.PropagationDelay(); got != 10*time.Millisecond {
+		t.Fatalf("PropagationDelay = %v, want 10ms", got)
+	}
+	l.SetExtraLatency(0)
+
+	l.SetRateScale(0.5)
+	if got := l.EffectiveRate(1); got != float64(1<<19) {
+		t.Fatalf("degraded rate = %v, want half", got)
+	}
+	if got := l.TransferTime(1<<20, 1); got != 2*time.Second+time.Millisecond {
+		t.Fatalf("degraded transfer = %v, want 2.001s", got)
+	}
+	l.SetRateScale(1.5) // invalid: clamps back to nominal
+	if extra, scale := l.Shaping(); extra != 0 || scale != 1 {
+		t.Fatalf("Shaping = (%v, %v), want nominal", extra, scale)
+	}
+}
+
+func TestInjectorDropsTransfer(t *testing.T) {
+	clk := vclock.NewSim()
+	l := newTestLink(t, OmniPath100(), clk)
+	l.SetInjector(&scriptedInjector{l: l, lose: true})
+	d, err := l.Transfer(1000, 2)
+	if !errors.Is(err, ErrTransferLost) {
+		t.Fatalf("err = %v, want ErrTransferLost", err)
+	}
+	// The wire time and bytes were spent even though the payload was
+	// useless to the receiver.
+	if d <= 0 {
+		t.Fatal("lost transfer must still cost wire time")
+	}
+	if bytes, _, _ := l.Stats(); bytes != 1000 {
+		t.Fatalf("lost transfer accounted %d bytes", bytes)
+	}
+	l.SetInjector(nil)
+	if _, err := l.Transfer(1000, 2); err != nil {
+		t.Fatalf("after detach: %v", err)
+	}
+}
+
 func TestPresetTransferScale(t *testing.T) {
 	// 20 GB over saturated Omni-Path should take ~1.6 s — the right
 	// order of magnitude for Fig 6's tens-of-seconds migrations once
