@@ -1,10 +1,10 @@
 GO ?= go
 
-RACE_PKGS = ./internal/replication ./internal/failover ./internal/faults ./internal/simnet
+RACE_PKGS = ./internal/replication ./internal/failover ./internal/faults ./internal/simnet ./internal/wire
 
-.PHONY: check vet fmt build test race
+.PHONY: check vet fmt build test race fuzz-smoke bench
 
-check: vet fmt build test race
+check: vet fmt build test race fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -26,3 +26,12 @@ test:
 # for minutes).
 race:
 	$(GO) test -race . $(RACE_PKGS)
+
+# Replay the checked-in fuzz corpora (seed inputs only, no new input
+# generation) — fast regression coverage for the stream parsers.
+fuzz-smoke:
+	$(GO) test -run=Fuzz ./internal/...
+
+# Reduced-scale wire-codec benchmark; writes BENCH_wire.json.
+bench:
+	$(GO) run ./cmd/here-bench -quick -only wire

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -30,9 +31,10 @@ func main() {
 
 func run() error {
 	var (
-		quick  = flag.Bool("quick", false, "reduced-scale run")
-		only   = flag.String("only", "", "comma-separated artifact list (table1,table2,table5,fig5..fig17,sec87,tenants,colo,adaptive,ablation)")
-		csvDir = flag.String("csv", "", "directory to write fig9/fig10 trace CSVs into")
+		quick    = flag.Bool("quick", false, "reduced-scale run")
+		only     = flag.String("only", "", "comma-separated artifact list (table1,table2,table5,fig5..fig17,sec87,tenants,colo,adaptive,ablation,wire)")
+		csvDir   = flag.String("csv", "", "directory to write fig9/fig10 trace CSVs into")
+		wireJSON = flag.String("wirejson", "BENCH_wire.json", "path for the wire artifact's machine-readable output (empty = don't write)")
 	)
 	flag.Parse()
 
@@ -218,6 +220,14 @@ func run() error {
 			fmt.Println(experiments.RenderAdaptive(rows))
 			return nil
 		}},
+		{"wire", func() error {
+			rows, err := experiments.WireBench(scale)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.RenderWireBench(rows))
+			return writeWireJSON(*wireJSON, rows)
+		}},
 		{"ablation", func() error {
 			threads, err := experiments.ThreadAblation(scale, nil)
 			if err != nil {
@@ -253,6 +263,59 @@ func run() error {
 		}
 		fmt.Printf("[%s done in %v]\n\n", a.key, time.Since(start).Round(time.Millisecond))
 	}
+	return nil
+}
+
+// writeWireJSON stores the wire-codec rows machine-readably: raw vs
+// encoded bytes, the frame mix, encode time and pause percentiles per
+// workload × codec mode.
+func writeWireJSON(path string, rows []experiments.WireBenchRow) error {
+	if path == "" {
+		return nil
+	}
+	type jsonRow struct {
+		Workload     string  `json:"workload"`
+		Codec        string  `json:"codec"`
+		Checkpoints  int64   `json:"checkpoints"`
+		RawBytes     int64   `json:"raw_bytes"`
+		EncodedBytes int64   `json:"encoded_bytes"`
+		Ratio        float64 `json:"ratio"`
+		ZeroPages    int64   `json:"zero_pages"`
+		DeltaFrames  int64   `json:"delta_frames"`
+		RawFrames    int64   `json:"raw_frames"`
+		EncodeMillis float64 `json:"encode_ms"`
+		PauseP50ms   float64 `json:"pause_p50_ms"`
+		PauseP99ms   float64 `json:"pause_p99_ms"`
+	}
+	out := make([]jsonRow, 0, len(rows))
+	for _, r := range rows {
+		codec := "raw"
+		if r.ContentAware {
+			codec = "content-aware"
+		}
+		out = append(out, jsonRow{
+			Workload:     r.Workload,
+			Codec:        codec,
+			Checkpoints:  r.Checkpoints,
+			RawBytes:     r.RawBytes,
+			EncodedBytes: r.EncodedBytes,
+			Ratio:        r.Ratio,
+			ZeroPages:    r.ZeroPages,
+			DeltaFrames:  r.DeltaFrames,
+			RawFrames:    r.RawFrames,
+			EncodeMillis: r.EncodeMillis,
+			PauseP50ms:   float64(r.PauseP50.Microseconds()) / 1e3,
+			PauseP99ms:   float64(r.PauseP99.Microseconds()) / 1e3,
+		})
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("[wrote %s]\n", path)
 	return nil
 }
 

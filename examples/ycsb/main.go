@@ -26,26 +26,27 @@ func main() {
 }
 
 func run() error {
-	fmt.Println("workload  policy            kops/s   degradation")
+	fmt.Println("workload  policy            kops/s   degradation  wire ratio")
 	for _, kind := range here.YCSBKinds() {
 		base, err := measureBaseline(kind)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("YCSB-%s    %-16s  %7.1f  -\n", kind, "unprotected", base/1000)
+		fmt.Printf("YCSB-%s    %-16s  %7.1f  -            -\n", kind, "unprotected", base/1000)
 		for _, policy := range []struct {
 			label string
 			opts  here.ProtectOptions
 		}{
 			{"HERE(T=3s)", here.ProtectOptions{FixedPeriod: 3 * time.Second}},
+			{"HERE(T=3s)+codec", here.ProtectOptions{FixedPeriod: 3 * time.Second, Compression: true}},
 			{"HERE(D=30%)", here.ProtectOptions{DegradationBudget: 0.3, MaxPeriod: 5 * time.Second}},
 		} {
-			tput, err := measureProtected(kind, policy.opts)
+			tput, wireStats, err := measureProtected(kind, policy.opts)
 			if err != nil {
 				return err
 			}
-			fmt.Printf("YCSB-%s    %-16s  %7.1f  %.0f%%\n",
-				kind, policy.label, tput/1000, 100*(1-tput/base))
+			fmt.Printf("YCSB-%s    %-16s  %7.1f  %.0f%%          %.4f\n",
+				kind, policy.label, tput/1000, 100*(1-tput/base), wireStats.Ratio())
 		}
 	}
 	return failoverDemo()
@@ -80,32 +81,36 @@ func measureBaseline(kind here.YCSBKind) (float64, error) {
 	return float64(ops) / clock.Since(start).Seconds(), nil
 }
 
-func measureProtected(kind here.YCSBKind, opts here.ProtectOptions) (float64, error) {
+// measureProtected reports workload throughput under the given policy
+// plus the wire codec's measured statistics — with Compression on, the
+// achieved ratio is whatever the guest's content actually delivered.
+func measureProtected(kind here.YCSBKind, opts here.ProtectOptions) (float64, here.WireStats, error) {
 	cluster, err := here.NewCluster(here.ClusterConfig{})
 	if err != nil {
-		return 0, err
+		return 0, here.WireStats{}, err
 	}
 	vm, err := cluster.CreateProtectedVM(here.VMSpec{
 		Name: "db", MemoryBytes: memSize, VCPUs: 4,
 	})
 	if err != nil {
-		return 0, err
+		return 0, here.WireStats{}, err
 	}
 	w, _, err := here.NewYCSBWorkload(vm, kind, records, 7)
 	if err != nil {
-		return 0, err
+		return 0, here.WireStats{}, err
 	}
 	opts.Workload = w
 	prot, err := cluster.Protect(vm, opts)
 	if err != nil {
-		return 0, err
+		return 0, here.WireStats{}, err
 	}
 	clock := cluster.Clock()
 	start := clock.Now()
 	if _, err := prot.Run(window); err != nil {
-		return 0, err
+		return 0, here.WireStats{}, err
 	}
-	return float64(prot.Totals().WorkloadStats.Ops) / clock.Since(start).Seconds(), nil
+	t := prot.Totals()
+	return float64(t.WorkloadStats.Ops) / clock.Since(start).Seconds(), t.Wire, nil
 }
 
 func failoverDemo() error {

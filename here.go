@@ -45,6 +45,7 @@ import (
 	"github.com/here-ft/here/internal/simnet"
 	"github.com/here-ft/here/internal/translate"
 	"github.com/here-ft/here/internal/vclock"
+	"github.com/here-ft/here/internal/wire"
 	"github.com/here-ft/here/internal/workload"
 	"github.com/here-ft/here/internal/xen"
 )
@@ -83,6 +84,11 @@ type (
 	// (link outages, flapping, latency spikes, bandwidth degradation,
 	// per-transfer loss, host crashes).
 	FaultPlan = faults.Plan
+	// WireStats is the checkpoint wire codec's measured statistics:
+	// raw vs encoded bytes, the per-encoding frame mix, and encode
+	// time. Available per checkpoint (CheckpointStats.Wire) and
+	// aggregated (ReplicationTotals.Wire).
+	WireStats = wire.Stats
 )
 
 // Protection states.
@@ -275,8 +281,11 @@ type ProtectOptions struct {
 	Sink func([]Packet)
 	// Threads overrides HERE's transfer thread count.
 	Threads int
-	// Compression compresses checkpoint pages before transfer —
-	// worthwhile on constrained replication links.
+	// Compression enables the wire codec's content-aware page
+	// encodings (zero-page elision and XOR+RLE deltas against the last
+	// acknowledged epoch). It trades checkpoint-pause CPU for bytes:
+	// worthwhile on constrained replication links. The achieved ratio
+	// is measured, not assumed — see Totals().Wire.Ratio().
 	Compression bool
 	// HeartbeatInterval and HeartbeatTimeout tune failure detection.
 	HeartbeatInterval, HeartbeatTimeout time.Duration

@@ -181,6 +181,48 @@ func (r *ReplicatedDisk) SealEpoch() (epoch uint64, writes int, bytes int64) {
 	return epoch, writes, bytes
 }
 
+// SectorWrite is one journaled write exposed for wire encoding: the
+// checkpoint codec frames these alongside the dirtied memory so the
+// replica's disk image is rebuilt from the decoded stream.
+type SectorWrite struct {
+	Sector uint64
+	Data   []byte // SectorSize bytes, aliasing the journal's copy
+}
+
+// SealedWrites returns the journaled writes of every sealed epoch up
+// to and including upTo, in apply order, without removing them. After
+// a rollback the still-sealed older epochs ride along with the next
+// checkpoint's stream, so the decoded replica disk never misses them.
+func (r *ReplicatedDisk) SealedWrites(upTo uint64) []SectorWrite {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []SectorWrite
+	for e := uint64(0); e <= upTo; e++ {
+		for _, w := range r.sealed[e] {
+			out = append(out, SectorWrite{Sector: w.sector, Data: w.data})
+		}
+	}
+	return out
+}
+
+// MarkCommitted drops sealed epochs up to and including acked from the
+// journal, counting their writes as applied externally — by the wire
+// decoder on the replica side — rather than copying them here. The
+// counterpart of Commit for the decoder-applied path.
+func (r *ReplicatedDisk) MarkCommitted(acked uint64) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for e := uint64(0); e <= acked; e++ {
+		if ws, ok := r.sealed[e]; ok {
+			n += len(ws)
+			delete(r.sealed, e)
+		}
+	}
+	r.applied += uint64(n)
+	return n
+}
+
 // Commit applies all sealed epochs up to and including acked to the
 // replica disk, exactly once and in order.
 func (r *ReplicatedDisk) Commit(acked uint64) error {

@@ -67,6 +67,19 @@ func (m *GuestMemory) PopulatedPages() int {
 	return len(m.pages)
 }
 
+// Populated reports whether page n is backed by real storage. An
+// unpopulated page reads as zeroes; a populated page may still be
+// logically zero if it was overwritten byte-wise. The wire encoder
+// uses this as its cheap zero-page test before touching content.
+func (m *GuestMemory) Populated(n PageNum) bool {
+	if n >= m.numPages {
+		return false
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.pages[n] != nil
+}
+
 // ReadPage copies the content of page n into dst, which must be at
 // least PageSize long. Unwritten pages read as zeroes.
 func (m *GuestMemory) ReadPage(n PageNum, dst []byte) error {

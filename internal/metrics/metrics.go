@@ -252,16 +252,16 @@ func (s *Series) Record(t time.Duration, v float64) {
 func (s *Series) Len() int { return len(s.Points) }
 
 // At reports the value of the latest sample at or before t, or 0 if the
-// series has no sample that early.
+// series has no sample that early. Record appends in ascending T order,
+// so the lookup binary-searches rather than scanning — the Fig 9/10
+// renderers call At once per plotted point over traces with thousands
+// of samples.
 func (s *Series) At(t time.Duration) float64 {
-	var v float64
-	for _, p := range s.Points {
-		if p.T > t {
-			break
-		}
-		v = p.V
+	i := sort.Search(len(s.Points), func(i int) bool { return s.Points[i].T > t })
+	if i == 0 {
+		return 0
 	}
-	return v
+	return s.Points[i-1].V
 }
 
 // MeanBetween reports the mean of samples with lo ≤ T ≤ hi.

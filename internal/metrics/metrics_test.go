@@ -110,6 +110,43 @@ func TestSeries(t *testing.T) {
 	}
 }
 
+// TestSeriesAtMatchesLinearScan pins At's binary search to the
+// linear-scan semantics it replaced: latest sample at or before t,
+// zero before the first sample.
+func TestSeriesAtMatchesLinearScan(t *testing.T) {
+	s := NewSeries("trace")
+	for i := 0; i < 1000; i++ {
+		s.Record(time.Duration(i*3)*time.Millisecond, float64(i))
+	}
+	linear := func(t time.Duration) float64 {
+		var v float64
+		for _, p := range s.Points {
+			if p.T > t {
+				break
+			}
+			v = p.V
+		}
+		return v
+	}
+	probes := []time.Duration{
+		-time.Second, 0, time.Millisecond, 2 * time.Millisecond,
+		3 * time.Millisecond, 1499 * time.Millisecond,
+		1500 * time.Millisecond, 2997 * time.Millisecond, time.Hour,
+	}
+	for i := 0; i < 1000; i++ {
+		probes = append(probes, time.Duration(i*3+1)*time.Millisecond)
+	}
+	for _, q := range probes {
+		if got, want := s.At(q), linear(q); got != want {
+			t.Fatalf("At(%v) = %v, want %v", q, got, want)
+		}
+	}
+	empty := NewSeries("empty")
+	if got := empty.At(time.Second); got != 0 {
+		t.Fatalf("empty At = %v, want 0", got)
+	}
+}
+
 func TestLinearFitExact(t *testing.T) {
 	xs := []float64{1, 2, 3, 4}
 	ys := []float64{3, 5, 7, 9} // y = 2x + 1

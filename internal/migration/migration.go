@@ -29,6 +29,7 @@ import (
 	"github.com/here-ft/here/internal/hypervisor"
 	"github.com/here-ft/here/internal/memory"
 	"github.com/here-ft/here/internal/simnet"
+	"github.com/here-ft/here/internal/wire"
 	"github.com/here-ft/here/internal/workload"
 )
 
@@ -83,6 +84,11 @@ type Config struct {
 	// Workload keeps executing inside the guest during live
 	// iterations (nil = idle guest).
 	Workload workload.Workload
+	// Codec encodes each batch into the checkpoint wire format. When
+	// the migration seeds continuous replication, passing the
+	// replicator's encoder primes its delta-baseline cache with the
+	// seeded page images. Nil uses a private raw-mode encoder.
+	Codec *wire.Encoder
 }
 
 // Result reports what a migration did.
@@ -103,6 +109,9 @@ type Result struct {
 	// FinalState is the machine state captured at the end; the VM is
 	// left paused.
 	FinalState arch.MachineState
+	// Wire aggregates the wire codec's measured statistics across all
+	// batches (raw vs encoded bytes, frame mix, encode time).
+	Wire wire.Stats
 }
 
 // Migrate runs the seeding migration of vm's memory into dst.
@@ -138,6 +147,11 @@ func Migrate(vm *hypervisor.VM, dst *memory.GuestMemory, cfg Config) (Result, er
 		}
 	}
 
+	enc := cfg.Codec
+	if enc == nil {
+		enc = wire.NewEncoder(false)
+	}
+
 	clock := vm.Hypervisor().Clock()
 	costs := vm.Hypervisor().Costs()
 	start := clock.Now()
@@ -158,7 +172,7 @@ func Migrate(vm *hypervisor.VM, dst *memory.GuestMemory, cfg Config) (Result, er
 	for iter := 1; ; iter++ {
 		res.Iterations = iter
 		initialPass := iter == 1
-		dur, err := transferBatch(vm, dst, batch, cfg.Mode, initialPass, threads, costs, cfg.Link, &res)
+		dur, err := transferBatch(vm, dst, batch, cfg.Mode, initialPass, threads, costs, cfg.Link, enc, &res)
 		if err != nil {
 			return res, err
 		}
@@ -189,7 +203,7 @@ func Migrate(vm *hypervisor.VM, dst *memory.GuestMemory, cfg Config) (Result, er
 		final = appendProblematic(final, problematic)
 		res.ProblematicResent = len(problematic)
 	}
-	if _, err := transferBatch(vm, dst, final, cfg.Mode, false, threads, costs, cfg.Link, &res); err != nil {
+	if _, err := transferBatch(vm, dst, final, cfg.Mode, false, threads, costs, cfg.Link, enc, &res); err != nil {
 		return res, err
 	}
 	clock.Sleep(costs.StateRecord)
@@ -203,18 +217,19 @@ func Migrate(vm *hypervisor.VM, dst *memory.GuestMemory, cfg Config) (Result, er
 	return res, nil
 }
 
-// transferBatch accounts the cost of sending one batch of pages and
-// copies their content to the destination. The cost model follows
-// DESIGN.md §5:
+// transferBatch encodes one batch of pages into a wire stream, accounts
+// the cost of sending it, and decodes it into the destination. The cost
+// model follows DESIGN.md §5:
 //
 //	scan:  totalPages × ScanPerPage, divided across threads
 //	cpu:   n × MigratePerPage — serial on the initial full pass (pages
 //	       unattributed to vCPUs) and under ModeXen; divided across
 //	       threads on HERE's ring-driven iterations
-//	net:   link transfer of n pages with `threads` streams
+//	net:   link transfer of the measured stream size with `threads`
+//	       streams
 func transferBatch(vm *hypervisor.VM, dst *memory.GuestMemory, pages []memory.PageNum,
 	mode Mode, initialPass bool, threads int, costs hypervisor.CostModel,
-	link *simnet.Link, res *Result) (time.Duration, error) {
+	link *simnet.Link, enc *wire.Encoder, res *Result) (time.Duration, error) {
 
 	clock := vm.Hypervisor().Clock()
 	begin := clock.Now()
@@ -236,14 +251,23 @@ func transferBatch(vm *hypervisor.VM, dst *memory.GuestMemory, pages []memory.Pa
 	clock.Sleep(scan + cpu)
 
 	if n > 0 {
-		if _, err := link.Transfer(int64(n)*memory.PageSize, threads); err != nil {
+		cp, err := enc.Encode(vm.Memory(), pages, nil, nil, uint64(res.Iterations), threads)
+		if err != nil {
 			return 0, fmt.Errorf("migration: %w", err)
 		}
-		if err := vm.Memory().CopyPagesTo(pages, dst); err != nil {
+		if _, err := link.Transfer(cp.WireSize, threads); err != nil {
+			enc.Rollback()
 			return 0, fmt.Errorf("migration: %w", err)
 		}
+		if _, err := wire.Decode(cp.Stream, dst); err != nil {
+			return 0, fmt.Errorf("migration: apply: %w", err)
+		}
+		// Each batch lands on the destination as soon as it decodes, so
+		// its page images are baseline immediately.
+		enc.Commit()
 		res.PagesSent += int64(n)
-		res.BytesSent += int64(n) * memory.PageSize
+		res.BytesSent += cp.WireSize
+		res.Wire.Add(cp.Stats)
 	}
 	return clock.Since(begin), nil
 }

@@ -201,6 +201,63 @@ func TestRollbackKeepsReplicaOnAckedEpoch(t *testing.T) {
 	}
 }
 
+// TestRollbackKeepsEncoderBaseline pins the wire codec's baseline
+// lifecycle to the acknowledgement protocol: a rolled-back checkpoint
+// must not advance the delta baseline, whether the payload or only the
+// ack was lost. If it did, the next checkpoint's XOR deltas would diff
+// against content the replica never acknowledged, and applying them on
+// the replica's older image would corrupt it — caught here by the
+// hash comparison after recovery.
+func TestRollbackKeepsEncoderBaseline(t *testing.T) {
+	cases := map[string]func() simnet.Injector{
+		"payload-fails": func() simnet.Injector { return &flakyInjector{fails: 100} },
+		"ack-fails":     func() simnet.Injector { return &nthFailInjector{failFrom: 2} },
+	}
+	for name, inj := range cases {
+		t.Run(name, func(t *testing.T) {
+			r := newRig(t, 512*memory.PageSize, 2)
+			rep := r.here(t, replication.Config{Period: time.Second, Compression: true})
+			if _, err := rep.Seed(); err != nil {
+				t.Fatal(err)
+			}
+			// Establish a baseline image for page 42 via an acked cycle.
+			if err := r.vm.WriteGuest(0, 42*memory.PageSize, []byte("epoch-1")); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := rep.RunCycle(); err != nil {
+				t.Fatal(err)
+			}
+
+			// Mutate the page and lose the checkpoint.
+			if err := r.vm.WriteGuest(0, 42*memory.PageSize, []byte("epoch-2")); err != nil {
+				t.Fatal(err)
+			}
+			r.link.SetInjector(inj())
+			if _, err := rep.RunCycle(); err == nil {
+				t.Fatal("cycle succeeded under persistent loss")
+			}
+
+			// Mutate again and recover: the delta must encode against
+			// epoch-1 (what the replica holds), not the abandoned
+			// epoch-2 staging.
+			if err := r.vm.WriteGuest(0, 42*memory.PageSize, []byte("epoch-3")); err != nil {
+				t.Fatal(err)
+			}
+			r.link.SetInjector(nil)
+			st, err := rep.RunCycle()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Wire.DeltaFrames == 0 {
+				t.Fatalf("recovery checkpoint used no delta frames: %+v", st.Wire)
+			}
+			if _, mem, err := rep.ReplicaImage(); err != nil || mem.Hash() != r.vm.Memory().Hash() {
+				t.Fatal("replica corrupted: baseline advanced on a rolled-back checkpoint")
+			}
+		})
+	}
+}
+
 func TestDegradedModeOutageAndDeltaResync(t *testing.T) {
 	// Build the rig on a fault plan's pumping clock so the scheduled
 	// outage begins and ends purely as simulated time passes.

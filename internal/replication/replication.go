@@ -33,6 +33,7 @@ import (
 	"github.com/here-ft/here/internal/period"
 	"github.com/here-ft/here/internal/simnet"
 	"github.com/here-ft/here/internal/translate"
+	"github.com/here-ft/here/internal/wire"
 	"github.com/here-ft/here/internal/workload"
 )
 
@@ -201,10 +202,6 @@ type RecoveryStats struct {
 // ackBytes is the size of the replica's checkpoint acknowledgement.
 const ackBytes = 64
 
-// CompressionRatio is the modeled output/input size ratio of the
-// optional per-page checkpoint compression.
-const CompressionRatio = 0.5
-
 // PeriodPolicy decides the checkpoint interval. period.Manager
 // (HERE's Algorithm 1) and period.AdaptiveRemus implement it.
 type PeriodPolicy interface {
@@ -245,9 +242,13 @@ type Config struct {
 	// Threads is the number of transfer threads (EngineHERE only,
 	// DefaultThreads if 0). Remus always uses one.
 	Threads int
-	// Compression compresses dirty pages before transfer, trading
-	// CPU for link bytes — worthwhile on constrained links, a loss on
-	// fast interconnects (see experiments.CompressionAblation).
+	// Compression enables the wire codec's content-aware page
+	// encodings — zero-page elision and XOR-delta against the last
+	// acked epoch with raw fallback — trading classification CPU for
+	// link bytes: worthwhile on constrained links, a loss on fast
+	// interconnects (see experiments.CompressionAblation). The
+	// resulting ratio is measured per checkpoint and surfaced in
+	// CheckpointStats.Wire, not assumed.
 	Compression bool
 	// Period is the fixed checkpoint interval, used when
 	// PeriodManager is nil (Remus's static configuration).
@@ -304,6 +305,9 @@ type CheckpointStats struct {
 	// interval: DirtyPages/Bytes cover only what was dirtied during
 	// the outage, not the full memory.
 	Resync bool
+	// Wire is the checkpoint's measured wire-codec statistics: raw vs
+	// encoded bytes, the per-encoding frame mix, and encode time.
+	Wire wire.Stats
 }
 
 // Totals aggregates a replication run, including the resource
@@ -322,6 +326,10 @@ type Totals struct {
 	// RSSBytes models the engine's resident memory: transfer buffers,
 	// dirty bitmap and staging state.
 	RSSBytes int64
+	// Wire aggregates the wire codec's measured statistics across the
+	// run (seeding plus every checkpoint); Wire.Ratio() is the
+	// observed compression ratio.
+	Wire wire.Stats
 }
 
 // CPUPercent reports engine CPU usage relative to elapsed time, where
@@ -351,6 +359,7 @@ type Replicator struct {
 	dst     hypervisor.Hypervisor
 	threads int
 	retry   RetryPolicy
+	enc     *wire.Encoder
 
 	// Recovery counters and the per-mode timeline (see RecoveryStats).
 	retries         metrics.Counter
@@ -411,6 +420,7 @@ func New(vm *hypervisor.VM, dst hypervisor.Hypervisor, cfg Config) (*Replicator,
 		dst:      dst,
 		threads:  threads,
 		retry:    retry,
+		enc:      wire.NewEncoder(cfg.Compression),
 		rng:      rand.New(rand.NewSource(retry.Seed)),
 		state:    StateProtected,
 		timeline: metrics.NewTimeline(vm.Hypervisor().Clock().Now(), StateProtected.String()),
@@ -530,6 +540,9 @@ func (r *Replicator) Seed() (migration.Result, error) {
 	mcfg := r.cfg.Seeding
 	mcfg.Link = r.cfg.Link
 	mcfg.Mode = mode
+	// Seed through the replicator's own codec so the baseline cache is
+	// primed: the first checkpoint's deltas diff against seeded content.
+	mcfg.Codec = r.enc
 	if mcfg.Workload == nil {
 		mcfg.Workload = r.cfg.Workload
 	}
@@ -546,6 +559,7 @@ func (r *Replicator) Seed() (migration.Result, error) {
 	r.lastImage = image
 	r.totals.PagesSent += res.PagesSent
 	r.totals.BytesSent += res.BytesSent
+	r.totals.Wire.Add(res.Wire)
 	r.runStarted = r.src.Clock().Now()
 	r.mu.Unlock()
 	r.primary.Resume()
@@ -790,9 +804,15 @@ func (r *Replicator) checkpoint(runPeriod time.Duration, resync bool) (Checkpoin
 	disk := r.disk
 	r.mu.Unlock()
 	var diskEpoch uint64
-	var diskBytes int64
+	var diskWrites []wire.DiskWrite
 	if disk != nil {
-		diskEpoch, _, diskBytes = disk.SealEpoch()
+		diskEpoch, _, _ = disk.SealEpoch()
+		// Every still-sealed epoch rides along: after a rollback the
+		// older epochs' writes were never decoded on the replica, so the
+		// next stream must carry them too.
+		for _, w := range disk.SealedWrites(diskEpoch) {
+			diskWrites = append(diskWrites, wire.DiskWrite{Sector: w.Sector, Data: w.Data})
+		}
 	}
 
 	dirty := r.primary.Tracker().Bitmap().Snapshot()
@@ -819,17 +839,24 @@ func (r *Replicator) checkpoint(runPeriod time.Duration, resync bool) (Checkpoin
 		return CheckpointStats{}, err
 	}
 
-	// Ship dirtied memory + journaled disk writes + state record,
-	// then wait for the ack. Transient failures are retried with
-	// backoff; a transfer that outlives the retry budget rolls the
-	// checkpoint back.
-	bytes := int64(n)*memory.PageSize + diskBytes + int64(len(image))
+	// Encode the checkpoint stream: dirtied memory + journaled disk
+	// writes + state record, framed and checksummed. The codec measures
+	// what the link actually carries — there is no assumed ratio.
+	r.mu.Lock()
+	seq := r.seq
+	r.mu.Unlock()
+	cp, err := r.enc.Encode(r.primary.Memory(), dirty, image, diskWrites, seq, r.threads)
+	if err != nil {
+		return CheckpointStats{}, fmt.Errorf("replication: encode: %w", err)
+	}
+	bytes := cp.WireSize
 	var compress time.Duration
 	if r.cfg.Compression {
+		// Content-aware encoding burns guest-visible CPU during the
+		// pause (modeled; EncodeTime in the stats is host wall time).
 		compress = time.Duration(int64(costs.CompressPerDirtyPage)*int64(n)) /
 			time.Duration(r.threads)
 		clock.Sleep(compress)
-		bytes = int64(float64(bytes) * CompressionRatio)
 	}
 	streams := r.threads
 	if regions := dirtyRegions(dirty); regions > 0 && regions < streams {
@@ -837,31 +864,45 @@ func (r *Replicator) checkpoint(runPeriod time.Duration, resync bool) (Checkpoin
 		// dirtied 2 MiB regions than threads leaves threads idle.
 		streams = regions
 	}
+	// Ship the encoded stream, then wait for the ack. Transient
+	// failures are retried with backoff; a transfer that outlives the
+	// retry budget rolls the checkpoint back — including the encoder's
+	// staged baseline, so the next deltas still diff against the last
+	// epoch the replica acknowledged.
 	if err := r.ship(bytes, streams); err != nil {
+		r.enc.Rollback()
 		return r.rollback(pauseStart, runPeriod, dirty, err)
 	}
 	if err := r.ship(ackBytes, 1); err != nil {
 		// The replica may hold the checkpoint data, but without the
 		// acknowledgement the primary must treat it as never applied.
+		r.enc.Rollback()
 		return r.rollback(pauseStart, runPeriod, dirty, err)
 	}
-	// Apply atomically on the replica only once acknowledged — a
+	// Decode atomically on the replica only once acknowledged — a
 	// checkpoint that failed mid-flight above leaves the previous
-	// acknowledged checkpoint intact.
-	if err := r.primary.Memory().CopyPagesTo(dirty, r.dstMem); err != nil {
+	// acknowledged checkpoint intact. The decoder re-validates every
+	// frame's checksum before the first page is applied.
+	dec, err := wire.Decode(cp.Stream, r.dstMem)
+	if err != nil {
 		return CheckpointStats{}, fmt.Errorf("replication: apply: %w", err)
 	}
+	r.enc.Commit()
 
 	pause := clock.Since(pauseStart)
 	r.primary.Resume()
 
-	// Commit: this checkpoint is now the failover target; apply its
-	// disk writes on the replica and release its buffered output to
-	// the outside world (Fig 3 step 6).
+	// Commit: this checkpoint is now the failover target; apply the
+	// decoded disk writes on the replica and release its buffered
+	// output to the outside world (Fig 3 step 6).
 	if disk != nil {
-		if err := disk.Commit(diskEpoch); err != nil {
-			return CheckpointStats{}, fmt.Errorf("replication: %w", err)
+		replica := disk.Replica()
+		for _, w := range dec.Disk {
+			if err := replica.WriteSector(w.Sector, w.Data); err != nil {
+				return CheckpointStats{}, fmt.Errorf("replication: disk apply: %w", err)
+			}
 		}
+		disk.MarkCommitted(diskEpoch)
 	}
 	released := r.iob.Release(epoch)
 	if aware, ok := r.cfg.PeriodManager.(ioAware); ok {
@@ -870,12 +911,12 @@ func (r *Replicator) checkpoint(runPeriod time.Duration, resync bool) (Checkpoin
 	r.mu.Lock()
 	r.lastImage = image
 	r.lastEpoch = epoch
-	seq := r.seq
 	r.seq++
 	r.totals.Checkpoints++
 	r.totals.PagesSent += int64(n)
 	r.totals.BytesSent += bytes + ackBytes
 	r.totals.TotalPause += pause
+	r.totals.Wire.Add(cp.Stats)
 	// Engine CPU: the per-thread work actually burned across cores,
 	// plus the network-stack copy cost of pushing the checkpoint
 	// through the socket layer (~0.3 ns/byte, i.e. ~3 GB/s per core).
@@ -907,6 +948,7 @@ func (r *Replicator) checkpoint(runPeriod time.Duration, resync bool) (Checkpoin
 		PacketsReleased: len(released),
 		Mode:            StateProtected,
 		Resync:          resync,
+		Wire:            cp.Stats,
 	}
 	if r.cfg.PeriodManager != nil {
 		_, st.NextPeriod = r.cfg.PeriodManager.Observe(pause)
@@ -945,11 +987,12 @@ func (r *Replicator) Totals() Totals {
 	t := r.totals
 	// Modeled resident set: per-thread staging (a 2 MiB transfer
 	// region plus socket and compression buffers), the dirty bitmap,
-	// the staged state image, and the toolstack baseline
-	// (libxc/libxl/kvmtool working memory).
+	// the staged state image, the wire codec's delta-baseline cache,
+	// and the toolstack baseline (libxc/libxl/kvmtool working memory).
 	t.RSSBytes = int64(r.threads)*48<<20 +
 		int64(r.primary.Memory().NumPages()/8) +
 		int64(len(r.lastImage)) +
+		r.enc.BaselineBytes() +
 		96<<20
 	return t
 }

@@ -1,0 +1,326 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/here-ft/here/internal/memory"
+)
+
+// Encoder turns checkpoints into framed wire streams. In content-aware
+// mode it keeps a baseline cache — the page images of the last *acked*
+// epoch — and picks the cheapest encoding per page: zero-run elision,
+// XOR+RLE delta against the baseline, or raw fallback.
+//
+// The baseline follows the checkpoint acknowledgement protocol, not
+// the encode call: Encode stages the new page images, Commit promotes
+// them once the replica acknowledged the checkpoint, and Rollback
+// discards them when the transfer died — so the next cycle's deltas
+// still diff against the last epoch the replica actually holds. At
+// most one encoded checkpoint may be in flight at a time (the
+// replication cycle is serial by construction).
+//
+// An Encoder is safe for concurrent use; Encode itself fans the page
+// work out across shard workers using the same round-robin 2 MiB
+// region assignment as the transfer threads.
+type Encoder struct {
+	contentAware bool
+
+	mu       sync.Mutex
+	baseline map[memory.PageNum][]byte // last acked page images
+	staged   map[memory.PageNum][]byte // in-flight epoch; nil = page went zero
+	baseSize int64
+}
+
+// NewEncoder returns an encoder. contentAware enables the zero/delta/
+// raw encoding choice (and the baseline cache it needs); false frames
+// every page verbatim — the uncompressed baseline whose measured wire
+// size matches what an unencoded stream would carry.
+func NewEncoder(contentAware bool) *Encoder {
+	return &Encoder{
+		contentAware: contentAware,
+		baseline:     make(map[memory.PageNum][]byte),
+		staged:       make(map[memory.PageNum][]byte),
+	}
+}
+
+// ContentAware reports whether content-aware encoding is enabled.
+func (e *Encoder) ContentAware() bool { return e.contentAware }
+
+// BaselinePages reports how many page images the baseline cache holds.
+func (e *Encoder) BaselinePages() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.baseline)
+}
+
+// BaselineBytes reports the baseline cache's resident size.
+func (e *Encoder) BaselineBytes() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.baseSize
+}
+
+// Checkpoint is one encoded checkpoint stream.
+type Checkpoint struct {
+	// Seq is the checkpoint sequence number sealed in the commit frame.
+	Seq uint64
+	// Stream is the framed stream the decoder consumes.
+	Stream []byte
+	// WireSize is the modeled on-link size in bytes. It equals
+	// len(Stream) except in raw mode, where zero-run frames stand for
+	// the literal zero pages a real uncompressed stream would carry
+	// and are charged at PageSize per page.
+	WireSize int64
+	// Stats is the encode measurement (WireSize = Stats.EncodedBytes).
+	Stats Stats
+}
+
+// shardFrames is one worker's output.
+type shardFrames struct {
+	buf    []byte
+	stats  Stats
+	staged map[memory.PageNum][]byte
+	hole   int64 // zero pages charged at PageSize in raw mode
+}
+
+// Encode frames one checkpoint: the given pages read from mem, the
+// translated machine state record, and the journaled disk writes.
+// Page encoding is sharded across `shards` workers by 2 MiB region,
+// round-robin, mirroring the transfer threads. The VM is paused during
+// checkpoints, so mem is stable for the duration of the call.
+//
+// In content-aware mode the new page images are staged; the caller
+// must Commit after the replica acknowledged the stream or Rollback
+// after abandoning it, before encoding the next checkpoint.
+func (e *Encoder) Encode(mem *memory.GuestMemory, pages []memory.PageNum,
+	state []byte, disk []DiskWrite, seq uint64, shards int) (*Checkpoint, error) {
+
+	start := time.Now()
+	if mem == nil {
+		return nil, fmt.Errorf("wire: encode: nil memory")
+	}
+	for _, p := range pages {
+		if p >= mem.NumPages() {
+			return nil, fmt.Errorf("wire: encode: page %d beyond memory (%d pages)",
+				p, mem.NumPages())
+		}
+	}
+	if shards < 1 {
+		shards = 1
+	}
+
+	e.mu.Lock()
+	e.staged = make(map[memory.PageNum][]byte) // any prior staging is stale
+	baseline := e.baseline                     // read-only while encoding
+	e.mu.Unlock()
+
+	// Round-robin 2 MiB region sharding, as the transfer threads do:
+	// pages of region k go to worker k mod shards, preserving order so
+	// consecutive zero pages still coalesce.
+	parts := make([][]memory.PageNum, shards)
+	for _, p := range pages {
+		s := memory.RegionOf(p) % shards
+		parts[s] = append(parts[s], p)
+	}
+
+	out := make([]shardFrames, shards)
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		if len(parts[s]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			out[s] = e.encodeShard(mem, baseline, parts[s])
+		}(s)
+	}
+	wg.Wait()
+
+	cp := &Checkpoint{Seq: seq}
+	stream := appendHeader(nil)
+	var stats Stats
+	var holePages int64
+	for s := range out {
+		stream = append(stream, out[s].buf...)
+		stats.Add(out[s].stats)
+		holePages += out[s].hole
+	}
+	if e.contentAware {
+		e.mu.Lock()
+		for _, sf := range out {
+			for n, b := range sf.staged {
+				e.staged[n] = b
+			}
+		}
+		e.mu.Unlock()
+	}
+
+	var scratch []byte
+	for _, w := range disk {
+		if len(w.Data) != SectorSize {
+			return nil, fmt.Errorf("wire: encode: disk write of %d bytes", len(w.Data))
+		}
+		scratch = scratch[:0]
+		scratch = binary.LittleEndian.AppendUint64(scratch, w.Sector)
+		scratch = append(scratch, w.Data...)
+		stream = appendFrame(stream, frameDisk, scratch)
+		stats.DiskFrames++
+	}
+	if state != nil {
+		stream = appendFrame(stream, frameState, state)
+		stats.StateFrames++
+	}
+
+	commit := make([]byte, 0, commitPayloadSize)
+	commit = binary.LittleEndian.AppendUint64(commit, seq)
+	commit = binary.LittleEndian.AppendUint64(commit,
+		uint64(stats.ZeroPages)+uint64(stats.DeltaFrames)+uint64(stats.RawFrames))
+	commit = binary.LittleEndian.AppendUint32(commit, uint32(stats.DiskFrames))
+	commit = binary.LittleEndian.AppendUint32(commit, uint32(stats.StateFrames))
+	stream = appendFrame(stream, frameCommit, commit)
+
+	stats.RawBytes = int64(len(pages))*memory.PageSize + int64(len(state)) +
+		int64(len(disk))*SectorSize
+	stats.EncodedBytes = int64(len(stream)) + holePages*memory.PageSize
+	stats.EncodeTime = time.Since(start)
+	cp.Stream = stream
+	cp.WireSize = stats.EncodedBytes
+	cp.Stats = stats
+	return cp, nil
+}
+
+// encodeShard frames one worker's pages.
+func (e *Encoder) encodeShard(mem *memory.GuestMemory,
+	baseline map[memory.PageNum][]byte, pages []memory.PageNum) shardFrames {
+
+	sf := shardFrames{}
+	if e.contentAware {
+		sf.staged = make(map[memory.PageNum][]byte)
+	}
+	var (
+		buf      [memory.PageSize]byte
+		residual [memory.PageSize]byte
+		payload  []byte
+		rle      []byte
+		runStart memory.PageNum
+		runLen   uint32
+	)
+	flushRun := func() {
+		if runLen == 0 {
+			return
+		}
+		payload = payload[:0]
+		payload = binary.LittleEndian.AppendUint64(payload, uint64(runStart))
+		payload = binary.LittleEndian.AppendUint32(payload, runLen)
+		sf.buf = appendFrame(sf.buf, frameZeroRun, payload)
+		sf.stats.ZeroFrames++
+		sf.stats.ZeroPages += int64(runLen)
+		if !e.contentAware {
+			// Raw mode ships the literal zeros; charge them.
+			sf.hole += int64(runLen)
+		}
+		runLen = 0
+	}
+
+	for _, p := range pages {
+		if sf.staged != nil {
+			if _, dup := sf.staged[p]; dup {
+				continue // a page encodes at most once per checkpoint
+			}
+		}
+		zero := !mem.Populated(p)
+		if !zero {
+			_ = mem.ReadPage(p, buf[:])
+			if e.contentAware && allZero(buf[:]) {
+				zero = true // populated but re-zeroed byte-wise
+			}
+		}
+		if zero {
+			if runLen > 0 && p == runStart+memory.PageNum(runLen) {
+				runLen++
+			} else {
+				flushRun()
+				runStart, runLen = p, 1
+			}
+			if sf.staged != nil {
+				sf.staged[p] = nil
+			}
+			continue
+		}
+		flushRun()
+		if !e.contentAware {
+			payload = payload[:0]
+			payload = binary.LittleEndian.AppendUint64(payload, uint64(p))
+			payload = append(payload, buf[:]...)
+			sf.buf = appendFrame(sf.buf, frameRaw, payload)
+			sf.stats.RawFrames++
+			continue
+		}
+		// Content-aware: XOR against the last acked image (a missing
+		// baseline is an implicit zero page, so first-time sparse
+		// content still deltas well) and fall back to raw when the
+		// residual does not pay.
+		base := baseline[p]
+		if base == nil {
+			copy(residual[:], buf[:])
+		} else {
+			for i := range residual {
+				residual[i] = buf[i] ^ base[i]
+			}
+		}
+		rle = rleEncode(rle[:0], residual[:])
+		payload = payload[:0]
+		payload = binary.LittleEndian.AppendUint64(payload, uint64(p))
+		if len(rle) < memory.PageSize {
+			payload = append(payload, rle...)
+			sf.buf = appendFrame(sf.buf, frameDelta, payload)
+			sf.stats.DeltaFrames++
+		} else {
+			payload = append(payload, buf[:]...)
+			sf.buf = appendFrame(sf.buf, frameRaw, payload)
+			sf.stats.RawFrames++
+		}
+		img := make([]byte, memory.PageSize)
+		copy(img, buf[:])
+		sf.staged[p] = img
+	}
+	flushRun()
+	return sf
+}
+
+// Commit promotes the staged page images into the baseline: the
+// encoded checkpoint was acknowledged and is now the epoch the replica
+// holds. A no-op in raw mode.
+func (e *Encoder) Commit() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for p, img := range e.staged {
+		old, had := e.baseline[p]
+		if img == nil {
+			if had {
+				e.baseSize -= int64(len(old))
+				delete(e.baseline, p)
+			}
+			continue
+		}
+		if !had {
+			e.baseSize += int64(len(img))
+		}
+		e.baseline[p] = img
+	}
+	e.staged = make(map[memory.PageNum][]byte)
+}
+
+// Rollback discards the staged page images: the encoded checkpoint was
+// abandoned (transfer or ack lost beyond the retry budget), the
+// replica still holds the previous epoch, and the next cycle's deltas
+// must diff against that epoch — never against un-acked content.
+func (e *Encoder) Rollback() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.staged = make(map[memory.PageNum][]byte)
+}

@@ -1,0 +1,115 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"github.com/here-ft/here/internal/memory"
+)
+
+// The delta frame's payload (after the page number) is the XOR
+// residual new⊕base run-length encoded as a sequence of
+//
+//	uvarint zeroRun | uvarint litLen | litLen literal bytes
+//
+// pairs. A checkpointed page usually differs from its previous epoch
+// in a few cache lines, so the residual is almost entirely zero and
+// the pairs collapse it to a handful of bytes. Residual bytes past the
+// last pair are an implicit zero run.
+
+// rleGapThreshold is the zero-run length worth breaking a literal for:
+// each new pair costs ~2 varint bytes, so shorter gaps are cheaper to
+// carry verbatim inside the literal.
+const rleGapThreshold = 4
+
+// rleEncode appends the run-length encoding of residual to dst and
+// returns it. residual must be PageSize long.
+func rleEncode(dst, residual []byte) []byte {
+	i := 0
+	for i < len(residual) {
+		run := i
+		for run < len(residual) && residual[run] == 0 {
+			run++
+		}
+		if run == len(residual) {
+			break // trailing zeros are implicit
+		}
+		// Extend the literal until rleGapThreshold consecutive zeros
+		// (or the end of the page) make a new pair worthwhile.
+		lit := run
+		zeros := 0
+		end := lit
+		for end < len(residual) {
+			if residual[end] == 0 {
+				zeros++
+				if zeros >= rleGapThreshold {
+					end -= zeros - 1
+					break
+				}
+			} else {
+				zeros = 0
+			}
+			end++
+		}
+		if end > len(residual) {
+			end = len(residual)
+		}
+		dst = binary.AppendUvarint(dst, uint64(run-i))
+		dst = binary.AppendUvarint(dst, uint64(end-lit))
+		dst = append(dst, residual[lit:end]...)
+		i = end
+	}
+	return dst
+}
+
+// rleValidate structurally checks an RLE byte string without touching
+// any destination: every pair must parse and the decoded span must fit
+// in one page.
+func rleValidate(rle []byte) error {
+	cursor := 0
+	off := 0
+	for off < len(rle) {
+		zrun, n := binary.Uvarint(rle[off:])
+		if n <= 0 {
+			return fmt.Errorf("%w: bad zero-run varint at %d", ErrDelta, off)
+		}
+		off += n
+		lit, n := binary.Uvarint(rle[off:])
+		if n <= 0 {
+			return fmt.Errorf("%w: bad literal varint at %d", ErrDelta, off)
+		}
+		off += n
+		if zrun > memory.PageSize || lit > memory.PageSize {
+			return fmt.Errorf("%w: oversized run", ErrDelta)
+		}
+		cursor += int(zrun) + int(lit)
+		if cursor > memory.PageSize {
+			return fmt.Errorf("%w: spans past page end", ErrDelta)
+		}
+		if off+int(lit) > len(rle) {
+			return fmt.Errorf("%w: literal truncated", ErrDelta)
+		}
+		off += int(lit)
+	}
+	return nil
+}
+
+// rleApply XORs the residual encoded in rle into page (new = old ⊕
+// residual). page must be PageSize long and rle must have passed
+// rleValidate.
+func rleApply(page, rle []byte) {
+	cursor := 0
+	off := 0
+	for off < len(rle) {
+		zrun, n := binary.Uvarint(rle[off:])
+		off += n
+		lit, n := binary.Uvarint(rle[off:])
+		off += n
+		cursor += int(zrun)
+		for j := 0; j < int(lit); j++ {
+			page[cursor+j] ^= rle[off+j]
+		}
+		cursor += int(lit)
+		off += int(lit)
+	}
+}
