@@ -1,8 +1,8 @@
 GO ?= go
 
-RACE_PKGS = ./internal/replication ./internal/failover ./internal/faults ./internal/simnet ./internal/wire
+RACE_PKGS = ./internal/replication ./internal/failover ./internal/faults ./internal/simnet ./internal/trace ./internal/wire
 
-.PHONY: check vet fmt build test race fuzz-smoke bench
+.PHONY: check vet fmt build test race fuzz-smoke bench trace-demo
 
 check: vet fmt build test race fuzz-smoke
 
@@ -35,3 +35,8 @@ fuzz-smoke:
 # Reduced-scale wire-codec benchmark; writes BENCH_wire.json.
 bench:
 	$(GO) run ./cmd/here-bench -quick -only wire
+
+# Replay the chaos example with tracing and dump the JSONL trace.
+trace-demo:
+	$(GO) run ./examples/chaos -trace chaos_trace.jsonl
+	@echo "wrote chaos_trace.jsonl"

@@ -31,10 +31,11 @@ func main() {
 
 func run() error {
 	var (
-		quick    = flag.Bool("quick", false, "reduced-scale run")
-		only     = flag.String("only", "", "comma-separated artifact list (table1,table2,table5,fig5..fig17,sec87,tenants,colo,adaptive,ablation,wire)")
-		csvDir   = flag.String("csv", "", "directory to write fig9/fig10 trace CSVs into")
-		wireJSON = flag.String("wirejson", "BENCH_wire.json", "path for the wire artifact's machine-readable output (empty = don't write)")
+		quick     = flag.Bool("quick", false, "reduced-scale run")
+		only      = flag.String("only", "", "comma-separated artifact list (table1,table2,table5,fig5..fig17,sec87,tenants,colo,adaptive,ablation,wire,trace)")
+		csvDir    = flag.String("csv", "", "directory to write fig9/fig10 trace CSVs into")
+		wireJSON  = flag.String("wirejson", "BENCH_wire.json", "path for the wire artifact's machine-readable output (empty = don't write)")
+		traceJSON = flag.String("tracejson", "BENCH_trace.json", "path for the trace artifact's machine-readable output (empty = don't write)")
 	)
 	flag.Parse()
 
@@ -228,6 +229,14 @@ func run() error {
 			fmt.Println(experiments.RenderWireBench(rows))
 			return writeWireJSON(*wireJSON, rows)
 		}},
+		{"trace", func() error {
+			res, err := experiments.TraceBench(scale)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.RenderTraceBench(res))
+			return writeTraceJSON(*traceJSON, res)
+		}},
 		{"ablation", func() error {
 			threads, err := experiments.ThreadAblation(scale, nil)
 			if err != nil {
@@ -307,6 +316,47 @@ func writeWireJSON(path string, rows []experiments.WireBenchRow) error {
 			PauseP50ms:   float64(r.PauseP50.Microseconds()) / 1e3,
 			PauseP99ms:   float64(r.PauseP99.Microseconds()) / 1e3,
 		})
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("[wrote %s]\n", path)
+	return nil
+}
+
+// writeTraceJSON stores the tracing-overhead measurement machine-
+// readably: per-event recording cost, traced vs untraced wall-clock,
+// the overhead percentage, and the span-accounting check.
+func writeTraceJSON(path string, res experiments.TraceBenchResult) error {
+	if path == "" {
+		return nil
+	}
+	out := struct {
+		Checkpoints    int64   `json:"checkpoints"`
+		Events         int     `json:"events"`
+		Dropped        int64   `json:"dropped"`
+		Epochs         int     `json:"epochs"`
+		NsPerEvent     float64 `json:"ns_per_event"`
+		RecordSamples  int     `json:"record_samples"`
+		TracedMillis   float64 `json:"traced_ms"`
+		UntracedMillis float64 `json:"untraced_ms"`
+		OverheadPct    float64 `json:"overhead_pct"`
+		MaxSpanGapPct  float64 `json:"max_span_gap_pct"`
+	}{
+		Checkpoints:    res.Checkpoints,
+		Events:         res.Events,
+		Dropped:        res.Dropped,
+		Epochs:         res.Epochs,
+		NsPerEvent:     res.NsPerEvent,
+		RecordSamples:  res.RecordSamples,
+		TracedMillis:   res.TracedMillis,
+		UntracedMillis: res.UntracedMillis,
+		OverheadPct:    res.OverheadPct,
+		MaxSpanGapPct:  res.MaxSpanGapPct,
 	}
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {

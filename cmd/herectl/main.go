@@ -8,11 +8,19 @@
 //	herectl -mem 4096 -vcpus 4 -workload membench -load 40 -duration 60s
 //	herectl -workload ycsb-A -period 3s -exploit
 //	herectl -workload spec-lbm -budget 0.3 -tmax 10s -exploit
+//
+// Two subcommands export the run's telemetry instead of the human
+// summary (scenario flags still apply; progress goes to stderr):
+//
+//	herectl trace -duration 30s -o trace.jsonl    # JSONL trace events
+//	herectl metrics -workload ycsb-A              # Prometheus text format
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"strings"
@@ -23,33 +31,50 @@ import (
 
 func main() {
 	log.SetFlags(0)
-	if err := run(); err != nil {
+	mode := ""
+	args := os.Args[1:]
+	if len(args) > 0 && (args[0] == "trace" || args[0] == "metrics") {
+		mode = args[0]
+		args = args[1:]
+	}
+	if err := run(mode, args); err != nil {
 		log.Fatal("herectl: ", err)
 	}
 }
 
-func run() error {
+func run(mode string, args []string) error {
+	fs := flag.NewFlagSet("herectl", flag.ExitOnError)
 	var (
-		memMB    = flag.Int("mem", 1024, "guest memory in MiB")
-		vcpus    = flag.Int("vcpus", 4, "guest vCPUs")
-		wlName   = flag.String("workload", "membench", "workload: idle, membench, ycsb-A..F, spec-gcc|cactuBSSN|namd|lbm")
-		loadPct  = flag.Float64("load", 30, "membench working-set percentage")
-		duration = flag.Duration("duration", 30*time.Second, "replication run length (simulated)")
-		budget   = flag.Float64("budget", 0.3, "degradation budget D for dynamic control")
-		tmax     = flag.Duration("tmax", 25*time.Second, "maximum checkpoint interval")
-		period   = flag.Duration("period", 0, "fixed checkpoint period (disables dynamic control)")
-		remus    = flag.Bool("remus", false, "use the homogeneous Remus baseline instead of HERE")
-		doSploit = flag.Bool("exploit", false, "launch a DoS exploit at the primary afterwards and fail over")
-		compress = flag.Bool("compress", false, "compress checkpoint pages before transfer")
-		seed     = flag.Int64("seed", 42, "workload random seed")
+		memMB    = fs.Int("mem", 1024, "guest memory in MiB")
+		vcpus    = fs.Int("vcpus", 4, "guest vCPUs")
+		wlName   = fs.String("workload", "membench", "workload: idle, membench, ycsb-A..F, spec-gcc|cactuBSSN|namd|lbm")
+		loadPct  = fs.Float64("load", 30, "membench working-set percentage")
+		duration = fs.Duration("duration", 30*time.Second, "replication run length (simulated)")
+		budget   = fs.Float64("budget", 0.3, "degradation budget D for dynamic control")
+		tmax     = fs.Duration("tmax", 25*time.Second, "maximum checkpoint interval")
+		period   = fs.Duration("period", 0, "fixed checkpoint period (disables dynamic control)")
+		remus    = fs.Bool("remus", false, "use the homogeneous Remus baseline instead of HERE")
+		doSploit = fs.Bool("exploit", false, "launch a DoS exploit at the primary afterwards and fail over")
+		compress = fs.Bool("compress", false, "compress checkpoint pages before transfer")
+		seed     = fs.Int64("seed", 42, "workload random seed")
+		outPath  = fs.String("o", "", "telemetry output file for the trace/metrics subcommands (default stdout)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	// In telemetry mode the scenario summary moves to stderr so stdout
+	// carries nothing but the export.
+	status := os.Stdout
+	if mode != "" {
+		status = os.Stderr
+	}
 
 	cluster, err := here.NewCluster(here.ClusterConfig{Homogeneous: *remus})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("cluster : %s (%s) -> %s (%s)\n",
+	fmt.Fprintf(status, "cluster : %s (%s) -> %s (%s)\n",
 		cluster.Primary().HostName(), cluster.Primary().Product(),
 		cluster.Secondary().HostName(), cluster.Secondary().Product())
 
@@ -81,7 +106,7 @@ func run() error {
 		return err
 	}
 	seedRes := prot.Seeding()
-	fmt.Printf("seeding : %v total, %v downtime, %d pages, %.1f MiB\n",
+	fmt.Fprintf(status, "seeding : %v total, %v downtime, %d pages, %.1f MiB\n",
 		seedRes.Duration, seedRes.Downtime, seedRes.Pages,
 		float64(seedRes.Bytes)/(1<<20))
 
@@ -89,48 +114,90 @@ func run() error {
 		return err
 	}
 	t := prot.Totals()
-	fmt.Printf("run     : %d checkpoints over %v, period now %v\n",
+	fmt.Fprintf(status, "run     : %d checkpoints over %v, period now %v\n",
 		t.Checkpoints, *duration, prot.Period())
-	fmt.Printf("          mean degradation %.1f%%, %d pages sent, %.1f MiB\n",
+	fmt.Fprintf(status, "          mean degradation %.1f%%, %d pages sent, %.1f MiB\n",
 		100*t.MeanDegradation(), t.PagesSent, float64(t.BytesSent)/(1<<20))
 	if t.WorkloadStats.Ops > 0 {
-		fmt.Printf("          workload: %d ops (%.0f ops/s)\n",
+		fmt.Fprintf(status, "          workload: %d ops (%.0f ops/s)\n",
 			t.WorkloadStats.Ops,
 			float64(t.WorkloadStats.Ops)/duration.Seconds())
 	}
 
-	if !*doSploit {
-		return nil
+	if *doSploit {
+		product := here.ProductOf(cluster.Primary())
+		ex, err := here.FindDoSExploit(product)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(status, "exploit : launching %s (%s via %s) at the primary\n",
+			ex.CVE.ID, ex.CVE.Outcome, ex.CVE.Vector)
+		if out := ex.Launch(cluster.Primary()); out != here.ExploitSucceeded {
+			return fmt.Errorf("exploit outcome: %v", out)
+		}
+		if out := ex.Launch(cluster.Secondary()); out == here.ExploitSucceeded {
+			fmt.Fprintln(status, "          the SAME exploit also killed the secondary — homogeneous pair!")
+			fmt.Fprintln(status, "          service is DOWN. Use heterogeneous replication (drop -remus).")
+			os.Exit(2)
+		} else {
+			fmt.Fprintf(status, "          same exploit vs secondary: %v\n", out)
+		}
+		detect, err := prot.DetectFailure(time.Minute)
+		if err != nil {
+			return err
+		}
+		res, err := prot.Failover()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(status, "failover: detected in %v, replica resumed in %v on %s\n",
+			detect, res.ResumeTime, res.VM.Hypervisor().Product())
+		fmt.Fprintf(status, "          %d unacknowledged packets discarded, service continues\n",
+			res.PacketsDropped)
 	}
-	product := here.ProductOf(cluster.Primary())
-	ex, err := here.FindDoSExploit(product)
-	if err != nil {
+
+	if mode != "" {
+		return writeTelemetry(mode, *outPath, cluster, prot)
+	}
+	return nil
+}
+
+// writeTelemetry exports the run's trace (JSONL) or metrics registry
+// (Prometheus text format) to path, or stdout when path is empty.
+func writeTelemetry(mode, path string, cluster *here.Cluster, prot *here.Protected) error {
+	var w io.Writer = os.Stdout
+	if path != "" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	bw := bufio.NewWriter(w)
+	switch mode {
+	case "trace":
+		tr := prot.Trace()
+		if tr == nil {
+			return fmt.Errorf("tracing is disabled")
+		}
+		if err := tr.WriteJSONL(bw); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "trace   : %d events (%d dropped)\n", tr.Len(), tr.Dropped())
+	case "metrics":
+		if err := cluster.Metrics().WritePrometheus(bw); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown telemetry mode %q", mode)
+	}
+	if err := bw.Flush(); err != nil {
 		return err
 	}
-	fmt.Printf("exploit : launching %s (%s via %s) at the primary\n",
-		ex.CVE.ID, ex.CVE.Outcome, ex.CVE.Vector)
-	if out := ex.Launch(cluster.Primary()); out != here.ExploitSucceeded {
-		return fmt.Errorf("exploit outcome: %v", out)
+	if path != "" {
+		fmt.Fprintf(os.Stderr, "[wrote %s]\n", path)
 	}
-	if out := ex.Launch(cluster.Secondary()); out == here.ExploitSucceeded {
-		fmt.Println("          the SAME exploit also killed the secondary — homogeneous pair!")
-		fmt.Println("          service is DOWN. Use heterogeneous replication (drop -remus).")
-		os.Exit(2)
-	} else {
-		fmt.Printf("          same exploit vs secondary: %v\n", out)
-	}
-	detect, err := prot.DetectFailure(time.Minute)
-	if err != nil {
-		return err
-	}
-	res, err := prot.Failover()
-	if err != nil {
-		return err
-	}
-	fmt.Printf("failover: detected in %v, replica resumed in %v on %s\n",
-		detect, res.ResumeTime, res.VM.Hypervisor().Product())
-	fmt.Printf("          %d unacknowledged packets discarded, service continues\n",
-		res.PacketsDropped)
 	return nil
 }
 

@@ -80,5 +80,21 @@ func run() error {
 	fmt.Printf("\n%d checkpoints, %.1f%% overall degradation — the controller "+
 		"raised the period under the 80%% phase and tightened it again at 5%%.\n",
 		totals.Checkpoints, 100*totals.MeanDegradation())
+
+	// The same story from the trace: per-epoch stage attribution shows
+	// the pause tracking the load staircase (scan is constant; encode
+	// and transfer scale with the dirty set).
+	fmt.Println("\n-- stage latency by epoch (every 8th, from the trace) --")
+	fmt.Printf("%-5s %9s %9s %9s %9s %9s %7s\n",
+		"epoch", "pause", "scan", "encode", "transfer", "ack", "pages")
+	ms := func(d time.Duration) string { return d.Round(time.Microsecond).String() }
+	for i, ep := range prot.StageBreakdown() {
+		if ep.Pause <= 0 || i%8 != 0 {
+			continue
+		}
+		fmt.Printf("%-5d %9s %9s %9s %9s %9s %7d\n",
+			ep.Epoch, ms(ep.Pause), ms(ep.Scan), ms(ep.Encode),
+			ms(ep.Transfer), ms(ep.Ack), ep.Pages)
+	}
 	return nil
 }

@@ -6,12 +6,18 @@
 //
 // The whole storm is deterministic: simulated time, a seeded fault
 // plan, and a seeded workload replay identically on every run.
+//
+// With -trace the recorded telemetry is dumped as JSONL (one event per
+// line) to the given path; the per-epoch stage-latency table at the end
+// is reassembled from the same trace.
 package main
 
 import (
 	"errors"
+	"flag"
 	"fmt"
 	"log"
+	"os"
 	"time"
 
 	here "github.com/here-ft/here"
@@ -25,6 +31,8 @@ func main() {
 
 func run() error {
 	const seed = 42
+	tracePath := flag.String("trace", "", "write the JSONL trace to this path")
+	flag.Parse()
 
 	plan, clk := here.NewFaultPlan(seed)
 	t0 := clk.Now()
@@ -54,6 +62,9 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	// Fault injections land in the same trace as the checkpoint spans,
+	// so the dump shows cause next to effect.
+	plan.Instrument(prot.Trace(), cluster.Metrics())
 	fmt.Printf("protected %q (%d MiB) on %s -> %s, T = 1s, YCSB A\n\n",
 		vm.Name(), 64, cluster.Primary().Product(), cluster.Secondary().Product())
 
@@ -117,7 +128,46 @@ func run() error {
 	for _, ev := range plan.Applied() {
 		fmt.Printf("  %s\n", ev)
 	}
+
+	printStageTable(prot)
+
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			return err
+		}
+		if err := prot.Trace().WriteJSONL(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("\ntrace: %d events -> %s\n", prot.Trace().Len(), *tracePath)
+	}
 	return nil
+}
+
+// printStageTable reassembles the per-epoch checkpoint lifecycle from
+// the trace: where each epoch's pause went, stage by stage, and which
+// epochs fought through retries or a rollback.
+func printStageTable(prot *here.Protected) {
+	fmt.Println("\n-- per-epoch stage latency (from the trace) --")
+	fmt.Printf("%-5s %9s %9s %9s %9s %9s %7s %8s\n",
+		"epoch", "pause", "scan", "encode", "transfer", "ack", "retries", "outcome")
+	us := func(d time.Duration) string { return d.Round(time.Microsecond).String() }
+	for _, ep := range prot.StageBreakdown() {
+		if ep.Pause <= 0 {
+			continue
+		}
+		outcome := ep.Outcome
+		if ep.Rollback {
+			outcome += "*" // at least one abandoned attempt accumulated
+		}
+		fmt.Printf("%-5d %9s %9s %9s %9s %9s %7d %8s\n",
+			ep.Epoch, us(ep.Pause), us(ep.Scan), us(ep.Encode),
+			us(ep.Transfer), us(ep.Ack), ep.Retries, outcome)
+	}
 }
 
 func pct(d, total time.Duration) float64 {

@@ -43,6 +43,7 @@ import (
 	"github.com/here-ft/here/internal/qemukvm"
 	"github.com/here-ft/here/internal/replication"
 	"github.com/here-ft/here/internal/simnet"
+	"github.com/here-ft/here/internal/trace"
 	"github.com/here-ft/here/internal/translate"
 	"github.com/here-ft/here/internal/vclock"
 	"github.com/here-ft/here/internal/wire"
@@ -89,7 +90,28 @@ type (
 	// time. Available per checkpoint (CheckpointStats.Wire) and
 	// aggregated (ReplicationTotals.Wire).
 	WireStats = wire.Stats
+	// Tracer is the epoch-scoped structured tracer a Protected VM
+	// records into: checkpoint lifecycle spans (pause, scan, encode,
+	// transfer, ack, release) plus discrete events (retries,
+	// rollbacks, mode changes, faults, heartbeat misses). Export with
+	// Tracer.WriteJSONL.
+	Tracer = trace.Tracer
+	// TraceEvent is one recorded span or discrete event.
+	TraceEvent = trace.Event
+	// MetricsRegistry is the cluster's named metrics registry
+	// (counters, gauges, histograms); export with WritePrometheus.
+	MetricsRegistry = trace.Registry
+	// EpochStages is one checkpoint epoch's stage attribution
+	// reassembled from a trace (see trace.EpochBreakdown).
+	EpochStages = trace.EpochStages
 )
+
+// EpochBreakdown groups a trace's checkpoint spans by epoch, summing
+// each lifecycle stage — the per-epoch attribution the paper's pause
+// model (t = αN/P + C) is fitted against.
+func EpochBreakdown(events []TraceEvent) []EpochStages {
+	return trace.EpochBreakdown(events)
+}
 
 // Protection states.
 const (
@@ -163,6 +185,7 @@ type Cluster struct {
 	primary   *hypervisor.Host
 	secondary *hypervisor.Host
 	link      *simnet.Link
+	metrics   *trace.Registry
 }
 
 // NewCluster builds the paper's testbed: a Xen primary and a
@@ -205,7 +228,9 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	if err != nil {
 		return nil, fmt.Errorf("here: link: %w", err)
 	}
-	return &Cluster{clock: clock, primary: pri, secondary: sec, link: link}, nil
+	reg := trace.NewRegistry()
+	link.Instrument(reg)
+	return &Cluster{clock: clock, primary: pri, secondary: sec, link: link, metrics: reg}, nil
 }
 
 // Clock returns the cluster's time source.
@@ -219,6 +244,12 @@ func (c *Cluster) Secondary() Hypervisor { return c.secondary }
 
 // Link returns the replication interconnect.
 func (c *Cluster) Link() *simnet.Link { return c.link }
+
+// Metrics returns the cluster's metrics registry: every subsystem
+// (replication, wire codec, link, faults, failure detection, tracer)
+// registers its here_* instruments here. Render the Prometheus text
+// exposition with Metrics().WritePrometheus(w).
+func (c *Cluster) Metrics() *MetricsRegistry { return c.metrics }
 
 // VMSpec describes a protected VM to boot.
 type VMSpec struct {
@@ -302,6 +333,13 @@ type ProtectOptions struct {
 	// resync once the path recovers. Without it, an exhausted retry
 	// budget fails the checkpoint cycle.
 	DegradedMode bool
+	// NoTrace disables the epoch-scoped tracer (Trace() returns nil).
+	// Tracing is on by default; its overhead is a bounded ring write
+	// per span (see here-bench -only trace for the measured cost).
+	NoTrace bool
+	// TraceCapacity bounds the trace ring buffer (default 16384
+	// events; older events are overwritten and counted as dropped).
+	TraceCapacity int
 }
 
 // Protected is a VM under live replication.
@@ -323,6 +361,10 @@ func (c *Cluster) Protect(vm *VM, opts ProtectOptions) (*Protected, error) {
 	if engine == 0 {
 		engine = EngineHERE
 	}
+	var tr *trace.Tracer
+	if !opts.NoTrace {
+		tr = trace.New(c.clock, opts.TraceCapacity)
+	}
 	cfg := replication.Config{
 		Engine:       engine,
 		Link:         c.link,
@@ -332,6 +374,8 @@ func (c *Cluster) Protect(vm *VM, opts ProtectOptions) (*Protected, error) {
 		Compression:  opts.Compression,
 		Retry:        opts.Retry,
 		DegradedMode: opts.DegradedMode,
+		Tracer:       tr,
+		Metrics:      c.metrics,
 	}
 	if opts.FixedPeriod > 0 {
 		cfg.Period = opts.FixedPeriod
@@ -365,6 +409,8 @@ func (c *Cluster) Protect(vm *VM, opts ProtectOptions) (*Protected, error) {
 		Timeout:  opts.HeartbeatTimeout,
 		Misses:   opts.HeartbeatMisses,
 		Via:      c.link,
+		Tracer:   tr,
+		Metrics:  c.metrics,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("here: %w", err)
@@ -431,6 +477,19 @@ func (p *Protected) State() State { return p.rep.State() }
 // Recovery reports the recovery behaviour so far: retries, rollbacks,
 // degraded episodes, delta-resync traffic and time per protection mode.
 func (p *Protected) Recovery() RecoveryStats { return p.rep.Recovery() }
+
+// Trace returns the epoch-scoped tracer recording this VM's
+// replication telemetry, or nil when ProtectOptions.NoTrace was set.
+// Export with Trace().WriteJSONL(w); per-epoch stage attribution via
+// EpochBreakdown(Trace().Events()).
+func (p *Protected) Trace() *Tracer { return p.rep.Tracer() }
+
+// StageBreakdown reassembles the per-epoch checkpoint stage
+// attribution (pause, scan, encode, transfer, ack, release plus retry
+// and rollback counts) from the recorded trace. Nil without a trace.
+func (p *Protected) StageBreakdown() []EpochStages {
+	return trace.EpochBreakdown(p.rep.Tracer().Events())
+}
 
 // PrimaryHealthy is the out-of-band health probe of the primary host,
 // bypassing the heartbeat path — the signal the split-brain guard uses.

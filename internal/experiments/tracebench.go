@@ -1,0 +1,179 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/here-ft/here/internal/metrics"
+	"github.com/here-ft/here/internal/replication"
+	"github.com/here-ft/here/internal/trace"
+	"github.com/here-ft/here/internal/vclock"
+	"github.com/here-ft/here/internal/workload"
+)
+
+// TraceBenchResult reports the tracing subsystem's measured overhead
+// and the fidelity of the trace it produced: the direct per-event
+// recording cost, the end-to-end wall-clock cost of running a
+// replication scenario with tracing on versus off, and how closely the
+// recorded stage spans account for each epoch's checkpoint pause.
+type TraceBenchResult struct {
+	// Checkpoints and Events describe the traced run.
+	Checkpoints int64
+	Events      int
+	Dropped     int64
+	Epochs      int
+	// NsPerEvent is the direct cost of Tracer.Record, measured by a
+	// host-clock microbenchmark over RecordSamples events.
+	NsPerEvent    float64
+	RecordSamples int
+	// TracedMillis and UntracedMillis are best-of-round host wall-clock
+	// times for the identical scenario with the tracer on and off.
+	TracedMillis   float64
+	UntracedMillis float64
+	// OverheadPct is (traced−untraced)/untraced×100 — the end-to-end
+	// tracing tax. Noise-floor caveat: the scenario's real work (page
+	// hashing, encoding) dwarfs the ring writes, so small negative
+	// values just mean the cost is below measurement noise.
+	OverheadPct float64
+	// MaxSpanGapPct is the largest per-epoch relative gap between the
+	// summed scan+encode+transfer+ack spans and the epoch's recorded
+	// pause. Under the virtual clock the stages partition the pause
+	// exactly, so this should be ~0.
+	MaxSpanGapPct float64
+}
+
+// TraceBench measures tracing overhead on the paper's heterogeneous
+// pair: interleaved traced/untraced replication runs (best-of-round to
+// shed scheduler noise), a Record microbenchmark for the per-event
+// cost, and a span-accounting check on the resulting trace.
+func TraceBench(scale Scale) (TraceBenchResult, error) {
+	var res TraceBenchResult
+
+	const rounds = 3
+	best := func(cur, d time.Duration) time.Duration {
+		if cur == 0 || d < cur {
+			return d
+		}
+		return cur
+	}
+	var traced, untraced time.Duration
+	for r := 0; r < rounds; r++ {
+		for _, on := range []bool{false, true} {
+			dur, tr, ckpts, err := runTraceScenario(scale, on)
+			if err != nil {
+				return res, err
+			}
+			if on {
+				traced = best(traced, dur)
+				res.Checkpoints = ckpts
+				events := tr.Events()
+				res.Events = len(events)
+				res.Dropped = int64(tr.Dropped())
+				res.MaxSpanGapPct, res.Epochs = spanGap(events)
+			} else {
+				untraced = best(untraced, dur)
+			}
+		}
+	}
+	res.TracedMillis = float64(traced.Nanoseconds()) / 1e6
+	res.UntracedMillis = float64(untraced.Nanoseconds()) / 1e6
+	if untraced > 0 {
+		res.OverheadPct = 100 * float64(traced-untraced) / float64(untraced)
+	}
+
+	res.RecordSamples = 1 << 18
+	res.NsPerEvent = recordCost(res.RecordSamples)
+	return res, nil
+}
+
+// runTraceScenario replicates a loaded VM for the scale's window and
+// reports the host wall-clock it took, the tracer (nil when off), and
+// the checkpoint count. The scenario is identical either way; only the
+// tracer differs.
+func runTraceScenario(scale Scale, traced bool) (time.Duration, *trace.Tracer, int64, error) {
+	pair, err := NewHeterogeneousPair()
+	if err != nil {
+		return 0, nil, 0, err
+	}
+	vm, err := pair.ProtectedVM("tracebench", GB(1), 4)
+	if err != nil {
+		return 0, nil, 0, err
+	}
+	w, err := workload.NewMemoryBench(30, scale.WriteRatePages, scale.Seed)
+	if err != nil {
+		return 0, nil, 0, err
+	}
+	var tr *trace.Tracer
+	if traced {
+		tr = trace.New(pair.Clock, 0)
+	}
+	rep, err := replication.New(vm, pair.Secondary, replication.Config{
+		Engine:   replication.EngineHERE,
+		Link:     pair.Link,
+		Period:   time.Second,
+		Workload: w,
+		Tracer:   tr,
+	})
+	if err != nil {
+		return 0, nil, 0, err
+	}
+	start := time.Now()
+	if _, err := rep.Seed(); err != nil {
+		return 0, nil, 0, err
+	}
+	if _, err := rep.RunFor(secs(scale.RunSeconds)); err != nil {
+		return 0, nil, 0, err
+	}
+	return time.Since(start), tr, int64(rep.Totals().Checkpoints), nil
+}
+
+// recordCost measures Tracer.Record directly: n ring writes against a
+// live tracer, host-clocked, in nanoseconds per event.
+func recordCost(n int) float64 {
+	tr := trace.New(vclock.NewSim(), 8192)
+	ev := trace.Event{
+		Kind: trace.SpanScan, Epoch: 1, Dur: time.Millisecond,
+		Engine: "here", Pages: 1024, Bytes: 4 << 20, Outcome: "ok",
+	}
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		tr.Record(ev)
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(n)
+}
+
+// spanGap reassembles the per-epoch stage attribution and returns the
+// largest relative gap (percent) between the summed lifecycle stages
+// and the recorded pause, plus the number of epochs checked.
+func spanGap(events []trace.Event) (float64, int) {
+	breakdown := trace.EpochBreakdown(events)
+	var worst float64
+	n := 0
+	for _, ep := range breakdown {
+		if ep.Pause <= 0 {
+			continue
+		}
+		n++
+		gap := ep.StageSum() - ep.Pause
+		if gap < 0 {
+			gap = -gap
+		}
+		if pct := 100 * float64(gap) / float64(ep.Pause); pct > worst {
+			worst = pct
+		}
+	}
+	return worst, n
+}
+
+// RenderTraceBench formats the overhead measurements.
+func RenderTraceBench(r TraceBenchResult) string {
+	tab := metrics.NewTable("Tracing overhead: identical runs with the tracer on vs off",
+		"Ckpts", "Events", "Dropped", "ns/event",
+		"Traced(ms)", "Untraced(ms)", "Overhead", "MaxSpanGap")
+	tab.AddRow(r.Checkpoints, r.Events, r.Dropped,
+		fmt.Sprintf("%.0f", r.NsPerEvent),
+		r.TracedMillis, r.UntracedMillis,
+		fmt.Sprintf("%+.2f%%", r.OverheadPct),
+		fmt.Sprintf("%.3f%%", r.MaxSpanGapPct))
+	return tab.String()
+}

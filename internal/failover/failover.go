@@ -14,6 +14,7 @@ import (
 	"github.com/here-ft/here/internal/hypervisor"
 	"github.com/here-ft/here/internal/replication"
 	"github.com/here-ft/here/internal/simnet"
+	"github.com/here-ft/here/internal/trace"
 	"github.com/here-ft/here/internal/vclock"
 )
 
@@ -53,6 +54,11 @@ type Config struct {
 	// interval, counts as a missed beat. Nil observes the host
 	// directly (a dedicated management path).
 	Via *simnet.Link
+	// Tracer records each missed heartbeat as a discrete event. Nil
+	// disables tracing.
+	Tracer *trace.Tracer
+	// Metrics, when set, registers here_failover_heartbeat_misses_total.
+	Metrics *trace.Registry
 }
 
 // Monitor watches the primary host with a periodic heartbeat.
@@ -63,6 +69,8 @@ type Monitor struct {
 	timeout  time.Duration
 	misses   int
 	via      *simnet.Link
+	tracer   *trace.Tracer
+	missedC  *trace.Counter
 }
 
 // NewMonitor returns a heartbeat monitor for the primary host.
@@ -95,14 +103,20 @@ func NewMonitorConfig(primary hypervisor.Hypervisor, cfg Config) (*Monitor, erro
 			misses = 1
 		}
 	}
-	return &Monitor{
+	m := &Monitor{
 		primary:  primary,
 		clock:    primary.Clock(),
 		interval: cfg.Interval,
 		timeout:  cfg.Timeout,
 		misses:   misses,
 		via:      cfg.Via,
-	}, nil
+		tracer:   cfg.Tracer,
+	}
+	if cfg.Metrics != nil {
+		m.missedC = cfg.Metrics.Counter("here_failover_heartbeat_misses_total",
+			"heartbeats that failed to arrive on schedule")
+	}
+	return m, nil
 }
 
 // Misses reports the consecutive-miss threshold in effect.
@@ -150,6 +164,10 @@ func (m *Monitor) WaitForFailure(maxWait time.Duration) (time.Duration, error) {
 		m.clock.Sleep(m.interval)
 		if m.beatMissed() {
 			misses++
+			m.missedC.Inc()
+			m.tracer.Event(trace.EventHeartbeatMiss, trace.NoEpoch, trace.Event{
+				Note: fmt.Sprintf("miss %d/%d", misses, m.misses),
+			})
 			if misses >= m.misses {
 				return m.clock.Since(start), nil
 			}
@@ -231,35 +249,51 @@ func ActivateOpts(r *replication.Replicator, replicaName string, opts Options) (
 
 	clock := dst.Clock()
 	start := clock.Now()
+	tr := r.Tracer()
+	// Each activation phase is recorded as a "failover" span whose Note
+	// names the phase (§8.4's resumption breakdown).
+	phase := func(name string, begin time.Time) {
+		tr.Span(trace.SpanFailover, trace.NoEpoch, begin, trace.Event{Note: name})
+	}
 
 	// Un-acknowledged buffered output must never reach clients, and
 	// un-acknowledged disk writes never reach the replica disk.
+	phaseStart := clock.Now()
 	res.PacketsDropped = r.IOBuffer().DiscardUnreleased()
 	if d := r.Disk(); d != nil {
 		res.DiskWritesDropped = d.DiscardUnacked()
 		res.Disk = d.Replica()
 	}
+	phase("discard", phaseStart)
 
+	phaseStart = clock.Now()
 	state, err := dst.DecodeState(image)
 	if err != nil {
 		return res, fmt.Errorf("failover: decode checkpoint: %w", err)
 	}
+	phase("decode", phaseStart)
 	cfg := hypervisor.VMConfig{
 		Name:     replicaName,
 		MemBytes: mem.SizeBytes(),
 		VCPUs:    len(state.VCPUs),
 		Features: state.Features,
 	}
+	phaseStart = clock.Now()
 	vm, err := dst.RestoreVM(cfg, state, mem)
 	if err != nil {
 		return res, fmt.Errorf("failover: restore: %w", err)
 	}
+	phase("restore", phaseStart)
+	phaseStart = clock.Now()
 	mgr := devices.NewManager(agent)
 	if err := mgr.FailoverReplug(vm, dst); err != nil {
 		return res, fmt.Errorf("failover: %w", err)
 	}
+	phase("replug", phaseStart)
+	phaseStart = clock.Now()
 	vm.Resume()
 	r.MarkFailedOver()
+	phase("resume", phaseStart)
 
 	res.ResumeTime = clock.Since(start)
 	res.VM = vm

@@ -30,6 +30,7 @@ import (
 
 	"github.com/here-ft/here/internal/hypervisor"
 	"github.com/here-ft/here/internal/simnet"
+	"github.com/here-ft/here/internal/trace"
 	"github.com/here-ft/here/internal/vclock"
 )
 
@@ -78,15 +79,30 @@ type Plan struct {
 	inner vclock.Clock
 	base  time.Time
 
-	mu      sync.Mutex
-	rng     *rand.Rand
-	events  []event
-	nextSeq int
-	sorted  bool
-	link    *simnet.Link
-	loss    float64
-	applied []Applied
-	pumping bool
+	mu       sync.Mutex
+	rng      *rand.Rand
+	events   []event
+	nextSeq  int
+	sorted   bool
+	link     *simnet.Link
+	loss     float64
+	applied  []Applied
+	pumping  bool
+	tracer   *trace.Tracer
+	injected *trace.Counter
+}
+
+// Instrument wires the plan into the telemetry layer: every applied
+// event is recorded as a trace event (kind "fault") and counted in
+// here_faults_injected_total. Either argument may be nil.
+func (p *Plan) Instrument(tr *trace.Tracer, reg *trace.Registry) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.tracer = tr
+	if reg != nil {
+		p.injected = reg.Counter("here_faults_injected_total",
+			"fault events applied by the active plan")
+	}
 }
 
 var _ simnet.Injector = (*Plan)(nil)
@@ -284,7 +300,17 @@ func (p *Plan) Advance(now time.Time) {
 		e.do(p)
 		p.mu.Lock()
 		p.applied = append(p.applied, Applied{At: e.at, Kind: e.kind, Note: e.note})
+		tr, injected := p.tracer, p.injected
 		p.mu.Unlock()
+		injected.Inc()
+		if tr != nil {
+			// Record at the event's programmed instant, not the (possibly
+			// later) instant the pump observed it.
+			tr.Record(trace.Event{
+				Kind: trace.EventFault, Epoch: trace.NoEpoch, Start: e.at,
+				Note: string(e.kind) + ": " + e.note,
+			})
+		}
 	}
 
 	p.mu.Lock()

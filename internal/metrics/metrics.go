@@ -79,14 +79,17 @@ func (t *Timeline) Transitions() int {
 }
 
 // Transition moves the timeline into state at now, closing the open
-// interval. Transitioning into the current state is a no-op.
+// interval. Transitioning into the current state is a no-op. A state
+// entered and left at the same instant still appears in Totals with a
+// zero duration: the boundary test is !now.Before(since), so only a
+// clock running backwards skips accounting.
 func (t *Timeline) Transition(now time.Time, state string) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if state == t.current {
 		return
 	}
-	if now.After(t.since) {
+	if !now.Before(t.since) {
 		t.totals[t.current] += now.Sub(t.since)
 	}
 	t.current = state
@@ -100,14 +103,15 @@ func (t *Timeline) Time(now time.Time, state string) time.Duration {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	d := t.totals[state]
-	if state == t.current && now.After(t.since) {
+	if state == t.current && !now.Before(t.since) {
 		d += now.Sub(t.since)
 	}
 	return d
 }
 
 // Totals reports the cumulative duration per state, including the open
-// interval up to now.
+// interval up to now. The current state is always present, even when
+// it was entered at now itself.
 func (t *Timeline) Totals(now time.Time) map[string]time.Duration {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -115,7 +119,7 @@ func (t *Timeline) Totals(now time.Time) map[string]time.Duration {
 	for s, d := range t.totals {
 		out[s] = d
 	}
-	if now.After(t.since) {
+	if !now.Before(t.since) {
 		out[t.current] += now.Sub(t.since)
 	}
 	return out
@@ -123,27 +127,36 @@ func (t *Timeline) Totals(now time.Time) map[string]time.Duration {
 
 // Summary accumulates scalar observations and reports basic statistics.
 // The zero value is ready to use. Summary is not safe for concurrent use.
+//
+// Observations live in two parts: a sorted prefix and a small unsorted
+// tail of values added since the last Percentile call. Percentile sorts
+// only the tail and merges it into the prefix — O(k log k + n) for k new
+// values over n old ones — so callers interleaving Add and Percentile
+// (the dynamic period controller does, every cycle) never pay a full
+// re-sort of the history.
 type Summary struct {
-	values []float64
-	sorted bool
+	sorted  []float64 // sorted prefix
+	pending []float64 // values added since the last merge
 }
 
 // Add records one observation.
 func (s *Summary) Add(v float64) {
-	s.values = append(s.values, v)
-	s.sorted = false
+	s.pending = append(s.pending, v)
 }
 
 // AddDuration records a duration observation in seconds.
 func (s *Summary) AddDuration(d time.Duration) { s.Add(d.Seconds()) }
 
 // N reports the number of observations.
-func (s *Summary) N() int { return len(s.values) }
+func (s *Summary) N() int { return len(s.sorted) + len(s.pending) }
 
 // Sum reports the sum of all observations.
 func (s *Summary) Sum() float64 {
 	var sum float64
-	for _, v := range s.values {
+	for _, v := range s.sorted {
+		sum += v
+	}
+	for _, v := range s.pending {
 		sum += v
 	}
 	return sum
@@ -151,21 +164,25 @@ func (s *Summary) Sum() float64 {
 
 // Mean reports the arithmetic mean, or 0 with no observations.
 func (s *Summary) Mean() float64 {
-	if len(s.values) == 0 {
+	if s.N() == 0 {
 		return 0
 	}
-	return s.Sum() / float64(len(s.values))
+	return s.Sum() / float64(s.N())
 }
 
 // Min reports the smallest observation, or 0 with no observations.
 func (s *Summary) Min() float64 {
-	if len(s.values) == 0 {
+	if s.N() == 0 {
 		return 0
 	}
-	m := s.values[0]
-	for _, v := range s.values[1:] {
-		if v < m {
-			m = v
+	var m float64
+	set := false
+	if len(s.sorted) > 0 {
+		m, set = s.sorted[0], true
+	}
+	for _, v := range s.pending {
+		if !set || v < m {
+			m, set = v, true
 		}
 	}
 	return m
@@ -173,13 +190,17 @@ func (s *Summary) Min() float64 {
 
 // Max reports the largest observation, or 0 with no observations.
 func (s *Summary) Max() float64 {
-	if len(s.values) == 0 {
+	if s.N() == 0 {
 		return 0
 	}
-	m := s.values[0]
-	for _, v := range s.values[1:] {
-		if v > m {
-			m = v
+	var m float64
+	set := false
+	if len(s.sorted) > 0 {
+		m, set = s.sorted[len(s.sorted)-1], true
+	}
+	for _, v := range s.pending {
+		if !set || v > m {
+			m, set = v, true
 		}
 	}
 	return m
@@ -187,44 +208,77 @@ func (s *Summary) Max() float64 {
 
 // Stddev reports the population standard deviation.
 func (s *Summary) Stddev() float64 {
-	n := len(s.values)
+	n := s.N()
 	if n == 0 {
 		return 0
 	}
 	mean := s.Mean()
 	var acc float64
-	for _, v := range s.values {
+	for _, v := range s.sorted {
+		d := v - mean
+		acc += d * d
+	}
+	for _, v := range s.pending {
 		d := v - mean
 		acc += d * d
 	}
 	return math.Sqrt(acc / float64(n))
 }
 
+// merge folds the pending tail into the sorted prefix: sort the k new
+// values, then a single linear merge pass. Cost is O(k log k + n),
+// against O((n+k) log (n+k)) for re-sorting everything.
+func (s *Summary) merge() {
+	if len(s.pending) == 0 {
+		return
+	}
+	sort.Float64s(s.pending)
+	if len(s.sorted) == 0 {
+		s.sorted = append(s.sorted, s.pending...)
+		s.pending = s.pending[:0]
+		return
+	}
+	merged := make([]float64, 0, len(s.sorted)+len(s.pending))
+	i, j := 0, 0
+	for i < len(s.sorted) && j < len(s.pending) {
+		if s.sorted[i] <= s.pending[j] {
+			merged = append(merged, s.sorted[i])
+			i++
+		} else {
+			merged = append(merged, s.pending[j])
+			j++
+		}
+	}
+	merged = append(merged, s.sorted[i:]...)
+	merged = append(merged, s.pending[j:]...)
+	s.sorted = merged
+	s.pending = s.pending[:0]
+}
+
 // Percentile reports the p-th percentile (0 ≤ p ≤ 100) using
-// nearest-rank interpolation, or 0 with no observations.
+// nearest-rank interpolation, or 0 with no observations. Values added
+// since the last call are merged in first (see Summary's cost note);
+// with nothing pending the call is a pure read.
 func (s *Summary) Percentile(p float64) float64 {
-	n := len(s.values)
+	s.merge()
+	n := len(s.sorted)
 	if n == 0 {
 		return 0
 	}
-	if !s.sorted {
-		sort.Float64s(s.values)
-		s.sorted = true
-	}
 	if p <= 0 {
-		return s.values[0]
+		return s.sorted[0]
 	}
 	if p >= 100 {
-		return s.values[n-1]
+		return s.sorted[n-1]
 	}
 	rank := p / 100 * float64(n-1)
 	lo := int(math.Floor(rank))
 	hi := int(math.Ceil(rank))
 	if lo == hi {
-		return s.values[lo]
+		return s.sorted[lo]
 	}
 	frac := rank - float64(lo)
-	return s.values[lo]*(1-frac) + s.values[hi]*frac
+	return s.sorted[lo]*(1-frac) + s.sorted[hi]*frac
 }
 
 // Point is one sample of a time series.
@@ -411,16 +465,23 @@ func (s *Series) WriteCSV(w io.Writer) error {
 
 // WriteCSVMulti writes several series sharing a time axis as one CSV:
 // each row is the latest value of every series at one sample instant
-// (the union of all sample times).
+// (the union of all sample times). Unlike Series.At, it does not
+// require samples in ascending order: each series is viewed through a
+// stable sort, so out-of-order recordings land on the right row and
+// the last-recorded value wins among duplicate instants.
 func WriteCSVMulti(w io.Writer, series ...*Series) error {
 	if len(series) == 0 {
 		return errors.New("metrics: no series")
 	}
 	names := make([]string, len(series))
+	views := make([][]Point, len(series))
 	times := map[time.Duration]bool{}
 	for i, s := range series {
 		names[i] = s.Name
-		for _, p := range s.Points {
+		pts := append([]Point(nil), s.Points...)
+		sort.SliceStable(pts, func(a, b int) bool { return pts[a].T < pts[b].T })
+		views[i] = pts
+		for _, p := range pts {
 			times[p.T] = true
 		}
 	}
@@ -429,14 +490,21 @@ func WriteCSVMulti(w io.Writer, series ...*Series) error {
 		sorted = append(sorted, t)
 	}
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	at := func(pts []Point, t time.Duration) float64 {
+		i := sort.Search(len(pts), func(i int) bool { return pts[i].T > t })
+		if i == 0 {
+			return 0
+		}
+		return pts[i-1].V
+	}
 	if _, err := fmt.Fprintf(w, "t_seconds,%s\n", strings.Join(names, ",")); err != nil {
 		return err
 	}
 	for _, t := range sorted {
 		cells := make([]string, 0, len(series)+1)
 		cells = append(cells, fmt.Sprintf("%.3f", t.Seconds()))
-		for _, s := range series {
-			cells = append(cells, fmt.Sprintf("%g", s.At(t)))
+		for i := range series {
+			cells = append(cells, fmt.Sprintf("%g", at(views[i], t)))
 		}
 		if _, err := fmt.Fprintln(w, strings.Join(cells, ",")); err != nil {
 			return err

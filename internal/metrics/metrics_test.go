@@ -235,3 +235,203 @@ func TestWriteCSVMulti(t *testing.T) {
 		t.Fatal("no series accepted")
 	}
 }
+
+// TestTimelineZeroDurationTransition is the boundary-semantics
+// regression test: a state entered and left at the same instant must
+// still appear in Totals (with zero duration), and Time/Totals must
+// include a zero-length open interval — the !now.Before(since) rule.
+func TestTimelineZeroDurationTransition(t *testing.T) {
+	t0 := time.Unix(1000, 0)
+	tl := NewTimeline(t0, "protected")
+
+	// Enter and leave "resyncing" at the same instant.
+	t1 := t0.Add(time.Second)
+	tl.Transition(t1, "resyncing")
+	tl.Transition(t1, "protected")
+
+	totals := tl.Totals(t1)
+	if d, ok := totals["resyncing"]; !ok {
+		t.Fatal("zero-duration state vanished from Totals")
+	} else if d != 0 {
+		t.Fatalf("resyncing = %v, want 0", d)
+	}
+	if totals["protected"] != time.Second {
+		t.Fatalf("protected = %v, want 1s", totals["protected"])
+	}
+	if got := tl.Time(t1, "resyncing"); got != 0 {
+		t.Fatalf("Time(resyncing) = %v, want 0", got)
+	}
+	// The open interval observed at its own start instant counts as
+	// present with zero duration, not absent.
+	if got := tl.Time(t1, "protected"); got != time.Second {
+		t.Fatalf("Time(protected) = %v, want 1s", got)
+	}
+	if tl.Transitions() != 2 {
+		t.Fatalf("transitions = %d, want 2", tl.Transitions())
+	}
+
+	// A clock running backwards must not corrupt the totals.
+	tl.Transition(t1.Add(-time.Minute), "degraded")
+	if d := tl.Totals(t1)["protected"]; d != time.Second {
+		t.Fatalf("backwards transition changed protected to %v", d)
+	}
+}
+
+// TestTimelineTotalsMatchesElapsed: the per-state totals must always
+// partition the elapsed time exactly, zero-duration transitions
+// included.
+func TestTimelineTotalsMatchesElapsed(t *testing.T) {
+	t0 := time.Unix(0, 0)
+	tl := NewTimeline(t0, "a")
+	now := t0
+	steps := []struct {
+		d time.Duration
+		s string
+	}{
+		{0, "b"}, {time.Second, "c"}, {0, "a"}, {0, "b"},
+		{500 * time.Millisecond, "a"}, {0, "c"},
+	}
+	for _, st := range steps {
+		now = now.Add(st.d)
+		tl.Transition(now, st.s)
+	}
+	var sum time.Duration
+	for _, d := range tl.Totals(now) {
+		sum += d
+	}
+	if want := now.Sub(t0); sum != want {
+		t.Fatalf("totals sum to %v, elapsed %v", sum, want)
+	}
+}
+
+// TestSummaryInterleavedAddPercentile: interleaving writes and
+// percentile reads must keep reporting over the full history.
+func TestSummaryInterleavedAddPercentile(t *testing.T) {
+	var s Summary
+	// Descending inserts are the worst case for the merge path.
+	for i := 100; i > 0; i-- {
+		s.Add(float64(i))
+		if got := s.Percentile(0); got != float64(i) {
+			t.Fatalf("after adding down to %d: min percentile = %v", i, got)
+		}
+		if got := s.Percentile(100); got != 100 {
+			t.Fatalf("after adding down to %d: max percentile = %v", i, got)
+		}
+	}
+	if s.N() != 100 {
+		t.Fatalf("N = %d, want 100", s.N())
+	}
+	if got := s.Percentile(50); got != 50.5 {
+		t.Fatalf("median = %v, want 50.5", got)
+	}
+	if got, want := s.Mean(), 50.5; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("mean = %v, want %v", got, want)
+	}
+}
+
+// BenchmarkSummaryInterleaved measures the Add/Percentile interleave
+// the dynamic period controller performs every checkpoint cycle. The
+// merge-based Percentile keeps this linear-ish; a full re-sort per call
+// would be O(n log n) each iteration.
+func BenchmarkSummaryInterleaved(b *testing.B) {
+	var s Summary
+	for i := 0; i < b.N; i++ {
+		s.Add(float64(i % 997))
+		_ = s.Percentile(99)
+	}
+}
+
+// BenchmarkSummaryBatchThenPercentile is the contrast case: bulk load,
+// one read.
+func BenchmarkSummaryBatchThenPercentile(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var s Summary
+		for j := 0; j < 1000; j++ {
+			s.Add(float64(j % 97))
+		}
+		_ = s.Percentile(99)
+	}
+}
+
+// TestWriteCSVMultiUnsortedDuplicates: sample times recorded out of
+// order across series and duplicated within one series must produce a
+// single, time-sorted row per distinct instant, with the last recorded
+// value winning among duplicates.
+func TestWriteCSVMultiUnsortedDuplicates(t *testing.T) {
+	a := NewSeries("x")
+	a.Record(2*time.Second, 1)
+	a.Record(2*time.Second, 2) // duplicate instant: last value wins
+	a.Record(4*time.Second, 3)
+	b := NewSeries("y")
+	b.Record(3*time.Second, 10) // interleaves between a's samples
+	b.Record(1*time.Second, 5)  // union must still come out sorted
+
+	var buf strings.Builder
+	if err := WriteCSVMulti(&buf, a, b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	want := []string{
+		"t_seconds,x,y",
+		"1.000,0,5",
+		"2.000,2,5", // not 1: the duplicate's last value
+		"3.000,2,10",
+		"4.000,3,10",
+	}
+	if len(lines) != len(want) {
+		t.Fatalf("got %d lines, want %d:\n%s", len(lines), len(want), buf.String())
+	}
+	for i, w := range want {
+		if lines[i] != w {
+			t.Fatalf("line %d = %q, want %q", i, lines[i], w)
+		}
+	}
+}
+
+// failAfter errors once n bytes have been accepted.
+type failAfter struct {
+	n       int
+	written int
+}
+
+func (f *failAfter) Write(p []byte) (int, error) {
+	if f.written+len(p) > f.n {
+		room := f.n - f.written
+		if room < 0 {
+			room = 0
+		}
+		f.written += room
+		return room, errFull
+	}
+	f.written += len(p)
+	return len(p), nil
+}
+
+var errFull = &writeError{"disk full"}
+
+type writeError struct{ msg string }
+
+func (e *writeError) Error() string { return e.msg }
+
+// TestWriteCSVErrorPropagation: both CSV writers must surface the
+// writer's error — from the header write and from a row write.
+func TestWriteCSVErrorPropagation(t *testing.T) {
+	s := NewSeries("p")
+	s.Record(0, 1)
+	s.Record(time.Second, 2)
+
+	// Header write fails.
+	if err := s.WriteCSV(&failAfter{n: 0}); err == nil {
+		t.Fatal("header write error swallowed")
+	}
+	// A row write fails after the header got through.
+	if err := s.WriteCSV(&failAfter{n: len("t_seconds,p\n") + 3}); err == nil {
+		t.Fatal("row write error swallowed")
+	}
+	if err := WriteCSVMulti(&failAfter{n: 0}, s); err == nil {
+		t.Fatal("multi header write error swallowed")
+	}
+	if err := WriteCSVMulti(&failAfter{n: len("t_seconds,p\n") + 3}, s); err == nil {
+		t.Fatal("multi row write error swallowed")
+	}
+}

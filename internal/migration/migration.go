@@ -29,6 +29,7 @@ import (
 	"github.com/here-ft/here/internal/hypervisor"
 	"github.com/here-ft/here/internal/memory"
 	"github.com/here-ft/here/internal/simnet"
+	"github.com/here-ft/here/internal/trace"
 	"github.com/here-ft/here/internal/wire"
 	"github.com/here-ft/here/internal/workload"
 )
@@ -89,6 +90,10 @@ type Config struct {
 	// replicator's encoder primes its delta-baseline cache with the
 	// seeded page images. Nil uses a private raw-mode encoder.
 	Codec *wire.Encoder
+	// Tracer records one "seed-round" span per pre-copy iteration
+	// (Epoch is the iteration number) plus one for the final
+	// stop-and-copy. Nil disables tracing.
+	Tracer *trace.Tracer
 }
 
 // Result reports what a migration did.
@@ -172,10 +177,16 @@ func Migrate(vm *hypervisor.VM, dst *memory.GuestMemory, cfg Config) (Result, er
 	for iter := 1; ; iter++ {
 		res.Iterations = iter
 		initialPass := iter == 1
+		iterStart := clock.Now()
+		bytesBefore := res.BytesSent
 		dur, err := transferBatch(vm, dst, batch, cfg.Mode, initialPass, threads, costs, cfg.Link, enc, &res)
 		if err != nil {
 			return res, err
 		}
+		cfg.Tracer.Span(trace.SpanSeedRound, int64(iter), iterStart, trace.Event{
+			Engine: cfg.Mode.String(), Pages: len(batch),
+			Bytes: res.BytesSent - bytesBefore,
+		})
 		// The guest executed during the whole transfer; its writes
 		// form the next iteration's dirty set.
 		if cfg.Workload != nil && dur > 0 {
@@ -203,10 +214,15 @@ func Migrate(vm *hypervisor.VM, dst *memory.GuestMemory, cfg Config) (Result, er
 		final = appendProblematic(final, problematic)
 		res.ProblematicResent = len(problematic)
 	}
+	stopBytesBefore := res.BytesSent
 	if _, err := transferBatch(vm, dst, final, cfg.Mode, false, threads, costs, cfg.Link, enc, &res); err != nil {
 		return res, err
 	}
 	clock.Sleep(costs.StateRecord)
+	cfg.Tracer.Span(trace.SpanSeedRound, int64(res.Iterations+1), pauseStart, trace.Event{
+		Engine: cfg.Mode.String(), Pages: len(final),
+		Bytes: res.BytesSent - stopBytesBefore, Note: "stop-and-copy",
+	})
 	state, err := vm.CaptureState()
 	if err != nil {
 		return res, fmt.Errorf("migration: capture: %w", err)

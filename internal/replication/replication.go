@@ -32,6 +32,7 @@ import (
 	"github.com/here-ft/here/internal/migration"
 	"github.com/here-ft/here/internal/period"
 	"github.com/here-ft/here/internal/simnet"
+	"github.com/here-ft/here/internal/trace"
 	"github.com/here-ft/here/internal/translate"
 	"github.com/here-ft/here/internal/wire"
 	"github.com/here-ft/here/internal/workload"
@@ -275,6 +276,17 @@ type Config struct {
 	// dirty pages accumulate, and a delta resync restores protection
 	// once the link recovers.
 	DegradedMode bool
+	// Tracer receives epoch-scoped spans (pause, scan, encode,
+	// transfer, ack, release) and discrete events (retries, rollbacks,
+	// mode changes) for every checkpoint cycle. Nil disables tracing;
+	// the hot path then pays only nil checks.
+	Tracer *trace.Tracer
+	// Metrics is the registry the replicator's counters and histograms
+	// (here_replication_*) register into, shared with the wire codec
+	// and the tracer's self-observation counters. Nil creates a
+	// private registry — Recovery and Totals still work, nothing is
+	// exported.
+	Metrics *trace.Registry
 }
 
 // CheckpointStats describes one completed checkpoint.
@@ -361,13 +373,22 @@ type Replicator struct {
 	retry   RetryPolicy
 	enc     *wire.Encoder
 
+	tr *trace.Tracer
+
 	// Recovery counters and the per-mode timeline (see RecoveryStats).
-	retries         metrics.Counter
-	rollbacks       metrics.Counter
-	degradedEntries metrics.Counter
-	resyncs         metrics.Counter
-	resyncPages     metrics.Counter
-	resyncBytes     metrics.Counter
+	// The counters live in the metrics registry (here_replication_*)
+	// so the same instruments double as exported telemetry.
+	retries         *trace.Counter
+	rollbacks       *trace.Counter
+	degradedEntries *trace.Counter
+	resyncs         *trace.Counter
+	resyncPages     *trace.Counter
+	resyncBytes     *trace.Counter
+	checkpoints     *trace.Counter
+	pagesSent       *trace.Counter
+	bytesSent       *trace.Counter
+	pauseHist       *trace.Histogram
+	periodHist      *trace.Histogram
 	timeline        *metrics.Timeline
 
 	mu         sync.Mutex
@@ -413,14 +434,44 @@ func New(vm *hypervisor.VM, dst hypervisor.Hypervisor, cfg Config) (*Replicator,
 		}
 	}
 	retry := cfg.Retry.withDefaults()
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = trace.NewRegistry()
+	}
+	enc := wire.NewEncoder(cfg.Compression)
+	enc.Instrument(reg)
+	cfg.Tracer.Instrument(reg)
 	return &Replicator{
-		cfg:      cfg,
-		primary:  vm,
-		src:      vm.Hypervisor(),
-		dst:      dst,
-		threads:  threads,
-		retry:    retry,
-		enc:      wire.NewEncoder(cfg.Compression),
+		cfg:     cfg,
+		primary: vm,
+		src:     vm.Hypervisor(),
+		dst:     dst,
+		threads: threads,
+		retry:   retry,
+		enc:     enc,
+		tr:      cfg.Tracer,
+		retries: reg.Counter("here_replication_retries_total",
+			"transfer attempts beyond the first"),
+		rollbacks: reg.Counter("here_replication_rollbacks_total",
+			"checkpoints abandoned after the retry budget"),
+		degradedEntries: reg.Counter("here_replication_degraded_entries_total",
+			"transitions into degraded (unprotected) mode"),
+		resyncs: reg.Counter("here_replication_resyncs_total",
+			"delta resyncs that restored protection"),
+		resyncPages: reg.Counter("here_replication_resync_pages_total",
+			"pages shipped by delta resyncs"),
+		resyncBytes: reg.Counter("here_replication_resync_bytes_total",
+			"bytes shipped by delta resyncs"),
+		checkpoints: reg.Counter("here_replication_checkpoints_total",
+			"acknowledged checkpoints"),
+		pagesSent: reg.Counter("here_replication_pages_total",
+			"dirty pages shipped in checkpoints"),
+		bytesSent: reg.Counter("here_replication_bytes_total",
+			"bytes placed on the replication link by checkpoints"),
+		pauseHist: reg.Histogram("here_replication_pause_seconds",
+			"checkpoint pause t (Fig 3)", trace.DurationBuckets()),
+		periodHist: reg.Histogram("here_replication_period_seconds",
+			"execution interval T preceding each checkpoint", trace.DurationBuckets()),
 		rng:      rand.New(rand.NewSource(retry.Seed)),
 		state:    StateProtected,
 		timeline: metrics.NewTimeline(vm.Hypervisor().Clock().Now(), StateProtected.String()),
@@ -440,11 +491,18 @@ func (r *Replicator) State() State {
 func (r *Replicator) setState(s State) {
 	now := r.src.Clock().Now()
 	r.mu.Lock()
-	if r.state != s {
+	changed := r.state != s
+	seq := r.seq
+	if changed {
 		r.state = s
 		r.timeline.Transition(now, s.String())
 	}
 	r.mu.Unlock()
+	if changed {
+		r.tr.Event(trace.EventModeChange, int64(seq), trace.Event{
+			Engine: r.cfg.Engine.String(), Note: s.String(),
+		})
+	}
 }
 
 // MarkFailedOver records that the replica was activated on the
@@ -454,6 +512,10 @@ func (r *Replicator) MarkFailedOver() { r.setState(StateFailedOver) }
 
 // Retry reports the normalized retry policy in effect.
 func (r *Replicator) Retry() RetryPolicy { return r.retry }
+
+// Tracer returns the tracer the replicator records into (nil when
+// tracing is disabled). Failover activation records its phases here.
+func (r *Replicator) Tracer() *trace.Tracer { return r.tr }
 
 // Recovery reports the recovery machinery's statistics so far.
 func (r *Replicator) Recovery() RecoveryStats {
@@ -543,6 +605,9 @@ func (r *Replicator) Seed() (migration.Result, error) {
 	// Seed through the replicator's own codec so the baseline cache is
 	// primed: the first checkpoint's deltas diff against seeded content.
 	mcfg.Codec = r.enc
+	if mcfg.Tracer == nil {
+		mcfg.Tracer = r.tr
+	}
 	if mcfg.Workload == nil {
 		mcfg.Workload = r.cfg.Workload
 	}
@@ -696,7 +761,8 @@ func (r *Replicator) RunFor(d time.Duration) ([]CheckpointStats, error) {
 // ship sends bytes over the replication link, retrying transient
 // failures with exponential backoff + jitter per the retry policy.
 // It returns the last transfer error once the budget is exhausted.
-func (r *Replicator) ship(bytes int64, streams int) error {
+// epoch scopes the retry events to the checkpoint being shipped.
+func (r *Replicator) ship(epoch int64, bytes int64, streams int) error {
 	clock := r.src.Clock()
 	backoff := r.retry.InitialBackoff
 	for attempt := 1; ; attempt++ {
@@ -708,6 +774,9 @@ func (r *Replicator) ship(bytes int64, streams int) error {
 			return err
 		}
 		r.retries.Inc()
+		r.tr.Event(trace.EventRetry, epoch, trace.Event{
+			Engine: r.cfg.Engine.String(), Bytes: bytes, Note: err.Error(),
+		})
 		clock.Sleep(r.jittered(backoff))
 		backoff = time.Duration(float64(backoff) * r.retry.Multiplier)
 		if backoff > r.retry.MaxBackoff {
@@ -755,7 +824,16 @@ func (r *Replicator) rollback(pauseStart time.Time, runPeriod time.Duration,
 	pause := r.src.Clock().Since(pauseStart)
 	r.mu.Lock()
 	r.totals.TotalPause += pause
+	epoch := int64(r.seq)
 	r.mu.Unlock()
+	r.pauseHist.Observe(pause.Seconds())
+	r.tr.Event(trace.EventRollback, epoch, trace.Event{
+		Engine: r.cfg.Engine.String(), Pages: len(dirty), Note: cause.Error(),
+	})
+	r.tr.Record(trace.Event{
+		Kind: trace.SpanPause, Epoch: epoch, Start: pauseStart, Dur: pause,
+		Engine: r.cfg.Engine.String(), Pages: len(dirty), Outcome: "rollback",
+	})
 
 	if !r.cfg.DegradedMode {
 		return CheckpointStats{}, fmt.Errorf("%w: %w", ErrDegraded, cause)
@@ -793,6 +871,11 @@ func (r *Replicator) rollback(pauseStart time.Time, runPeriod time.Duration,
 func (r *Replicator) checkpoint(runPeriod time.Duration, resync bool) (CheckpointStats, error) {
 	clock := r.src.Clock()
 	costs := r.src.Costs()
+	engine := r.cfg.Engine.String()
+	r.mu.Lock()
+	seq := r.seq
+	r.mu.Unlock()
+	epochID := int64(seq)
 	pauseStart := clock.Now()
 	if resync {
 		r.setState(StateResyncing)
@@ -821,14 +904,17 @@ func (r *Replicator) checkpoint(runPeriod time.Duration, resync bool) (Checkpoin
 	// CPU-side costs (DESIGN.md §5): the whole-memory dirty scan and
 	// the per-page copy parallelize across HERE's region threads; the
 	// privileged per-page mapping path is serialized by the hypervisor.
+	scanStart := clock.Now()
 	scan := time.Duration(int64(costs.ScanPerPage)*int64(r.primary.Memory().NumPages())) /
 		time.Duration(r.threads)
 	mapping := time.Duration(int64(costs.MapPerDirtyPage) * int64(n))
 	copying := time.Duration(int64(costs.CopyPerDirtyPage)*int64(n)) /
 		time.Duration(r.threads)
 	clock.Sleep(scan + mapping + copying)
+	r.tr.Span(trace.SpanScan, epochID, scanStart, trace.Event{Engine: engine, Pages: n})
 
 	// Capture and translate the vCPU/device state record.
+	encodeStart := clock.Now()
 	clock.Sleep(costs.StateRecord)
 	state, err := r.primary.CaptureState()
 	if err != nil {
@@ -842,9 +928,6 @@ func (r *Replicator) checkpoint(runPeriod time.Duration, resync bool) (Checkpoin
 	// Encode the checkpoint stream: dirtied memory + journaled disk
 	// writes + state record, framed and checksummed. The codec measures
 	// what the link actually carries — there is no assumed ratio.
-	r.mu.Lock()
-	seq := r.seq
-	r.mu.Unlock()
 	cp, err := r.enc.Encode(r.primary.Memory(), dirty, image, diskWrites, seq, r.threads)
 	if err != nil {
 		return CheckpointStats{}, fmt.Errorf("replication: encode: %w", err)
@@ -858,6 +941,26 @@ func (r *Replicator) checkpoint(runPeriod time.Duration, resync bool) (Checkpoin
 			time.Duration(r.threads)
 		clock.Sleep(compress)
 	}
+	// The aggregate encode span covers the state record, the codec and
+	// the modeled compression cost; the per-shard spans mirror the
+	// codec's round-robin region sharding and run in parallel under it.
+	encDur := r.tr.Span(trace.SpanEncode, epochID, encodeStart,
+		trace.Event{Engine: engine, Pages: n, Bytes: bytes})
+	if r.tr.Enabled() && r.threads > 1 {
+		shardPages := make([]int, r.threads)
+		for _, p := range dirty {
+			shardPages[memory.RegionOf(p)%r.threads]++
+		}
+		for s, count := range shardPages {
+			if count == 0 {
+				continue
+			}
+			r.tr.Record(trace.Event{
+				Kind: trace.SpanEncode, Epoch: epochID, Start: encodeStart,
+				Dur: encDur, Engine: engine, Shard: s + 1, Pages: count,
+			})
+		}
+	}
 	streams := r.threads
 	if regions := dirtyRegions(dirty); regions > 0 && regions < streams {
 		// Region sharding bounds the transfer parallelism: fewer
@@ -869,16 +972,26 @@ func (r *Replicator) checkpoint(runPeriod time.Duration, resync bool) (Checkpoin
 	// retry budget rolls the checkpoint back — including the encoder's
 	// staged baseline, so the next deltas still diff against the last
 	// epoch the replica acknowledged.
-	if err := r.ship(bytes, streams); err != nil {
+	transferStart := clock.Now()
+	if err := r.ship(epochID, bytes, streams); err != nil {
+		r.tr.Span(trace.SpanTransfer, epochID, transferStart,
+			trace.Event{Engine: engine, Bytes: bytes, Outcome: "failed"})
 		r.enc.Rollback()
 		return r.rollback(pauseStart, runPeriod, dirty, err)
 	}
-	if err := r.ship(ackBytes, 1); err != nil {
+	r.tr.Span(trace.SpanTransfer, epochID, transferStart,
+		trace.Event{Engine: engine, Bytes: bytes})
+	ackStart := clock.Now()
+	if err := r.ship(epochID, ackBytes, 1); err != nil {
 		// The replica may hold the checkpoint data, but without the
 		// acknowledgement the primary must treat it as never applied.
+		r.tr.Span(trace.SpanAck, epochID, ackStart,
+			trace.Event{Engine: engine, Bytes: ackBytes, Outcome: "failed"})
 		r.enc.Rollback()
 		return r.rollback(pauseStart, runPeriod, dirty, err)
 	}
+	r.tr.Span(trace.SpanAck, epochID, ackStart,
+		trace.Event{Engine: engine, Bytes: ackBytes})
 	// Decode atomically on the replica only once acknowledged — a
 	// checkpoint that failed mid-flight above leaves the previous
 	// acknowledged checkpoint intact. The decoder re-validates every
@@ -891,6 +1004,7 @@ func (r *Replicator) checkpoint(runPeriod time.Duration, resync bool) (Checkpoin
 
 	pause := clock.Since(pauseStart)
 	r.primary.Resume()
+	releaseStart := clock.Now()
 
 	// Commit: this checkpoint is now the failover target; apply the
 	// decoded disk writes on the replica and release its buffered
@@ -928,12 +1042,25 @@ func (r *Replicator) checkpoint(runPeriod time.Duration, resync bool) (Checkpoin
 	if sink != nil && len(released) > 0 {
 		sink(released)
 	}
+	r.tr.Span(trace.SpanRelease, epochID, releaseStart,
+		trace.Event{Engine: engine, Pages: len(released)})
 
+	outcome := "ok"
 	if resync {
+		outcome = "resync"
 		r.resyncs.Inc()
 		r.resyncPages.Add(int64(n))
 		r.resyncBytes.Add(bytes + ackBytes)
 	}
+	r.checkpoints.Inc()
+	r.pagesSent.Add(int64(n))
+	r.bytesSent.Add(bytes + ackBytes)
+	r.pauseHist.Observe(pause.Seconds())
+	r.periodHist.Observe(runPeriod.Seconds())
+	r.tr.Record(trace.Event{
+		Kind: trace.SpanPause, Epoch: epochID, Start: pauseStart, Dur: pause,
+		Engine: engine, Pages: n, Bytes: bytes + ackBytes, Outcome: outcome,
+	})
 	r.setState(StateProtected)
 
 	st := CheckpointStats{

@@ -20,6 +20,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/here-ft/here/internal/trace"
 	"github.com/here-ft/here/internal/vclock"
 )
 
@@ -134,6 +135,26 @@ type Link struct {
 	sentB     int64
 	nXfers    int64
 	busyTime  time.Duration
+
+	// Registry counters (here_link_*), set by Instrument; nil until then.
+	sentC, xfersC, failedC *trace.Counter
+}
+
+// Instrument registers the link's counters into reg:
+// here_link_sent_bytes_total, here_link_transfers_total and
+// here_link_failed_transfers_total.
+func (l *Link) Instrument(reg *trace.Registry) {
+	if reg == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.sentC = reg.Counter("here_link_sent_bytes_total",
+		"bytes that made it onto the replication link")
+	l.xfersC = reg.Counter("here_link_transfers_total",
+		"transfers that put bytes on the wire")
+	l.failedC = reg.Counter("here_link_failed_transfers_total",
+		"transfers refused, interrupted or lost in flight")
 }
 
 // NewLink returns a link timed against clock.
@@ -192,7 +213,9 @@ func (l *Link) Transfer(bytes int64, streams int) (time.Duration, error) {
 	}
 	l.mu.Lock()
 	if l.down {
+		failed := l.failedC
 		l.mu.Unlock()
+		failed.Inc()
 		return 0, fmt.Errorf("link %q: %w", l.cfg.Name, ErrLinkDown)
 	}
 	l.mu.Unlock()
@@ -219,7 +242,11 @@ func (l *Link) Transfer(bytes int64, streams int) (time.Duration, error) {
 		}
 		l.sentB += sent
 		l.nXfers++
+		sentC, xfersC, failedC := l.sentC, l.xfersC, l.failedC
 		l.mu.Unlock()
+		sentC.Add(sent)
+		xfersC.Inc()
+		failedC.Inc()
 		return d, &PartialTransferError{Link: l.cfg.Name, Sent: sent, Total: bytes, Cause: ErrLinkDown}
 	}
 	l.mu.Unlock()
@@ -230,7 +257,11 @@ func (l *Link) Transfer(bytes int64, streams int) (time.Duration, error) {
 			l.sentB += bytes
 			l.nXfers++
 			l.busyTime += d
+			sentC, xfersC, failedC := l.sentC, l.xfersC, l.failedC
 			l.mu.Unlock()
+			sentC.Add(bytes)
+			xfersC.Inc()
+			failedC.Inc()
 			return d, fmt.Errorf("link %q: %w", l.cfg.Name, err)
 		}
 	}
@@ -239,7 +270,10 @@ func (l *Link) Transfer(bytes int64, streams int) (time.Duration, error) {
 	l.sentB += bytes
 	l.nXfers++
 	l.busyTime += d
+	sentC, xfersC := l.sentC, l.xfersC
 	l.mu.Unlock()
+	sentC.Add(bytes)
+	xfersC.Inc()
 	return d, nil
 }
 

@@ -1,0 +1,392 @@
+// Package trace is HERE's telemetry layer: a low-overhead structured
+// tracer plus a named metrics registry, both clock-driven so the same
+// instrumentation works under the virtual clock (deterministic
+// experiment traces) and the wall clock.
+//
+// The tracer records two shapes of telemetry:
+//
+//   - Spans — intervals of the checkpoint lifecycle, scoped to the
+//     epoch (checkpoint sequence number) they belong to: pause, dirty
+//     scan, encode (aggregate plus one span per region shard),
+//     transfer, ack, release; plus seeding rounds and failover phases.
+//   - Events — discrete occurrences: transfer retries, checkpoint
+//     rollbacks, protection-mode transitions, fault injections,
+//     heartbeat misses.
+//
+// Storage is a bounded ring buffer: Record never blocks and never
+// allocates on the hot path once the ring is warm; when the ring is
+// full the oldest event is overwritten and counted in Dropped(). A nil
+// *Tracer is valid and disables tracing — call sites need no guards.
+//
+// The paper's evaluation attributes each epoch's cost to its stages
+// (pause t = αN/P + C, scan, encode, transfer, ack — §6, Fig 3) and
+// Algorithm 1 acts on those measurements; EpochBreakdown reassembles
+// exactly that attribution from a recorded trace.
+package trace
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/here-ft/here/internal/vclock"
+)
+
+// Kind labels what an Event describes. Kinds below EventRetry are
+// spans (they carry a duration); the rest are discrete events.
+type Kind uint8
+
+// Span and event kinds.
+const (
+	// SpanPause is the whole checkpoint pause: the guest is stopped
+	// from the first dirty-scan cycle to resume.
+	SpanPause Kind = iota + 1
+	// SpanScan is the dirty-bitmap scan plus per-page mapping and copy.
+	SpanScan
+	// SpanEncode is the wire encode including the state record capture;
+	// the aggregate span has Shard 0, per-region-shard spans are 1-based.
+	SpanEncode
+	// SpanTransfer is the checkpoint stream's time on the link,
+	// including retries and their backoffs.
+	SpanTransfer
+	// SpanAck is the replica acknowledgement round.
+	SpanAck
+	// SpanRelease is the post-resume commit: replica apply, disk-journal
+	// retirement and buffered-output release.
+	SpanRelease
+	// SpanSeedRound is one live pre-copy iteration of the seeding
+	// migration (Epoch is the iteration number).
+	SpanSeedRound
+	// SpanFailover is one phase of replica activation (Note names the
+	// phase: discard, decode, restore, replug, resume).
+	SpanFailover
+
+	// EventRetry is one transfer attempt beyond the first.
+	EventRetry
+	// EventRollback is a checkpoint abandoned after the retry budget.
+	EventRollback
+	// EventModeChange is a protection-state transition (Note holds the
+	// new state).
+	EventModeChange
+	// EventFault is a fault-plan event firing (Note holds kind+detail).
+	EventFault
+	// EventHeartbeatMiss is one missed heartbeat observed by the
+	// failure detector.
+	EventHeartbeatMiss
+)
+
+// String names the kind as it appears in exported traces.
+func (k Kind) String() string {
+	switch k {
+	case SpanPause:
+		return "pause"
+	case SpanScan:
+		return "scan"
+	case SpanEncode:
+		return "encode"
+	case SpanTransfer:
+		return "transfer"
+	case SpanAck:
+		return "ack"
+	case SpanRelease:
+		return "release"
+	case SpanSeedRound:
+		return "seed-round"
+	case SpanFailover:
+		return "failover"
+	case EventRetry:
+		return "retry"
+	case EventRollback:
+		return "rollback"
+	case EventModeChange:
+		return "mode-change"
+	case EventFault:
+		return "fault"
+	case EventHeartbeatMiss:
+		return "heartbeat-miss"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// IsSpan reports whether the kind carries a duration.
+func (k Kind) IsSpan() bool { return k >= SpanPause && k <= SpanFailover }
+
+// NoEpoch marks an event that is not scoped to a checkpoint epoch
+// (fault injections, heartbeat misses).
+const NoEpoch int64 = -1
+
+// Event is one recorded span or discrete event. The zero values of the
+// optional fields (Engine, Shard, Pages, Bytes, Outcome, Note) mean
+// "not applicable"; Shard 0 is the aggregate span, per-shard encode
+// spans are numbered from 1.
+type Event struct {
+	// Seq is the event's position in the trace (monotone, assigned by
+	// Record; continues counting across ring-buffer overwrites).
+	Seq uint64
+	// Epoch is the checkpoint sequence number the event belongs to, or
+	// NoEpoch.
+	Epoch int64
+	// Kind labels the span or event.
+	Kind Kind
+	// Start is the instant on the tracer's clock; Dur is the span
+	// length (0 for discrete events).
+	Start time.Time
+	Dur   time.Duration
+	// Engine names the replication engine ("here", "remus") where
+	// relevant.
+	Engine string
+	// Shard is the 1-based region-shard index for per-shard spans;
+	// 0 for aggregate spans and events.
+	Shard int
+	// Pages and Bytes size the work the span covered.
+	Pages int
+	Bytes int64
+	// Outcome is "ok", "failed", "rollback", … — empty means ok.
+	Outcome string
+	// Note carries free-form detail (fault description, new mode, …).
+	Note string
+}
+
+// DefaultCapacity is the ring size used when New is given 0.
+const DefaultCapacity = 16384
+
+// Tracer records spans and events into a bounded ring buffer. It is
+// safe for concurrent use; a nil *Tracer discards everything.
+type Tracer struct {
+	clock vclock.Clock
+	start time.Time
+
+	mu      sync.Mutex
+	buf     []Event
+	head    int // index of the oldest event
+	n       int // number of valid events
+	seq     uint64
+	dropped uint64
+
+	// optional self-observation counters (Instrument)
+	events *Counter
+	drops  *Counter
+}
+
+// New returns a tracer timed against clock, holding at most capacity
+// events (DefaultCapacity if <= 0).
+func New(clock vclock.Clock, capacity int) *Tracer {
+	if clock == nil {
+		clock = vclock.NewSim()
+	}
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Tracer{
+		clock: clock,
+		start: clock.Now(),
+		buf:   make([]Event, 0, capacity),
+	}
+}
+
+// Clock returns the tracer's time source (nil-safe).
+func (t *Tracer) Clock() vclock.Clock {
+	if t == nil {
+		return nil
+	}
+	return t.clock
+}
+
+// Start reports the instant the tracer was created; exported trace
+// offsets are measured from it.
+func (t *Tracer) Start() time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	return t.start
+}
+
+// Enabled reports whether the tracer records anything.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Instrument registers the tracer's self-observation counters into
+// reg: here_trace_events_total and here_trace_dropped_total.
+func (t *Tracer) Instrument(reg *Registry) {
+	if t == nil || reg == nil {
+		return
+	}
+	t.mu.Lock()
+	t.events = reg.Counter("here_trace_events_total",
+		"spans and events recorded by the tracer")
+	t.drops = reg.Counter("here_trace_dropped_total",
+		"events overwritten because the trace ring was full")
+	t.mu.Unlock()
+}
+
+// Record appends ev to the ring, stamping its trace sequence number.
+// When the ring is full the oldest event is overwritten and counted as
+// dropped. Record never blocks on anything but the tracer's own mutex
+// and is a no-op on a nil tracer.
+func (t *Tracer) Record(ev Event) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	ev.Seq = t.seq
+	t.seq++
+	if t.n < cap(t.buf) {
+		t.buf = append(t.buf, ev)
+		t.n++
+	} else {
+		t.buf[t.head] = ev
+		t.head++
+		if t.head == cap(t.buf) {
+			t.head = 0
+		}
+		t.dropped++
+	}
+	events, drops, dropped := t.events, t.drops, t.dropped
+	t.mu.Unlock()
+	if events != nil {
+		events.Inc()
+	}
+	if drops != nil && dropped > 0 {
+		drops.Set(int64(dropped))
+	}
+}
+
+// Span records a completed span of the given kind, measuring its
+// duration from start to now on the tracer's clock and returning that
+// duration. Optional fields ride in ev (Start, Dur and Kind are
+// overwritten).
+func (t *Tracer) Span(kind Kind, epoch int64, start time.Time, ev Event) time.Duration {
+	if t == nil {
+		return 0
+	}
+	ev.Kind = kind
+	ev.Epoch = epoch
+	ev.Start = start
+	ev.Dur = t.clock.Since(start)
+	t.Record(ev)
+	return ev.Dur
+}
+
+// Event records a discrete (zero-duration) event of the given kind at
+// the current instant.
+func (t *Tracer) Event(kind Kind, epoch int64, ev Event) {
+	if t == nil {
+		return
+	}
+	ev.Kind = kind
+	ev.Epoch = epoch
+	ev.Start = t.clock.Now()
+	ev.Dur = 0
+	t.Record(ev)
+}
+
+// Len reports the number of events currently held.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.n
+}
+
+// Dropped reports how many events were overwritten by ring overflow.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Events returns a copy of the held events, oldest first.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, 0, t.n)
+	for i := 0; i < t.n; i++ {
+		out = append(out, t.buf[(t.head+i)%cap(t.buf)])
+	}
+	return out
+}
+
+// EpochStages is the per-epoch stage attribution reassembled from a
+// trace: the pause and the stages that partition it, plus the events
+// that fired during the epoch. StageSum() against Pause is the
+// consistency check the acceptance tests apply.
+type EpochStages struct {
+	Epoch    int64
+	Engine   string
+	Pause    time.Duration
+	Scan     time.Duration
+	Encode   time.Duration
+	Transfer time.Duration
+	Ack      time.Duration
+	Release  time.Duration
+	Pages    int
+	Bytes    int64
+	Retries  int
+	Rollback bool
+	Outcome  string
+}
+
+// StageSum reports scan+encode+transfer+ack — the stages that
+// partition the pause.
+func (s EpochStages) StageSum() time.Duration {
+	return s.Scan + s.Encode + s.Transfer + s.Ack
+}
+
+// EpochBreakdown groups a trace's checkpoint spans by epoch, summing
+// each stage (aggregate spans only — per-shard encode spans are
+// parallel and excluded) and counting retries. Epochs appear in order
+// of their pause span; epochs with no spans in the trace (ring
+// overwritten) are absent.
+func EpochBreakdown(events []Event) []EpochStages {
+	index := make(map[int64]int)
+	var out []EpochStages
+	get := func(epoch int64) *EpochStages {
+		i, ok := index[epoch]
+		if !ok {
+			i = len(out)
+			index[epoch] = i
+			out = append(out, EpochStages{Epoch: epoch})
+		}
+		return &out[i]
+	}
+	for _, ev := range events {
+		if ev.Epoch < 0 {
+			continue
+		}
+		if ev.Kind == SpanEncode && ev.Shard > 0 {
+			continue // parallel per-shard span; the aggregate covers it
+		}
+		switch ev.Kind {
+		case SpanPause:
+			s := get(ev.Epoch)
+			s.Pause += ev.Dur
+			s.Pages = ev.Pages
+			s.Bytes = ev.Bytes
+			s.Engine = ev.Engine
+			s.Outcome = ev.Outcome
+		case SpanScan:
+			get(ev.Epoch).Scan += ev.Dur
+		case SpanEncode:
+			get(ev.Epoch).Encode += ev.Dur
+		case SpanTransfer:
+			get(ev.Epoch).Transfer += ev.Dur
+		case SpanAck:
+			get(ev.Epoch).Ack += ev.Dur
+		case SpanRelease:
+			get(ev.Epoch).Release += ev.Dur
+		case EventRetry:
+			get(ev.Epoch).Retries++
+		case EventRollback:
+			get(ev.Epoch).Rollback = true
+		}
+	}
+	return out
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/here-ft/here/internal/memory"
+	"github.com/here-ft/here/internal/trace"
 )
 
 // Encoder turns checkpoints into framed wire streams. In content-aware
@@ -32,6 +33,31 @@ type Encoder struct {
 	baseline map[memory.PageNum][]byte // last acked page images
 	staged   map[memory.PageNum][]byte // in-flight epoch; nil = page went zero
 	baseSize int64
+
+	// Registry counters (here_wire_*), set by Instrument; nil until then.
+	rawBytesC, encodedBytesC, zeroPagesC, deltaFramesC, rawFramesC *trace.Counter
+}
+
+// Instrument registers the codec's counters into reg: every Encode
+// accumulates its measured Stats into here_wire_raw_bytes_total,
+// here_wire_encoded_bytes_total, here_wire_zero_pages_total,
+// here_wire_delta_frames_total and here_wire_raw_frames_total.
+func (e *Encoder) Instrument(reg *trace.Registry) {
+	if reg == nil {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.rawBytesC = reg.Counter("here_wire_raw_bytes_total",
+		"checkpoint payload before encoding")
+	e.encodedBytesC = reg.Counter("here_wire_encoded_bytes_total",
+		"framed stream bytes as shipped on the link")
+	e.zeroPagesC = reg.Counter("here_wire_zero_pages_total",
+		"pages elided as all-zero runs")
+	e.deltaFramesC = reg.Counter("here_wire_delta_frames_total",
+		"pages shipped as XOR deltas against the acked baseline")
+	e.rawFramesC = reg.Counter("here_wire_raw_frames_total",
+		"pages shipped verbatim")
 }
 
 // NewEncoder returns an encoder. contentAware enables the zero/delta/
@@ -190,6 +216,17 @@ func (e *Encoder) Encode(mem *memory.GuestMemory, pages []memory.PageNum,
 	cp.Stream = stream
 	cp.WireSize = stats.EncodedBytes
 	cp.Stats = stats
+	e.mu.Lock()
+	rawB, encB, zeroP, deltaF, rawF :=
+		e.rawBytesC, e.encodedBytesC, e.zeroPagesC, e.deltaFramesC, e.rawFramesC
+	e.mu.Unlock()
+	if rawB != nil {
+		rawB.Add(stats.RawBytes)
+		encB.Add(stats.EncodedBytes)
+		zeroP.Add(stats.ZeroPages)
+		deltaF.Add(stats.DeltaFrames)
+		rawF.Add(stats.RawFrames)
+	}
 	return cp, nil
 }
 
