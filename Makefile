@@ -1,8 +1,8 @@
 GO ?= go
 
-RACE_PKGS = ./internal/replication ./internal/failover ./internal/faults ./internal/simnet ./internal/trace ./internal/wire
+RACE_PKGS = ./internal/replication ./internal/failover ./internal/faults ./internal/simnet ./internal/trace ./internal/wire ./internal/orchestrator ./internal/controlplane
 
-.PHONY: check vet fmt build test race fuzz-smoke bench trace-demo
+.PHONY: check vet fmt build test race fuzz-smoke bench trace-demo serve-demo
 
 check: vet fmt build test race fuzz-smoke
 
@@ -40,3 +40,9 @@ bench:
 trace-demo:
 	$(GO) run ./examples/chaos -trace chaos_trace.jsonl
 	@echo "wrote chaos_trace.jsonl"
+
+# Boot an in-process control-plane daemon, drive the REST API through
+# a scripted demo (protect → failover → retune → scrape), then keep
+# serving on 127.0.0.1:7070 for curl/herectl until interrupted.
+serve-demo:
+	$(GO) run ./examples/controlplane

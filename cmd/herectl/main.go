@@ -14,6 +14,18 @@
 //
 //	herectl trace -duration 30s -o trace.jsonl    # JSONL trace events
 //	herectl metrics -workload ycsb-A              # Prometheus text format
+//
+// With -addr, herectl becomes a client of a live hered daemon instead
+// of running a fresh simulation — the verbs drive the control-plane
+// REST API:
+//
+//	herectl -addr 127.0.0.1:7070 protect -name svc -mem 512 -vcpus 2
+//	herectl -addr 127.0.0.1:7070 list
+//	herectl -addr 127.0.0.1:7070 failover svc
+//	herectl -addr 127.0.0.1:7070 period svc -budget 0.2 -tmax 10s
+//	herectl -addr 127.0.0.1:7070 events -since 0
+//	herectl -addr 127.0.0.1:7070 metrics          # live /metrics scrape
+//	herectl -addr 127.0.0.1:7070 trace svc -o svc.jsonl
 package main
 
 import (
@@ -31,8 +43,14 @@ import (
 
 func main() {
 	log.SetFlags(0)
-	mode := ""
 	args := os.Args[1:]
+	if addr, rest := extractAddr(args); addr != "" {
+		if err := runClient(addr, rest); err != nil {
+			log.Fatal("herectl: ", err)
+		}
+		return
+	}
+	mode := ""
 	if len(args) > 0 && (args[0] == "trace" || args[0] == "metrics") {
 		mode = args[0]
 		args = args[1:]

@@ -1,0 +1,135 @@
+// hered is HERE's control-plane daemon: it owns an orchestrated
+// hypervisor fleet, pumps its replication rounds from a real-time
+// ticker, and serves the versioned JSON REST API (plus Prometheus
+// /metrics) that herectl's client mode and plain curl talk to.
+//
+//	hered -addr 127.0.0.1:7070 -xen 2 -kvm 2
+//
+// Then, from another terminal:
+//
+//	herectl -addr 127.0.0.1:7070 protect -name svc -mem 512 -vcpus 2
+//	herectl -addr 127.0.0.1:7070 status svc
+//	curl -s http://127.0.0.1:7070/metrics
+//
+// The fleet is simulated (the same Xen-like and KVM/kvmtool-like
+// hypervisors the library builds on) but the serving layer is real:
+// admission control, request timeouts, structured errors, graceful
+// shutdown.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/here-ft/here/internal/controlplane"
+	"github.com/here-ft/here/internal/kvm"
+	"github.com/here-ft/here/internal/orchestrator"
+	"github.com/here-ft/here/internal/trace"
+	"github.com/here-ft/here/internal/vclock"
+	"github.com/here-ft/here/internal/xen"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("hered: ")
+	if err := run(os.Args[1:]); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("hered", flag.ExitOnError)
+	var (
+		addr        = fs.String("addr", "127.0.0.1:7070", "listen address")
+		xenHosts    = fs.Int("xen", 2, "number of Xen hosts in the fleet")
+		kvmHosts    = fs.Int("kvm", 2, "number of KVM/kvmtool hosts in the fleet")
+		pump        = fs.Duration("pump", controlplane.DefaultPumpInterval, "real-time interval between orchestration rounds")
+		budget      = fs.Float64("budget", 0.3, "default degradation budget D for new protections")
+		tmax        = fs.Duration("tmax", 25*time.Second, "default maximum checkpoint interval T_max")
+		hbInterval  = fs.Duration("hb-interval", 0, "heartbeat interval (0 = library default)")
+		hbTimeout   = fs.Duration("hb-timeout", 0, "heartbeat timeout (0 = library default)")
+		maxInflight = fs.Int("max-inflight", controlplane.DefaultMaxInflight, "max concurrently admitted mutating requests before 429")
+		reqTimeout  = fs.Duration("req-timeout", controlplane.DefaultRequestTimeout, "per-request handling timeout")
+		drain       = fs.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
+		quiet       = fs.Bool("quiet", false, "suppress the access log")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *xenHosts < 1 || *kvmHosts < 1 {
+		return fmt.Errorf("need at least one host of each kind for heterogeneous pairs (got -xen %d -kvm %d)", *xenHosts, *kvmHosts)
+	}
+
+	clock := vclock.NewSim()
+	registry := trace.NewRegistry()
+	mgr, err := orchestrator.New(orchestrator.Config{
+		Clock:             clock,
+		HeartbeatInterval: *hbInterval,
+		HeartbeatTimeout:  *hbTimeout,
+		DegradationBudget: *budget,
+		MaxPeriod:         *tmax,
+		Metrics:           registry,
+	})
+	if err != nil {
+		return err
+	}
+	for i := 0; i < *xenHosts; i++ {
+		h, err := xen.New(fmt.Sprintf("xen%d", i), clock)
+		if err != nil {
+			return err
+		}
+		if err := mgr.AddHost(h); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < *kvmHosts; i++ {
+		h, err := kvm.New(fmt.Sprintf("kvm%d", i), clock)
+		if err != nil {
+			return err
+		}
+		if err := mgr.AddHost(h); err != nil {
+			return err
+		}
+	}
+
+	logf := log.Printf
+	if *quiet {
+		logf = nil
+	}
+	srv, err := controlplane.New(controlplane.Config{
+		Manager:            mgr,
+		PumpInterval:       *pump,
+		RequestTimeout:     *reqTimeout,
+		MaxInflightProtect: *maxInflight,
+		Logf:               logf,
+	})
+	if err != nil {
+		return err
+	}
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe(*addr) }()
+	log.Printf("fleet: %d xen + %d kvm hosts, pump every %v, api on http://%s",
+		*xenHosts, *kvmHosts, *pump, *addr)
+
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-sigc:
+		log.Printf("received %v, draining (budget %v)", sig, *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			return fmt.Errorf("shutdown: %w", err)
+		}
+		return <-errc
+	}
+}

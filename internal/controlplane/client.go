@@ -1,0 +1,205 @@
+package controlplane
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// APIError is a non-2xx response decoded from the server's error
+// envelope.
+type APIError struct {
+	StatusCode int
+	Code       string
+	Message    string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("hered: %s (%d %s)", e.Message, e.StatusCode, e.Code)
+}
+
+// IsNotFound reports whether err is a 404 from the daemon.
+func IsNotFound(err error) bool {
+	var api *APIError
+	return errors.As(err, &api) && api.StatusCode == http.StatusNotFound
+}
+
+// IsOverloaded reports whether err is a 429 admission rejection.
+func IsOverloaded(err error) bool {
+	var api *APIError
+	return errors.As(err, &api) && api.StatusCode == http.StatusTooManyRequests
+}
+
+// Client talks to a hered daemon — the herectl client mode's
+// transport. The zero value is not usable; construct with NewClient.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient returns a client for the daemon at addr ("host:port" or a
+// full http:// URL).
+func NewClient(addr string) *Client {
+	base := addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	base = strings.TrimRight(base, "/")
+	return &Client{
+		base: base,
+		http: &http.Client{Timeout: 30 * time.Second},
+	}
+}
+
+// do runs one request; a non-2xx response is decoded into *APIError.
+// out may be nil to discard the body.
+func (c *Client) do(method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return decodeAPIError(resp)
+	}
+	if out == nil {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// raw fetches a non-JSON resource (metrics text, trace JSONL).
+func (c *Client) raw(path string) ([]byte, error) {
+	resp, err := c.http.Get(c.base + path)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return nil, decodeAPIError(resp)
+	}
+	return io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+}
+
+func decodeAPIError(resp *http.Response) error {
+	api := &APIError{StatusCode: resp.StatusCode, Code: "unknown"}
+	var envelope ErrorBody
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+	if err := json.Unmarshal(data, &envelope); err == nil && envelope.Error.Message != "" {
+		api.Code = envelope.Error.Code
+		api.Message = envelope.Error.Message
+	} else {
+		api.Message = strings.TrimSpace(string(data))
+		if api.Message == "" {
+			api.Message = resp.Status
+		}
+	}
+	return api
+}
+
+// Protect asks the daemon to protect a VM from spec.
+func (c *Client) Protect(req ProtectRequest) (VMStatus, error) {
+	var out VMStatus
+	err := c.do(http.MethodPost, "/v1/vms", req, &out)
+	return out, err
+}
+
+// VMs lists every protection's status.
+func (c *Client) VMs() ([]VMStatus, error) {
+	var out VMList
+	if err := c.do(http.MethodGet, "/v1/vms", nil, &out); err != nil {
+		return nil, err
+	}
+	return out.VMs, nil
+}
+
+// VM fetches one protection's status.
+func (c *Client) VM(name string) (VMStatus, error) {
+	var out VMStatus
+	err := c.do(http.MethodGet, "/v1/vms/"+url.PathEscape(name), nil, &out)
+	return out, err
+}
+
+// Unprotect tears a protection down.
+func (c *Client) Unprotect(name string) error {
+	return c.do(http.MethodDelete, "/v1/vms/"+url.PathEscape(name), nil, nil)
+}
+
+// Failover forces a failover of the named protection.
+func (c *Client) Failover(name string) (FailoverResponse, error) {
+	var out FailoverResponse
+	err := c.do(http.MethodPost, "/v1/vms/"+url.PathEscape(name)+"/failover",
+		FailoverRequest{}, &out)
+	return out, err
+}
+
+// SetPeriod live-tunes the named protection's period controller.
+func (c *Client) SetPeriod(name string, budget float64, maxPeriod time.Duration) (PeriodResponse, error) {
+	var out PeriodResponse
+	err := c.do(http.MethodPatch, "/v1/vms/"+url.PathEscape(name)+"/period",
+		PeriodPatch{Budget: budget, MaxPeriodMS: maxPeriod.Milliseconds()}, &out)
+	return out, err
+}
+
+// Events fetches the event-log tail after the since cursor.
+func (c *Client) Events(since uint64) (EventsResponse, error) {
+	var out EventsResponse
+	err := c.do(http.MethodGet, "/v1/events?since="+strconv.FormatUint(since, 10), nil, &out)
+	return out, err
+}
+
+// Hosts lists the fleet's hosts.
+func (c *Client) Hosts() ([]HostDTO, error) {
+	var out HostList
+	if err := c.do(http.MethodGet, "/v1/hosts", nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Hosts, nil
+}
+
+// Metrics fetches the Prometheus text exposition.
+func (c *Client) Metrics() ([]byte, error) {
+	return c.raw("/metrics")
+}
+
+// Trace downloads the named protection's JSONL trace.
+func (c *Client) Trace(name string) ([]byte, error) {
+	return c.raw("/v1/vms/" + url.PathEscape(name) + "/trace")
+}
+
+// Healthz probes liveness.
+func (c *Client) Healthz() (HealthResponse, error) {
+	var out HealthResponse
+	err := c.do(http.MethodGet, "/healthz", nil, &out)
+	return out, err
+}
+
+// Readyz probes readiness.
+func (c *Client) Readyz() (HealthResponse, error) {
+	var out HealthResponse
+	err := c.do(http.MethodGet, "/readyz", nil, &out)
+	return out, err
+}

@@ -1,0 +1,255 @@
+package controlplane
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/here-ft/here/internal/orchestrator"
+)
+
+// Defaults for Config's zero values.
+const (
+	DefaultPumpInterval   = 50 * time.Millisecond
+	DefaultRequestTimeout = 15 * time.Second
+	DefaultMaxInflight    = 4
+	DefaultRetryAfter     = 1 * time.Second
+)
+
+// Config parameterizes a control-plane server.
+type Config struct {
+	// Manager is the orchestrated fleet the API serves; required.
+	// The server drives its Tick pump; hosts may be added before or
+	// while serving.
+	Manager *orchestrator.Manager
+	// PumpInterval is the real-time interval between orchestration
+	// rounds (default 50 ms). Each round advances the fleet's virtual
+	// clock by whatever the protections' checkpoint cycles consume.
+	PumpInterval time.Duration
+	// RequestTimeout bounds every request's handling time (default
+	// 15 s); requests that exceed it receive 503.
+	RequestTimeout time.Duration
+	// MaxInflightProtect bounds concurrently admitted mutating
+	// operations (protect, unprotect, forced failover); excess
+	// requests receive 429 with a Retry-After header (default 4).
+	MaxInflightProtect int
+	// RetryAfter is the backoff hint attached to 429 responses
+	// (default 1 s, rounded up to whole seconds).
+	RetryAfter time.Duration
+	// Logf receives one line per pump error and served request; nil
+	// disables logging.
+	Logf func(format string, args ...any)
+}
+
+// Server is hered's long-running control-plane daemon core: it owns
+// an orchestrator.Manager, pumps its virtual clock from a real-time
+// ticker, and serves the versioned JSON API. Construct with New,
+// start with ListenAndServe (or mount Handler on a test server and
+// call StartPump), stop with Shutdown.
+type Server struct {
+	cfg     Config
+	m       *orchestrator.Manager
+	handler http.Handler
+	httpSrv *http.Server
+
+	admitSem chan struct{}
+
+	ticks atomic.Uint64
+	ready atomic.Bool
+
+	pumpMu   sync.Mutex
+	pumpStop chan struct{}
+	pumpDone chan struct{}
+}
+
+// New validates cfg, applies defaults and builds the server. The pump
+// is not started yet.
+func New(cfg Config) (*Server, error) {
+	if cfg.Manager == nil {
+		return nil, errors.New("controlplane: nil manager")
+	}
+	if cfg.PumpInterval <= 0 {
+		cfg.PumpInterval = DefaultPumpInterval
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = DefaultRequestTimeout
+	}
+	if cfg.MaxInflightProtect <= 0 {
+		cfg.MaxInflightProtect = DefaultMaxInflight
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = DefaultRetryAfter
+	}
+	s := &Server{
+		cfg:      cfg,
+		m:        cfg.Manager,
+		admitSem: make(chan struct{}, cfg.MaxInflightProtect),
+	}
+	s.handler = s.buildHandler()
+	s.httpSrv = &http.Server{Handler: s.handler}
+	return s, nil
+}
+
+// Manager returns the fleet the server drives.
+func (s *Server) Manager() *orchestrator.Manager { return s.m }
+
+// Handler returns the fully wrapped HTTP handler (routing, admission,
+// timeouts) — what httptest servers should mount.
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// Ticks reports completed pump rounds.
+func (s *Server) Ticks() uint64 { return s.ticks.Load() }
+
+// Ready reports whether the server admits traffic (pump running, not
+// draining).
+func (s *Server) Ready() bool { return s.ready.Load() }
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// buildHandler assembles routing and the serving middleware. The
+// mutating endpoints go through admission control; everything is
+// bounded by the request timeout.
+func (s *Server) buildHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/vms", s.admit(s.handleProtect))
+	mux.HandleFunc("GET /v1/vms", s.handleList)
+	mux.HandleFunc("GET /v1/vms/{name}", s.handleStatus)
+	mux.HandleFunc("DELETE /v1/vms/{name}", s.admit(s.handleUnprotect))
+	mux.HandleFunc("POST /v1/vms/{name}/failover", s.admit(s.handleFailover))
+	mux.HandleFunc("PATCH /v1/vms/{name}/period", s.handlePeriod)
+	mux.HandleFunc("GET /v1/vms/{name}/trace", s.handleTrace)
+	mux.HandleFunc("GET /v1/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/hosts", s.handleHosts)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+
+	var h http.Handler = mux
+	h = s.logged(h)
+	// Request-scoped timeout: the handler body is buffered, slow
+	// requests get 503 with a JSON envelope.
+	h = http.TimeoutHandler(h, s.cfg.RequestTimeout,
+		`{"error":{"code":"timeout","message":"request timed out"}}`)
+	return h
+}
+
+// admit is the per-endpoint admission control for the expensive
+// mutating operations: a bounded semaphore; a full house answers 429
+// with a Retry-After hint instead of queueing unboundedly.
+func (s *Server) admit(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case s.admitSem <- struct{}{}:
+			defer func() { <-s.admitSem }()
+			h(w, r)
+		default:
+			secs := int((s.cfg.RetryAfter + time.Second - 1) / time.Second)
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+			writeJSON(w, http.StatusTooManyRequests, ErrorBody{
+				Error: ErrorDetail{
+					Code:    "overloaded",
+					Message: fmt.Sprintf("too many in-flight operations (limit %d); retry later", s.cfg.MaxInflightProtect),
+				},
+			})
+		}
+	}
+}
+
+// logged emits one access-log line per request when logging is on.
+func (s *Server) logged(h http.Handler) http.Handler {
+	if s.cfg.Logf == nil {
+		return h
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		h.ServeHTTP(w, r)
+		s.logf("%s %s %v", r.Method, r.URL.Path, time.Since(start).Round(time.Microsecond))
+	})
+}
+
+// StartPump launches the orchestration pump: a real-time ticker that
+// runs one Manager.Tick per interval, advancing the fleet's virtual
+// clock. Idempotent while running.
+func (s *Server) StartPump() {
+	s.pumpMu.Lock()
+	defer s.pumpMu.Unlock()
+	if s.pumpStop != nil {
+		return
+	}
+	s.pumpStop = make(chan struct{})
+	s.pumpDone = make(chan struct{})
+	go s.pump(s.pumpStop, s.pumpDone)
+	s.ready.Store(true)
+}
+
+func (s *Server) pump(stop <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
+	ticker := time.NewTicker(s.cfg.PumpInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+			if err := s.m.Tick(); err != nil {
+				s.logf("pump: %v", err)
+			}
+			s.ticks.Add(1)
+		}
+	}
+}
+
+// stopPump quiesces the pump: no new round starts, and the in-flight
+// round (if any) completes before it returns.
+func (s *Server) stopPump() {
+	s.pumpMu.Lock()
+	stop, done := s.pumpStop, s.pumpDone
+	s.pumpStop, s.pumpDone = nil, nil
+	s.pumpMu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}
+
+// ListenAndServe starts the pump and serves the API on addr, blocking
+// until Shutdown (returning nil) or a listener error.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("controlplane: listen %s: %w", addr, err)
+	}
+	return s.Serve(ln)
+}
+
+// Serve starts the pump and serves the API on ln, blocking until
+// Shutdown (returning nil) or a listener error.
+func (s *Server) Serve(ln net.Listener) error {
+	s.StartPump()
+	s.logf("serving on %s", ln.Addr())
+	if err := s.httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+// Shutdown drains the server gracefully: readiness flips first (load
+// balancers stop sending), the pump is quiesced — the in-flight
+// orchestration round completes, no new one starts — and only then
+// are the listeners closed, waiting up to ctx for in-flight requests.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.ready.Store(false)
+	s.stopPump()
+	return s.httpSrv.Shutdown(ctx)
+}

@@ -4,6 +4,13 @@
 // watches heartbeats, and on a primary failure automatically activates
 // the replica and re-protects it onto a new, again-heterogeneous
 // secondary — the control-plane role OpenStack/libvirt would play.
+//
+// Manager is safe for concurrent use: the control-plane daemon drives
+// Tick from a pump goroutine while API handlers call
+// Protect/Unprotect/Failover/Status/Events concurrently. A single
+// manager mutex covers fleet and per-protection state; every Tick runs
+// one full orchestration round under it, so status snapshots never
+// observe a protection mid-transition.
 package orchestrator
 
 import (
@@ -19,6 +26,7 @@ import (
 	"github.com/here-ft/here/internal/period"
 	"github.com/here-ft/here/internal/replication"
 	"github.com/here-ft/here/internal/simnet"
+	"github.com/here-ft/here/internal/trace"
 	"github.com/here-ft/here/internal/translate"
 	"github.com/here-ft/here/internal/vclock"
 	"github.com/here-ft/here/internal/workload"
@@ -30,6 +38,8 @@ var (
 	ErrNoHeterogeneous = errors.New("orchestrator: no healthy host of a different hypervisor kind")
 	ErrUnknownVM       = errors.New("orchestrator: unknown protected vm")
 	ErrServiceLost     = errors.New("orchestrator: both hosts failed; service lost")
+	ErrNoReplica       = errors.New("orchestrator: vm has no live replica")
+	ErrAlreadyExists   = errors.New("orchestrator: vm already protected")
 )
 
 // EventKind classifies fleet events.
@@ -44,10 +54,15 @@ const (
 	EventSecondaryLost EventKind = "secondary-failed"
 	EventUnprotected   EventKind = "running-unprotected"
 	EventServiceLost   EventKind = "service-lost"
+	EventRemoved       EventKind = "removed"
+	EventRetuned       EventKind = "period-retuned"
 )
 
-// Event is one fleet-level occurrence.
+// Event is one fleet-level occurrence. Seq is a monotone sequence
+// number (starting at 1) so pollers can cursor the log with
+// EventsSince instead of re-reading it.
 type Event struct {
+	Seq    uint64
 	Time   time.Time
 	Kind   EventKind
 	VM     string
@@ -65,9 +80,21 @@ type Config struct {
 	// HeartbeatInterval and HeartbeatTimeout tune failure detection.
 	HeartbeatInterval, HeartbeatTimeout time.Duration
 	// DegradationBudget and MaxPeriod configure each protection's
-	// dynamic period controller (defaults 0.3 / 25 s).
+	// dynamic period controller (defaults 0.3 / 25 s). Per-protection
+	// overrides are applied with SetPeriod.
 	DegradationBudget float64
 	MaxPeriod         time.Duration
+	// Metrics, when set, is the registry every protection's
+	// replicator, wire codec, heartbeat monitor, tracer and link
+	// register their here_* instruments into — the fleet-wide scrape
+	// target the control plane exposes on /metrics. Nil leaves each
+	// replicator on a private registry.
+	Metrics *trace.Registry
+	// NoTrace disables the per-protection epoch tracer.
+	NoTrace bool
+	// TraceCapacity bounds each protection's trace ring (default
+	// 16384 events).
+	TraceCapacity int
 }
 
 // VMSpec describes a VM to protect.
@@ -78,41 +105,124 @@ type VMSpec struct {
 	Workload    workload.Workload // optional guest activity
 }
 
-// Protection is one VM under orchestration.
+// Protection is one VM under orchestration. Exported accessors take
+// the owning manager's lock; the Generation field is only written
+// while that lock is held (read it via Status under concurrency).
 type Protection struct {
 	Name       string
 	Generation int // bumped at every failover
 
+	m         *Manager
 	vm        *hypervisor.VM
 	rep       *replication.Replicator
 	mon       *failover.Monitor
+	pm        *period.Manager
+	tr        *trace.Tracer
 	primary   hypervisor.Hypervisor
 	secondary hypervisor.Hypervisor
 	wl        workload.Workload
+	budget    float64
+	tmax      time.Duration
 	lost      bool
 }
 
 // VM returns the currently active VM of the protection.
-func (p *Protection) VM() *hypervisor.VM { return p.vm }
+func (p *Protection) VM() *hypervisor.VM {
+	p.m.mu.Lock()
+	defer p.m.mu.Unlock()
+	return p.vm
+}
 
 // Primary returns the host currently running the VM.
-func (p *Protection) Primary() hypervisor.Hypervisor { return p.primary }
+func (p *Protection) Primary() hypervisor.Hypervisor {
+	p.m.mu.Lock()
+	defer p.m.mu.Unlock()
+	return p.primary
+}
 
-// Secondary returns the host holding the replica.
-func (p *Protection) Secondary() hypervisor.Hypervisor { return p.secondary }
+// Secondary returns the host holding the replica (nil while running
+// unprotected).
+func (p *Protection) Secondary() hypervisor.Hypervisor {
+	p.m.mu.Lock()
+	defer p.m.mu.Unlock()
+	return p.secondary
+}
 
 // Lost reports whether the service was lost (no host left to run it).
-func (p *Protection) Lost() bool { return p.lost }
+func (p *Protection) Lost() bool {
+	p.m.mu.Lock()
+	defer p.m.mu.Unlock()
+	return p.lost
+}
+
+// Tracer returns the protection's epoch tracer (nil with
+// Config.NoTrace). The tracer survives failovers, so one trace covers
+// every generation of the protection.
+func (p *Protection) Tracer() *trace.Tracer {
+	p.m.mu.Lock()
+	defer p.m.mu.Unlock()
+	return p.tr
+}
+
+// Mode names the externally visible protection mode of a VM.
+type Mode string
+
+// Protection modes surfaced by Status.
+const (
+	// ModeProtected: checkpoints flow to a live heterogeneous replica.
+	ModeProtected Mode = "protected"
+	// ModeDegraded: the replication path is riding out an outage.
+	ModeDegraded Mode = "degraded"
+	// ModeResyncing: a delta resync is restoring protection.
+	ModeResyncing Mode = "resyncing"
+	// ModeUnprotected: the VM runs with no replica (no heterogeneous
+	// host available); the orchestrator keeps trying to re-pair.
+	ModeUnprotected Mode = "unprotected"
+	// ModeLost: both hosts failed; the service is gone.
+	ModeLost Mode = "lost"
+)
+
+// HostInfo is a point-in-time description of one fleet host.
+type HostInfo struct {
+	Name    string
+	Kind    string
+	Product string
+	Health  string
+	VMs     int
+}
+
+// Status is a consistent point-in-time snapshot of one protection,
+// taken under the manager lock — the unit the control-plane API
+// serves.
+type Status struct {
+	Name       string
+	Generation int
+	Mode       Mode
+	Running    bool
+	Primary    HostInfo
+	Secondary  *HostInfo // nil while unprotected
+	// Epoch is the replication checkpoint count of the current
+	// generation (the acknowledged-epoch cursor).
+	Epoch uint64
+	// Period is the current checkpoint interval; Budget/MaxPeriod are
+	// the dynamic controller's live tuning.
+	Period    time.Duration
+	Budget    float64
+	MaxPeriod time.Duration
+	Recovery  replication.RecoveryStats
+	Totals    replication.Totals
+}
 
 // Manager orchestrates a host fleet. It is safe for concurrent use.
 type Manager struct {
 	cfg Config
 
-	mu     sync.Mutex
-	hosts  []*hypervisor.Host
-	links  map[string]*simnet.Link // "hostA->hostB"
-	prots  map[string]*Protection
-	events []Event
+	mu      sync.Mutex
+	hosts   []*hypervisor.Host
+	links   map[string]*simnet.Link // "hostA->hostB"
+	prots   map[string]*Protection
+	events  []Event
+	nextSeq uint64
 }
 
 // New returns an empty fleet manager.
@@ -135,6 +245,13 @@ func New(cfg Config) (*Manager, error) {
 		prots: make(map[string]*Protection),
 	}, nil
 }
+
+// Clock returns the clock driving the fleet.
+func (m *Manager) Clock() vclock.Clock { return m.cfg.Clock }
+
+// Metrics returns the fleet-wide metrics registry (nil unless
+// configured).
+func (m *Manager) Metrics() *trace.Registry { return m.cfg.Metrics }
 
 // AddHost registers a host with the fleet.
 func (m *Manager) AddHost(h *hypervisor.Host) error {
@@ -167,7 +284,33 @@ func (m *Manager) Hosts() []string {
 	return names
 }
 
-// pickPrimary chooses the healthy host with the fewest VMs.
+// HostsStatus snapshots every registered host, sorted by name.
+func (m *Manager) HostsStatus() []HostInfo {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	infos := make([]HostInfo, 0, len(m.hosts))
+	for _, h := range m.hosts {
+		infos = append(infos, hostInfo(h))
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	return infos
+}
+
+func hostInfo(h hypervisor.Hypervisor) HostInfo {
+	info := HostInfo{
+		Name:    h.HostName(),
+		Kind:    string(h.Kind()),
+		Product: h.Product(),
+		Health:  h.Health().String(),
+	}
+	if host, ok := h.(*hypervisor.Host); ok {
+		info.VMs = len(host.VMs())
+	}
+	return info
+}
+
+// pickPrimary chooses the healthy host with the fewest VMs. Caller
+// holds m.mu.
 func (m *Manager) pickPrimary() (*hypervisor.Host, error) {
 	var best *hypervisor.Host
 	for _, h := range m.hosts {
@@ -185,7 +328,7 @@ func (m *Manager) pickPrimary() (*hypervisor.Host, error) {
 }
 
 // pickSecondary chooses a healthy host of a different hypervisor kind
-// than the primary — the heterogeneity guarantee.
+// than the primary — the heterogeneity guarantee. Caller holds m.mu.
 func (m *Manager) pickSecondary(primary hypervisor.Hypervisor) (*hypervisor.Host, error) {
 	var best *hypervisor.Host
 	for _, h := range m.hosts {
@@ -205,6 +348,8 @@ func (m *Manager) pickSecondary(primary hypervisor.Hypervisor) (*hypervisor.Host
 	return best, nil
 }
 
+// linkBetween returns (creating on first use) the replication link for
+// a host pair. Caller holds m.mu.
 func (m *Manager) linkBetween(a, b hypervisor.Hypervisor) (*simnet.Link, error) {
 	key := a.HostName() + "->" + b.HostName()
 	if l, ok := m.links[key]; ok {
@@ -214,13 +359,18 @@ func (m *Manager) linkBetween(a, b hypervisor.Hypervisor) (*simnet.Link, error) 
 	if err != nil {
 		return nil, err
 	}
+	if m.cfg.Metrics != nil {
+		l.Instrument(m.cfg.Metrics)
+	}
 	m.links[key] = l
 	return l, nil
 }
 
+// record appends an event. Caller holds m.mu.
 func (m *Manager) record(kind EventKind, vm, detail string) {
+	m.nextSeq++
 	m.events = append(m.events, Event{
-		Time: m.cfg.Clock.Now(), Kind: kind, VM: vm, Detail: detail,
+		Seq: m.nextSeq, Time: m.cfg.Clock.Now(), Kind: kind, VM: vm, Detail: detail,
 	})
 }
 
@@ -231,14 +381,38 @@ func (m *Manager) Events() []Event {
 	return append([]Event(nil), m.events...)
 }
 
+// EventsSince returns the events with Seq > seq — the polling cursor:
+// pass the largest Seq already seen (0 for everything) and only the
+// new tail is copied, O(new events) instead of O(log).
+func (m *Manager) EventsSince(seq uint64) []Event {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	// Seqs are contiguous from 1, so the tail starts at index seq.
+	if seq >= uint64(len(m.events)) {
+		return nil
+	}
+	return append([]Event(nil), m.events[seq:]...)
+}
+
+// LastEventSeq reports the sequence number of the newest event (0 when
+// the log is empty).
+func (m *Manager) LastEventSeq() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.nextSeq
+}
+
 // Protect boots spec on the best primary, pairs it with a
 // heterogeneous secondary, seeds replication and registers the
 // protection.
 func (m *Manager) Protect(spec VMSpec) (*Protection, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if spec.Name == "" {
+		return nil, errors.New("orchestrator: empty vm name")
+	}
 	if _, ok := m.prots[spec.Name]; ok {
-		return nil, fmt.Errorf("orchestrator: vm %q already protected", spec.Name)
+		return nil, fmt.Errorf("%w: %q", ErrAlreadyExists, spec.Name)
 	}
 	primary, err := m.pickPrimary()
 	if err != nil {
@@ -261,8 +435,22 @@ func (m *Manager) Protect(spec VMSpec) (*Protection, error) {
 	if err != nil {
 		return nil, err
 	}
-	prot := &Protection{Name: spec.Name, vm: vm, wl: spec.Workload}
+	prot := &Protection{
+		Name:   spec.Name,
+		m:      m,
+		vm:     vm,
+		wl:     spec.Workload,
+		budget: m.cfg.DegradationBudget,
+		tmax:   m.cfg.MaxPeriod,
+	}
+	if !m.cfg.NoTrace {
+		prot.tr = trace.New(m.cfg.Clock, m.cfg.TraceCapacity)
+		if m.cfg.Metrics != nil {
+			prot.tr.Instrument(m.cfg.Metrics)
+		}
+	}
 	if err := m.wire(prot, primary, secondary); err != nil {
+		_ = primary.DestroyVM(spec.Name)
 		return nil, err
 	}
 	m.prots[spec.Name] = prot
@@ -279,9 +467,7 @@ func (m *Manager) wire(prot *Protection, primary, secondary *hypervisor.Host) er
 	if err != nil {
 		return err
 	}
-	pm, err := period.New(period.Config{
-		D: m.cfg.DegradationBudget, Tmax: m.cfg.MaxPeriod,
-	})
+	pm, err := period.New(period.Config{D: prot.budget, Tmax: prot.tmax})
 	if err != nil {
 		return err
 	}
@@ -290,6 +476,8 @@ func (m *Manager) wire(prot *Protection, primary, secondary *hypervisor.Host) er
 		Link:          link,
 		PeriodManager: pm,
 		Workload:      prot.wl,
+		Tracer:        prot.tr,
+		Metrics:       m.cfg.Metrics,
 	})
 	if err != nil {
 		return err
@@ -297,12 +485,18 @@ func (m *Manager) wire(prot *Protection, primary, secondary *hypervisor.Host) er
 	if _, err := rep.Seed(); err != nil {
 		return err
 	}
-	mon, err := failover.NewMonitor(primary, m.cfg.HeartbeatInterval, m.cfg.HeartbeatTimeout)
+	mon, err := failover.NewMonitorConfig(primary, failover.Config{
+		Interval: m.cfg.HeartbeatInterval,
+		Timeout:  m.cfg.HeartbeatTimeout,
+		Tracer:   prot.tr,
+		Metrics:  m.cfg.Metrics,
+	})
 	if err != nil {
 		return err
 	}
 	prot.rep = rep
 	prot.mon = mon
+	prot.pm = pm
 	prot.primary = primary
 	prot.secondary = secondary
 	return nil
@@ -312,6 +506,10 @@ func (m *Manager) wire(prot *Protection, primary, secondary *hypervisor.Host) er
 func (m *Manager) Lookup(name string) (*Protection, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	return m.lookupLocked(name)
+}
+
+func (m *Manager) lookupLocked(name string) (*Protection, error) {
 	p, ok := m.prots[name]
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownVM, name)
@@ -331,17 +529,189 @@ func (m *Manager) Protections() []string {
 	return names
 }
 
+// Status snapshots one protection.
+func (m *Manager) Status(name string) (Status, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p, err := m.lookupLocked(name)
+	if err != nil {
+		return Status{}, err
+	}
+	return m.statusLocked(p), nil
+}
+
+// StatusAll snapshots every protection, sorted by name.
+func (m *Manager) StatusAll() []Status {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Status, 0, len(m.prots))
+	for _, p := range m.prots {
+		out = append(out, m.statusLocked(p))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// statusLocked builds the snapshot. Caller holds m.mu.
+func (m *Manager) statusLocked(p *Protection) Status {
+	st := Status{
+		Name:       p.Name,
+		Generation: p.Generation,
+		Budget:     p.budget,
+		MaxPeriod:  p.tmax,
+	}
+	if p.vm != nil {
+		st.Running = p.vm.Running()
+	}
+	if p.primary != nil {
+		st.Primary = hostInfo(p.primary)
+	}
+	if p.secondary != nil {
+		info := hostInfo(p.secondary)
+		st.Secondary = &info
+	}
+	switch {
+	case p.lost:
+		st.Mode = ModeLost
+	case p.rep == nil:
+		st.Mode = ModeUnprotected
+	default:
+		switch p.rep.State() {
+		case replication.StateDegraded:
+			st.Mode = ModeDegraded
+		case replication.StateResyncing:
+			st.Mode = ModeResyncing
+		default:
+			st.Mode = ModeProtected
+		}
+	}
+	if p.rep != nil {
+		st.Period = p.rep.Period()
+		st.Recovery = p.rep.Recovery()
+		st.Totals = p.rep.Totals()
+		st.Epoch = st.Totals.Checkpoints
+	} else if p.pm != nil {
+		st.Period = p.pm.Period()
+	}
+	return st
+}
+
+// Unprotect tears a protection down: the replication session is
+// dropped, the VM is destroyed on its (healthy) primary host, and the
+// protection is removed from the fleet. The teardown path DELETE
+// /v1/vms/{name} needs — without it protections can only ever be
+// added.
+func (m *Manager) Unprotect(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p, err := m.lookupLocked(name)
+	if err != nil {
+		return err
+	}
+	delete(m.prots, name)
+	detail := "torn down"
+	if !p.lost && p.vm != nil {
+		if host, ok := p.primary.(*hypervisor.Host); ok && host.Health() == hypervisor.Healthy {
+			if derr := host.DestroyVM(p.vm.Name()); derr == nil {
+				detail = fmt.Sprintf("destroyed %s on %s", p.vm.Name(), host.HostName())
+			}
+		}
+	}
+	p.rep = nil
+	p.mon = nil
+	p.pm = nil
+	p.secondary = nil
+	m.record(EventRemoved, name, detail)
+	return nil
+}
+
+// Failover forces an immediate failover of a protection: the replica
+// is activated on the secondary even though the primary may still be
+// healthy (the operator has fenced it out-of-band), the old primary
+// copy is destroyed, and the survivor is re-protected when a
+// heterogeneous spare exists. Returns the activation result.
+func (m *Manager) Failover(name string) (failover.Result, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p, err := m.lookupLocked(name)
+	if err != nil {
+		return failover.Result{}, err
+	}
+	if p.lost {
+		return failover.Result{}, ErrServiceLost
+	}
+	if p.rep == nil || p.secondary == nil {
+		return failover.Result{}, fmt.Errorf("%w: %q runs unprotected", ErrNoReplica, name)
+	}
+	if p.secondary.Health() != hypervisor.Healthy {
+		return failover.Result{}, fmt.Errorf("%w: secondary %s is %s",
+			ErrNoReplica, p.secondary.HostName(), p.secondary.Health())
+	}
+	gen := p.Generation + 1
+	res, err := failover.ActivateOpts(p.rep, fmt.Sprintf("%s-g%d", p.Name, gen),
+		failover.Options{Monitor: p.mon, Force: true})
+	if err != nil {
+		return failover.Result{}, fmt.Errorf("orchestrator: vm %q failover: %w", name, err)
+	}
+	p.Generation = gen
+	// Fence: the old primary copy must not keep executing beside the
+	// activated replica.
+	if host, ok := p.primary.(*hypervisor.Host); ok && host.Health() == hypervisor.Healthy {
+		_ = host.DestroyVM(p.vm.Name())
+	}
+	m.record(EventFailedOver, name,
+		fmt.Sprintf("forced: resumed on %s in %v", p.secondary.HostName(), res.ResumeTime))
+	p.vm = res.VM
+	p.primary = p.secondary
+	p.secondary = nil
+	p.rep = nil
+	p.mon = nil
+	if err := m.tryReprotect(p); err != nil && !errors.Is(err, ErrNoHeterogeneous) {
+		return res, err
+	}
+	return res, nil
+}
+
+// SetPeriod live-tunes a protection's dynamic period controller: the
+// degradation budget D and interval cap Tmax take effect on the next
+// checkpoint, and survive re-wiring after failovers. It returns the
+// controller's current interval under the new tuning.
+func (m *Manager) SetPeriod(name string, d float64, tmax time.Duration) (time.Duration, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p, err := m.lookupLocked(name)
+	if err != nil {
+		return 0, err
+	}
+	if err := (period.Config{D: d, Tmax: tmax}).Validate(); err != nil {
+		return 0, err
+	}
+	if p.pm != nil {
+		if err := p.pm.Retune(d, tmax); err != nil {
+			return 0, err
+		}
+	}
+	p.budget, p.tmax = d, tmax
+	m.record(EventRetuned, name, fmt.Sprintf("D=%.3g Tmax=%v", d, tmax))
+	if p.pm != nil {
+		return p.pm.Period(), nil
+	}
+	return 0, nil
+}
+
 // Tick advances the fleet by one orchestration round: every healthy
 // protection runs one replication cycle; failed primaries are detected
 // and failed over, and survivors are re-protected onto a new
-// heterogeneous secondary when one exists.
+// heterogeneous secondary when one exists. The whole round runs under
+// the manager lock, so concurrent API calls always observe protections
+// between rounds, never mid-transition.
 func (m *Manager) Tick() error {
 	m.mu.Lock()
+	defer m.mu.Unlock()
 	prots := make([]*Protection, 0, len(m.prots))
 	for _, p := range m.prots {
 		prots = append(prots, p)
 	}
-	m.mu.Unlock()
 	sort.Slice(prots, func(i, j int) bool { return prots[i].Name < prots[j].Name })
 
 	var firstErr error
@@ -354,6 +724,7 @@ func (m *Manager) Tick() error {
 	return firstErr
 }
 
+// tickOne runs one protection's round. Caller holds m.mu.
 func (m *Manager) tickOne(p *Protection) error {
 	if p.lost {
 		return nil
@@ -387,43 +758,36 @@ func (m *Manager) tickOne(p *Protection) error {
 
 // dropSecondary abandons a replication session whose replica host
 // died; the VM keeps running on the primary, unprotected until
-// re-pairing succeeds.
+// re-pairing succeeds. Caller holds m.mu.
 func (m *Manager) dropSecondary(p *Protection) {
-	m.mu.Lock()
 	m.record(EventSecondaryLost, p.Name, p.secondary.HostName())
-	m.mu.Unlock()
 	p.secondary = nil
 	p.rep = nil
 	p.mon = nil
 }
 
 // handleFailure detects the failure via the heartbeat monitor, fails
-// over to the secondary and re-protects.
+// over to the secondary and re-protects. Caller holds m.mu.
 func (m *Manager) handleFailure(p *Protection) error {
 	if p.rep == nil || p.secondary == nil ||
 		p.secondary.Health() != hypervisor.Healthy {
 		p.lost = true
-		m.mu.Lock()
 		m.record(EventServiceLost, p.Name, "no healthy replica host")
-		m.mu.Unlock()
 		return ErrServiceLost
 	}
 	detect, err := p.mon.WaitForFailure(0)
 	if err != nil {
 		return fmt.Errorf("orchestrator: vm %q: %w", p.Name, err)
 	}
-	m.mu.Lock()
 	m.record(EventFailureFound, p.Name,
 		fmt.Sprintf("%s %s (detected in %v)", p.primary.HostName(),
 			p.primary.Health(), detect))
-	m.mu.Unlock()
 
 	p.Generation++
 	res, err := failover.Activate(p.rep, fmt.Sprintf("%s-g%d", p.Name, p.Generation), nil)
 	if err != nil {
 		return fmt.Errorf("orchestrator: vm %q failover: %w", p.Name, err)
 	}
-	m.mu.Lock()
 	m.record(EventFailedOver, p.Name,
 		fmt.Sprintf("resumed on %s in %v", p.secondary.HostName(), res.ResumeTime))
 	newPrimary := p.secondary
@@ -432,15 +796,12 @@ func (m *Manager) handleFailure(p *Protection) error {
 	p.secondary = nil
 	p.rep = nil
 	p.mon = nil
-	m.mu.Unlock()
 	return m.tryReprotect(p)
 }
 
 // tryReprotect pairs an unprotected VM with a fresh heterogeneous
-// secondary and seeds replication again.
+// secondary and seeds replication again. Caller holds m.mu.
 func (m *Manager) tryReprotect(p *Protection) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	primary, ok := p.primary.(*hypervisor.Host)
 	if !ok {
 		return fmt.Errorf("orchestrator: vm %q: unexpected host type", p.Name)

@@ -117,7 +117,47 @@ func New(cfg Config) (*Manager, error) {
 }
 
 // Config returns the controller configuration.
-func (m *Manager) Config() Config { return m.cfg }
+func (m *Manager) Config() Config {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.cfg
+}
+
+// Retune replaces the degradation budget D and the interval cap Tmax
+// of a running controller — the control-plane's live-tuning path. The
+// current interval is clamped into the new bounds; the controller's
+// walk-back state (T_prev, D_prev) is preserved so the next Observe
+// continues from where the old tuning left off.
+func (m *Manager) Retune(d float64, tmax time.Duration) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	next := m.cfg
+	next.D = d
+	next.Tmax = tmax
+	// Start only constrains construction; a live controller's interval
+	// is clamped below instead.
+	next.Start = 0
+	if next.Tmax > 0 && m.sigma > next.Tmax {
+		return fmt.Errorf("%w: Sigma %v exceeds Tmax %v", ErrBadConfig, m.sigma, next.Tmax)
+	}
+	if err := next.Validate(); err != nil {
+		return err
+	}
+	m.cfg = next
+	m.tmax = tmax
+	if m.tmax > 0 {
+		if m.t > m.tmax {
+			m.t = m.tmax
+		}
+		if m.tPrev > m.tmax {
+			m.tPrev = m.tmax
+		}
+	}
+	if m.t < m.sigma {
+		m.t = m.sigma
+	}
+	return nil
+}
 
 // Period reports the current checkpoint interval T.
 func (m *Manager) Period() time.Duration {

@@ -325,3 +325,44 @@ func TestAdaptiveRemusIgnoresLoad(t *testing.T) {
 		t.Fatalf("degradation = %v, want reported honestly", deg)
 	}
 }
+
+func TestRetune(t *testing.T) {
+	m, err := New(Config{D: 0.3, Tmax: 25 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tighten the cap below the current interval: T must be clamped.
+	if err := m.Retune(0.1, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Period(); got != 5*time.Second {
+		t.Fatalf("Period = %v, want clamped to 5s", got)
+	}
+	if cfg := m.Config(); cfg.D != 0.1 || cfg.Tmax != 5*time.Second {
+		t.Fatalf("Config = %+v after retune", cfg)
+	}
+	// The controller keeps operating under the new budget.
+	if _, next := m.Observe(100 * time.Millisecond); next > 5*time.Second {
+		t.Fatalf("next = %v exceeds retuned Tmax", next)
+	}
+	// Invalid budgets are rejected without touching the state.
+	if err := m.Retune(1.5, 5*time.Second); err == nil {
+		t.Fatal("D = 1.5 accepted")
+	}
+	if err := m.Retune(0.1, -time.Second); err == nil {
+		t.Fatal("negative Tmax accepted")
+	}
+	if err := m.Retune(0.1, time.Millisecond); err == nil {
+		t.Fatal("Tmax below sigma accepted")
+	}
+	if cfg := m.Config(); cfg.Tmax != 5*time.Second {
+		t.Fatalf("failed retune mutated config: %+v", cfg)
+	}
+	// Unbounded mode (Tmax = 0) is reachable live.
+	if err := m.Retune(0.2, 0); err != nil {
+		t.Fatal(err)
+	}
+	if cfg := m.Config(); cfg.Tmax != 0 {
+		t.Fatalf("Tmax = %v, want unbounded", cfg.Tmax)
+	}
+}
