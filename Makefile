@@ -1,6 +1,6 @@
 GO ?= go
 
-RACE_PKGS = ./internal/replication ./internal/failover ./internal/faults ./internal/simnet ./internal/trace ./internal/wire ./internal/orchestrator ./internal/controlplane
+RACE_PKGS = ./internal/replication ./internal/failover ./internal/faults ./internal/simnet ./internal/trace ./internal/wire ./internal/journal ./internal/orchestrator ./internal/controlplane
 
 .PHONY: check vet fmt build test race fuzz-smoke bench trace-demo serve-demo
 

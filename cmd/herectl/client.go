@@ -6,41 +6,52 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
 	"github.com/here-ft/here/internal/controlplane"
 )
 
-// extractAddr pulls a leading/global -addr (or --addr) flag out of
-// args. A non-empty address switches herectl into client mode: verbs
-// run against a live hered daemon instead of a fresh simulation.
-func extractAddr(args []string) (addr string, rest []string) {
+// extractAddr pulls the global client-mode flags out of args: -addr
+// (or --addr), which switches herectl into client mode when non-empty,
+// and -retries, the transient-failure retry count (-1 = the client's
+// default policy, 0 = no retries).
+func extractAddr(args []string) (addr string, retries int, rest []string) {
+	retries = -1
 	rest = make([]string, 0, len(args))
 	for i := 0; i < len(args); i++ {
 		a := args[i]
 		name, val, eq := strings.Cut(strings.TrimLeft(a, "-"), "=")
 		isFlag := strings.HasPrefix(a, "-")
-		if isFlag && name == "addr" {
-			if eq {
-				addr = val
-			} else if i+1 < len(args) {
-				addr = args[i+1]
+		if isFlag && (name == "addr" || name == "retries") {
+			if !eq && i+1 < len(args) {
+				val = args[i+1]
 				i++
+			}
+			if name == "addr" {
+				addr = val
+			} else if n, err := strconv.Atoi(val); err == nil && n >= 0 {
+				retries = n
 			}
 			continue
 		}
 		rest = append(rest, a)
 	}
-	return addr, rest
+	return addr, retries, rest
 }
 
 // runClient executes one client-mode verb against the daemon at addr.
-func runClient(addr string, args []string) error {
+func runClient(addr string, retries int, args []string) error {
 	if len(args) == 0 {
 		return fmt.Errorf("client mode needs a verb: protect, list, status, unprotect, failover, period, events, hosts, metrics, trace, health")
 	}
 	c := controlplane.NewClient(addr)
+	if retries >= 0 {
+		policy := controlplane.DefaultRetryPolicy
+		policy.MaxAttempts = retries + 1
+		c.SetRetry(policy)
+	}
 	verb, args := args[0], args[1:]
 	switch verb {
 	case "protect":

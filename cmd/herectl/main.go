@@ -44,8 +44,8 @@ import (
 func main() {
 	log.SetFlags(0)
 	args := os.Args[1:]
-	if addr, rest := extractAddr(args); addr != "" {
-		if err := runClient(addr, rest); err != nil {
+	if addr, retries, rest := extractAddr(args); addr != "" {
+		if err := runClient(addr, retries, rest); err != nil {
 			log.Fatal("herectl: ", err)
 		}
 		return

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"github.com/here-ft/here/internal/controlplane"
+	"github.com/here-ft/here/internal/journal"
 	"github.com/here-ft/here/internal/kvm"
 	"github.com/here-ft/here/internal/orchestrator"
 	"github.com/here-ft/here/internal/trace"
@@ -57,6 +58,7 @@ func run(args []string) error {
 		maxInflight = fs.Int("max-inflight", controlplane.DefaultMaxInflight, "max concurrently admitted mutating requests before 429")
 		reqTimeout  = fs.Duration("req-timeout", controlplane.DefaultRequestTimeout, "per-request handling timeout")
 		drain       = fs.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
+		stateDir    = fs.String("state-dir", "", "control-plane state directory (write-ahead journal + snapshots); empty = in-memory only")
 		quiet       = fs.Bool("quiet", false, "suppress the access log")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -68,6 +70,27 @@ func run(args []string) error {
 
 	clock := vclock.NewSim()
 	registry := trace.NewRegistry()
+
+	var store *journal.Store
+	if *stateDir != "" {
+		var report journal.Report
+		var err error
+		store, report, err = journal.Open(*stateDir, journal.Options{})
+		if err != nil {
+			return fmt.Errorf("state-dir: %w", err)
+		}
+		defer store.Close()
+		switch {
+		case report.Clean:
+			log.Printf("journal: clean shutdown snapshot at lsn %d, no replay needed", report.SnapshotLSN)
+		case report.TornBytes > 0:
+			log.Printf("journal: replayed %d records (snapshot lsn %d), truncated %d torn tail bytes",
+				report.Replayed, report.SnapshotLSN, report.TornBytes)
+		default:
+			log.Printf("journal: replayed %d records (snapshot lsn %d)", report.Replayed, report.SnapshotLSN)
+		}
+	}
+
 	mgr, err := orchestrator.New(orchestrator.Config{
 		Clock:             clock,
 		HeartbeatInterval: *hbInterval,
@@ -75,6 +98,7 @@ func run(args []string) error {
 		DegradationBudget: *budget,
 		MaxPeriod:         *tmax,
 		Metrics:           registry,
+		Journal:           store,
 	})
 	if err != nil {
 		return err
@@ -98,6 +122,15 @@ func run(args []string) error {
 		}
 	}
 
+	if store != nil {
+		rec, err := mgr.Recover()
+		if err != nil {
+			return fmt.Errorf("recover: %w", err)
+		}
+		log.Printf("recovered under fence %d: %d resumed (delta resync), %d reseeded, %d recreated, %d failed over, %d unprotected, %d lost",
+			rec.Fence, rec.Resumed, rec.Reseeded, rec.Recreated, rec.FailedOver, rec.Unprotected, rec.Lost)
+	}
+
 	logf := log.Printf
 	if *quiet {
 		logf = nil
@@ -107,6 +140,7 @@ func run(args []string) error {
 		PumpInterval:       *pump,
 		RequestTimeout:     *reqTimeout,
 		MaxInflightProtect: *maxInflight,
+		Journal:            store,
 		Logf:               logf,
 	})
 	if err != nil {

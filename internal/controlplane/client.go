@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -19,6 +20,9 @@ type APIError struct {
 	StatusCode int
 	Code       string
 	Message    string
+	// RetryAfter is the server's backoff hint (from the Retry-After
+	// header of a 429), zero when absent.
+	RetryAfter time.Duration
 }
 
 func (e *APIError) Error() string {
@@ -37,11 +41,38 @@ func IsOverloaded(err error) bool {
 	return errors.As(err, &api) && api.StatusCode == http.StatusTooManyRequests
 }
 
+// RetryPolicy tunes the client's transient-failure handling. Retries
+// apply to 429 admission rejections for every method (the server did
+// not admit the request, so nothing happened), and additionally to
+// transport errors and 502/503/504 for idempotent GETs. A 429's
+// Retry-After hint overrides the computed backoff; either way the
+// delay is capped at MaxBackoff and jittered.
+type RetryPolicy struct {
+	// MaxAttempts caps total tries per request; 1 disables retries.
+	MaxAttempts int
+	// BaseBackoff is the first retry's delay, doubled per attempt.
+	BaseBackoff time.Duration
+	// MaxBackoff caps every delay, including server Retry-After hints.
+	MaxBackoff time.Duration
+	// Jitter spreads each delay by ±(Jitter × delay).
+	Jitter float64
+}
+
+// DefaultRetryPolicy is what NewClient installs.
+var DefaultRetryPolicy = RetryPolicy{
+	MaxAttempts: 4,
+	BaseBackoff: 100 * time.Millisecond,
+	MaxBackoff:  2 * time.Second,
+	Jitter:      0.2,
+}
+
 // Client talks to a hered daemon — the herectl client mode's
 // transport. The zero value is not usable; construct with NewClient.
 type Client struct {
-	base string
-	http *http.Client
+	base  string
+	http  *http.Client
+	retry RetryPolicy
+	sleep func(time.Duration) // swapped out by tests
 }
 
 // NewClient returns a client for the daemon at addr ("host:port" or a
@@ -53,27 +84,57 @@ func NewClient(addr string) *Client {
 	}
 	base = strings.TrimRight(base, "/")
 	return &Client{
-		base: base,
-		http: &http.Client{Timeout: 30 * time.Second},
+		base:  base,
+		http:  &http.Client{Timeout: 30 * time.Second},
+		retry: DefaultRetryPolicy,
+		sleep: time.Sleep,
 	}
 }
 
-// do runs one request; a non-2xx response is decoded into *APIError.
-// out may be nil to discard the body.
+// SetRetry replaces the retry policy. MaxAttempts below 1 disables
+// retries entirely.
+func (c *Client) SetRetry(p RetryPolicy) {
+	if p.MaxAttempts < 1 {
+		p.MaxAttempts = 1
+	}
+	c.retry = p
+}
+
+// do runs one request with retries; a non-2xx response is decoded
+// into *APIError. out may be nil to discard the body.
 func (c *Client) do(method, path string, in, out any) error {
-	var body io.Reader
+	var payload []byte
 	if in != nil {
 		b, err := json.Marshal(in)
 		if err != nil {
 			return err
 		}
-		body = bytes.NewReader(b)
+		payload = b
+	}
+	idempotent := method == http.MethodGet || method == http.MethodHead
+	for attempt := 1; ; attempt++ {
+		err := c.once(method, path, payload, out)
+		if err == nil {
+			return nil
+		}
+		if attempt >= c.retry.MaxAttempts || !retryable(err, idempotent) {
+			return err
+		}
+		c.sleep(c.backoff(attempt, err))
+	}
+}
+
+// once runs a single request attempt.
+func (c *Client) once(method, path string, payload []byte, out any) error {
+	var body io.Reader
+	if payload != nil {
+		body = bytes.NewReader(payload)
 	}
 	req, err := http.NewRequest(method, c.base+path, body)
 	if err != nil {
 		return err
 	}
-	if in != nil {
+	if payload != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := c.http.Do(req)
@@ -91,8 +152,56 @@ func (c *Client) do(method, path string, in, out any) error {
 	return json.NewDecoder(resp.Body).Decode(out)
 }
 
-// raw fetches a non-JSON resource (metrics text, trace JSONL).
+// retryable decides whether a failed attempt may be re-sent: 429
+// always (the request was never admitted), transport errors and
+// gateway-ish 5xx only when re-sending cannot double-apply.
+func retryable(err error, idempotent bool) bool {
+	var api *APIError
+	if errors.As(err, &api) {
+		if api.StatusCode == http.StatusTooManyRequests {
+			return true
+		}
+		return idempotent && (api.StatusCode == http.StatusBadGateway ||
+			api.StatusCode == http.StatusServiceUnavailable ||
+			api.StatusCode == http.StatusGatewayTimeout)
+	}
+	return idempotent
+}
+
+// backoff computes the delay before the given (1-based) attempt's
+// retry: exponential from BaseBackoff, overridden by a server
+// Retry-After hint, capped at MaxBackoff, then jittered.
+func (c *Client) backoff(attempt int, err error) time.Duration {
+	d := c.retry.BaseBackoff << (attempt - 1)
+	var api *APIError
+	if errors.As(err, &api) && api.RetryAfter > 0 {
+		d = api.RetryAfter
+	}
+	if d > c.retry.MaxBackoff {
+		d = c.retry.MaxBackoff
+	}
+	if j := c.retry.Jitter; j > 0 && d > 0 {
+		d = time.Duration(float64(d) * (1 + j*(2*rand.Float64()-1)))
+	}
+	return d
+}
+
+// raw fetches a non-JSON resource (metrics text, trace JSONL) with
+// the same GET retry discipline as do.
 func (c *Client) raw(path string) ([]byte, error) {
+	for attempt := 1; ; attempt++ {
+		data, err := c.rawOnce(path)
+		if err == nil {
+			return data, nil
+		}
+		if attempt >= c.retry.MaxAttempts || !retryable(err, true) {
+			return nil, err
+		}
+		c.sleep(c.backoff(attempt, err))
+	}
+}
+
+func (c *Client) rawOnce(path string) ([]byte, error) {
 	resp, err := c.http.Get(c.base + path)
 	if err != nil {
 		return nil, err
@@ -106,6 +215,11 @@ func (c *Client) raw(path string) ([]byte, error) {
 
 func decodeAPIError(resp *http.Response) error {
 	api := &APIError{StatusCode: resp.StatusCode, Code: "unknown"}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
+			api.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
 	var envelope ErrorBody
 	data, _ := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
 	if err := json.Unmarshal(data, &envelope); err == nil && envelope.Error.Message != "" {

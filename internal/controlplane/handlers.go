@@ -11,7 +11,6 @@ import (
 	"time"
 
 	"github.com/here-ft/here/internal/orchestrator"
-	"github.com/here-ft/here/internal/workload"
 )
 
 // errNoTrace is served when a trace download is requested for a
@@ -32,28 +31,21 @@ func decodeBody(r *http.Request, v any) error {
 	return nil
 }
 
-// buildWorkload materializes the workload named in a ProtectRequest.
-func buildWorkload(req ProtectRequest) (workload.Workload, error) {
-	switch req.Workload {
-	case "", "idle":
-		return nil, nil
-	case "membench":
-		load := req.LoadPercent
-		if load == 0 {
-			load = 30
-		}
-		seed := req.Seed
-		if seed == 0 {
-			seed = 1
-		}
-		w, err := workload.NewMemoryBench(load, 100_000, seed)
-		if err != nil {
-			return nil, badRequest("membench: %v", err)
-		}
-		return w, nil
-	default:
-		return nil, badRequest("unknown workload %q (want idle or membench)", req.Workload)
+// workloadSpec converts a ProtectRequest's workload fields into the
+// orchestrator's journalable description, validating them eagerly so
+// a bad request fails with 400 before anything mutates. The spec —
+// not a pre-built closure — goes into the VMSpec, so the write-ahead
+// journal can rebuild the same guest activity after a restart.
+func workloadSpec(req ProtectRequest) (orchestrator.WorkloadSpec, error) {
+	spec := orchestrator.WorkloadSpec{
+		Name:        req.Workload,
+		LoadPercent: req.LoadPercent,
+		Seed:        req.Seed,
 	}
+	if _, err := spec.Build(); err != nil {
+		return spec, badRequest("%v", err)
+	}
+	return spec, nil
 }
 
 // toHostDTO converts an orchestrator host snapshot.
@@ -116,16 +108,16 @@ func (s *Server) handleProtect(w http.ResponseWriter, r *http.Request) {
 		writeError(w, badRequest("memory_bytes and vcpus must be positive"))
 		return
 	}
-	wl, err := buildWorkload(req)
+	wspec, err := workloadSpec(req)
 	if err != nil {
 		writeError(w, err)
 		return
 	}
 	if _, err := s.m.Protect(orchestrator.VMSpec{
-		Name:        req.Name,
-		MemoryBytes: req.MemoryBytes,
-		VCPUs:       req.VCPUs,
-		Workload:    wl,
+		Name:         req.Name,
+		MemoryBytes:  req.MemoryBytes,
+		VCPUs:        req.VCPUs,
+		WorkloadSpec: wspec,
 	}); err != nil {
 		writeError(w, err)
 		return

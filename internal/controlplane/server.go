@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/here-ft/here/internal/journal"
 	"github.com/here-ft/here/internal/orchestrator"
 )
 
@@ -42,6 +43,11 @@ type Config struct {
 	// RetryAfter is the backoff hint attached to 429 responses
 	// (default 1 s, rounded up to whole seconds).
 	RetryAfter time.Duration
+	// Journal, when set, is the manager's write-ahead store; Shutdown
+	// flushes it and writes a clean-shutdown snapshot so the next
+	// start skips log replay. It should be the same store wired into
+	// the Manager's orchestrator.Config.
+	Journal *journal.Store
 	// Logf receives one line per pump error and served request; nil
 	// disables logging.
 	Logf func(format string, args ...any)
@@ -248,8 +254,24 @@ func (s *Server) Serve(ln net.Listener) error {
 // balancers stop sending), the pump is quiesced — the in-flight
 // orchestration round completes, no new one starts — and only then
 // are the listeners closed, waiting up to ctx for in-flight requests.
+// With a journal configured, the drained state is then flushed,
+// fsynced and folded into a clean-shutdown snapshot, so a restart
+// after SIGTERM recovers from the snapshot alone with no log replay.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.ready.Store(false)
 	s.stopPump()
-	return s.httpSrv.Shutdown(ctx)
+	err := s.httpSrv.Shutdown(ctx)
+	if s.cfg.Journal != nil {
+		// Every mutating request has drained by now; nothing appends
+		// behind the snapshot.
+		if serr := s.cfg.Journal.Sync(); serr != nil && err == nil {
+			err = serr
+		}
+		if cerr := s.cfg.Journal.Compact(); cerr != nil && err == nil {
+			err = cerr
+		} else if cerr == nil {
+			s.logf("journal: clean-shutdown snapshot written")
+		}
+	}
+	return err
 }

@@ -7,11 +7,13 @@ package failover
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"github.com/here-ft/here/internal/blockdev"
 	"github.com/here-ft/here/internal/devices"
 	"github.com/here-ft/here/internal/hypervisor"
+	"github.com/here-ft/here/internal/memory"
 	"github.com/here-ft/here/internal/replication"
 	"github.com/here-ft/here/internal/simnet"
 	"github.com/here-ft/here/internal/trace"
@@ -37,7 +39,73 @@ var (
 	// ErrAlreadyActivated is returned by activation when the replica
 	// was already activated from this replicator.
 	ErrAlreadyActivated = errors.New("failover: replica already activated")
+	// ErrFenced is returned by activation when the presented fencing
+	// token does not exceed the guard's current generation: the token
+	// was minted before a newer activation (or a control-plane restart)
+	// advanced the generation, so its holder is a stale primary-era
+	// actor that must not bring a second copy of the VM to life.
+	ErrFenced = errors.New("failover: fencing token superseded; refusing stale activation")
 )
+
+// Guard is a monotone fencing-generation gate shared by every
+// activation path of a control plane. Tokens are minted by reserving
+// generation+1, durably journaled, and then presented to Admit: a
+// token at or below the current generation — because a concurrent
+// activation won, or because a restart bumped the generation past
+// every pre-crash token — is refused with ErrFenced. This is what
+// makes a pre-crash primary that raced a failover impossible to
+// re-activate after the control plane comes back.
+type Guard struct {
+	mu  sync.Mutex
+	gen uint64
+}
+
+// NewGuard returns a guard at the given generation (typically the
+// journaled fence value).
+func NewGuard(gen uint64) *Guard {
+	return &Guard{gen: gen}
+}
+
+// Generation reports the current fencing generation.
+func (g *Guard) Generation() uint64 {
+	if g == nil {
+		return 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.gen
+}
+
+// Advance raises the generation to at least gen (monotone; lower
+// values are ignored). Called on restart with the journaled fence so
+// generations strictly increase across control-plane lifetimes.
+func (g *Guard) Advance(gen uint64) {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if gen > g.gen {
+		g.gen = gen
+	}
+}
+
+// Admit consumes a fencing token: the token must strictly exceed the
+// current generation, which then advances to it. A superseded token is
+// refused with ErrFenced. Nil guards admit everything (fencing not
+// configured).
+func (g *Guard) Admit(token uint64) error {
+	if g == nil {
+		return nil
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if token <= g.gen {
+		return fmt.Errorf("%w (token %d, generation %d)", ErrFenced, token, g.gen)
+	}
+	g.gen = token
+	return nil
+}
 
 // Config tunes a heartbeat monitor. The zero value uses the defaults.
 type Config struct {
@@ -211,6 +279,17 @@ type Options struct {
 	// Force overrides the split-brain guard (operator says the primary
 	// really is gone, e.g. it is fenced off at the power strip).
 	Force bool
+	// Guard, when set, arms fencing: Token is presented to the guard
+	// before any side effect, and a superseded token is refused with
+	// ErrFenced. The control plane journals the token before minting
+	// it, so the fence survives a crash-restart.
+	Guard *Guard
+	// Token is the fencing token presented to Guard.
+	Token uint64
+	// Tracer records activation-phase spans for activations that do
+	// not go through a Replicator (ActivateFromImage); ActivateOpts
+	// uses the replicator's tracer instead. Nil disables tracing.
+	Tracer *trace.Tracer
 }
 
 // Activate builds and resumes the replica VM from the replicator's
@@ -237,7 +316,12 @@ func ActivateOpts(r *replication.Replicator, replicaName string, opts Options) (
 	if opts.Monitor != nil && !opts.Force && opts.Monitor.Healthy() {
 		return res, ErrSplitBrain
 	}
-	agent := opts.Agent
+	if err := opts.Guard.Admit(opts.Token); err != nil {
+		return res, err
+	}
+	// Fencing admitted (or not configured): disarm the guard so the
+	// shared activation core does not consume the token twice.
+	opts.Guard, opts.Token = nil, 0
 	dst := r.Destination()
 	if dst.Health() != hypervisor.Healthy {
 		return res, fmt.Errorf("failover: secondary host is %s", dst.Health())
@@ -249,11 +333,9 @@ func ActivateOpts(r *replication.Replicator, replicaName string, opts Options) (
 
 	clock := dst.Clock()
 	start := clock.Now()
-	tr := r.Tracer()
-	// Each activation phase is recorded as a "failover" span whose Note
-	// names the phase (§8.4's resumption breakdown).
+	opts.Tracer = r.Tracer()
 	phase := func(name string, begin time.Time) {
-		tr.Span(trace.SpanFailover, trace.NoEpoch, begin, trace.Event{Note: name})
+		opts.Tracer.Span(trace.SpanFailover, trace.NoEpoch, begin, trace.Event{Note: name})
 	}
 
 	// Un-acknowledged buffered output must never reach clients, and
@@ -266,7 +348,52 @@ func ActivateOpts(r *replication.Replicator, replicaName string, opts Options) (
 	}
 	phase("discard", phaseStart)
 
-	phaseStart = clock.Now()
+	res2, err := ActivateFromImage(dst, replicaName, image, mem, opts)
+	res2.ResumeTime = clock.Since(start)
+	res2.PacketsDropped = res.PacketsDropped
+	res2.DiskWritesDropped = res.DiskWritesDropped
+	res2.Disk = res.Disk
+	if err != nil {
+		return res2, err
+	}
+	r.MarkFailedOver()
+	return res2, nil
+}
+
+// ActivateFromImage builds and resumes a replica VM directly from a
+// checkpoint image and replicated memory, without a live Replicator.
+// This is the restart-recovery path: after a control-plane crash the
+// replicator object is gone, but the secondary host still holds the
+// last acknowledged image + memory, and if the primary died while the
+// control plane was down the replica must be activated from exactly
+// that. The same fencing and split-brain policies in opts apply.
+func ActivateFromImage(dst hypervisor.Hypervisor, replicaName string, image []byte, mem *memory.GuestMemory, opts Options) (Result, error) {
+	var res Result
+	if dst == nil {
+		return res, errors.New("failover: nil destination host")
+	}
+	if opts.Monitor != nil && !opts.Force && opts.Monitor.Healthy() {
+		return res, ErrSplitBrain
+	}
+	if err := opts.Guard.Admit(opts.Token); err != nil {
+		return res, err
+	}
+	if dst.Health() != hypervisor.Healthy {
+		return res, fmt.Errorf("failover: secondary host is %s", dst.Health())
+	}
+	if len(image) == 0 || mem == nil {
+		return res, errors.New("failover: no checkpoint image to activate from")
+	}
+
+	clock := dst.Clock()
+	start := clock.Now()
+	// Each activation phase is recorded as a "failover" span whose Note
+	// names the phase (§8.4's resumption breakdown).
+	phase := func(name string, begin time.Time) {
+		opts.Tracer.Span(trace.SpanFailover, trace.NoEpoch, begin, trace.Event{Note: name})
+	}
+
+	phaseStart := clock.Now()
 	state, err := dst.DecodeState(image)
 	if err != nil {
 		return res, fmt.Errorf("failover: decode checkpoint: %w", err)
@@ -285,14 +412,13 @@ func ActivateOpts(r *replication.Replicator, replicaName string, opts Options) (
 	}
 	phase("restore", phaseStart)
 	phaseStart = clock.Now()
-	mgr := devices.NewManager(agent)
+	mgr := devices.NewManager(opts.Agent)
 	if err := mgr.FailoverReplug(vm, dst); err != nil {
 		return res, fmt.Errorf("failover: %w", err)
 	}
 	phase("replug", phaseStart)
 	phaseStart = clock.Now()
 	vm.Resume()
-	r.MarkFailedOver()
 	phase("resume", phaseStart)
 
 	res.ResumeTime = clock.Since(start)

@@ -1,0 +1,59 @@
+package failover_test
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/here-ft/here/internal/failover"
+)
+
+func TestGuardAdmit(t *testing.T) {
+	g := failover.NewGuard(5)
+	if g.Generation() != 5 {
+		t.Fatalf("Generation = %d, want 5", g.Generation())
+	}
+	// Stale and current tokens are refused.
+	for _, token := range []uint64{0, 4, 5} {
+		if err := g.Admit(token); !errors.Is(err, failover.ErrFenced) {
+			t.Errorf("Admit(%d) = %v, want ErrFenced", token, err)
+		}
+	}
+	if err := g.Admit(6); err != nil {
+		t.Fatalf("Admit(6) = %v", err)
+	}
+	if g.Generation() != 6 {
+		t.Errorf("Generation after admit = %d, want 6", g.Generation())
+	}
+	// The admitted token is consumed: replaying it is refused.
+	if err := g.Admit(6); !errors.Is(err, failover.ErrFenced) {
+		t.Errorf("replayed Admit(6) = %v, want ErrFenced", err)
+	}
+}
+
+func TestGuardAdvanceMonotone(t *testing.T) {
+	g := failover.NewGuard(2)
+	g.Advance(10)
+	if g.Generation() != 10 {
+		t.Fatalf("Generation = %d, want 10", g.Generation())
+	}
+	// Lower values are ignored, never regress.
+	g.Advance(3)
+	if g.Generation() != 10 {
+		t.Errorf("Advance(3) regressed generation to %d", g.Generation())
+	}
+	// A token minted before the advance (e.g. pre-crash) is now fenced.
+	if err := g.Admit(7); !errors.Is(err, failover.ErrFenced) {
+		t.Errorf("pre-advance token admitted: %v", err)
+	}
+}
+
+func TestGuardNilSafe(t *testing.T) {
+	var g *failover.Guard
+	if g.Generation() != 0 {
+		t.Error("nil guard Generation != 0")
+	}
+	g.Advance(5)
+	if err := g.Admit(0); err != nil {
+		t.Errorf("nil guard Admit = %v, want nil (fencing not configured)", err)
+	}
+}

@@ -50,6 +50,8 @@ const (
 	KindHostCrash      Kind = "host-crash"
 	KindHostHang       Kind = "host-hang"
 	KindHostStarve     Kind = "host-starve"
+	KindDaemonKill     Kind = "daemon-kill"
+	KindDaemonRestart  Kind = "daemon-restart"
 )
 
 // Applied is one fired event in the plan's log.
@@ -267,6 +269,30 @@ func (p *Plan) hostFail(at time.Duration, kind Kind, state hypervisor.HealthStat
 	h hypervisor.Hypervisor, reason string) {
 	p.add(at, kind, fmt.Sprintf("%s: %s", h.HostName(), reason), func(*Plan) {
 		h.Fail(state, reason)
+	})
+}
+
+// DaemonCrash schedules a control-plane crash-restart: kill fires at
+// the given offset, restart fires downtime later. The hosts and their
+// VMs keep running either way — this models the *control plane* dying
+// (the orchestrating daemon), not the fleet.
+//
+// Callbacks fire from whatever goroutine observes the pumping clock —
+// typically from inside a Sleep deep in a replication cycle — so they
+// must not re-enter the orchestrator they are killing. The usual
+// pattern is for kill/restart to flip flags the driving loop acts on
+// between rounds: drop the Manager, journal.Open the state directory
+// again, and Recover.
+func (p *Plan) DaemonCrash(at, downtime time.Duration, kill, restart func()) {
+	p.add(at, KindDaemonKill, "control plane killed", func(*Plan) {
+		if kill != nil {
+			kill()
+		}
+	})
+	p.add(at+downtime, KindDaemonRestart, "control plane restarted", func(*Plan) {
+		if restart != nil {
+			restart()
+		}
 	})
 }
 

@@ -209,3 +209,28 @@ func TestAdvanceIdempotent(t *testing.T) {
 		t.Fatal("link state wrong after repeated Advance")
 	}
 }
+
+func TestDaemonCrashSchedule(t *testing.T) {
+	plan, clk, _ := newPlanLink(t, 1)
+	var killed, restarted bool
+	plan.DaemonCrash(20*time.Millisecond, 30*time.Millisecond,
+		func() { killed = true },
+		func() {
+			if !killed {
+				t.Error("restart fired before kill")
+			}
+			restarted = true
+		})
+	clk.Sleep(25 * time.Millisecond)
+	if !killed || restarted {
+		t.Fatalf("after 25ms: killed=%v restarted=%v, want kill only", killed, restarted)
+	}
+	clk.Sleep(30 * time.Millisecond)
+	if !restarted {
+		t.Fatal("restart never fired")
+	}
+	log := plan.Applied()
+	if len(log) != 2 || log[0].Kind != faults.KindDaemonKill || log[1].Kind != faults.KindDaemonRestart {
+		t.Fatalf("applied = %+v", log)
+	}
+}

@@ -38,10 +38,25 @@ type Host struct {
 	hostName string
 	clock    vclock.Clock
 
-	mu     sync.Mutex
-	vms    map[string]*VM
-	health HealthState
-	reason string
+	mu       sync.Mutex
+	vms      map[string]*VM
+	health   HealthState
+	reason   string
+	replicas map[string]ReplicaDeposit
+}
+
+// ReplicaDeposit is replica-side checkpoint state parked on a
+// secondary host: the replicated guest memory, the last acknowledged
+// state image, and the epoch they correspond to. The replication
+// engine deposits it after each acknowledged checkpoint so the state
+// survives the control-plane process — a restarted daemon resumes
+// protection with a delta resync from the deposit instead of a full
+// re-seed. Deposits live and die with the host: a crash or reboot
+// wipes them (the memory was RAM on that machine).
+type ReplicaDeposit struct {
+	Mem   *memory.GuestMemory
+	Image []byte
+	Epoch uint64
 }
 
 var _ Hypervisor = (*Host)(nil)
@@ -208,6 +223,42 @@ func (h *Host) VMs() []string {
 	return names
 }
 
+// DepositReplica parks replica-side checkpoint state on this host
+// under a stable key (the protection name). It fails if the host is
+// not healthy — a dead host can hold no state.
+func (h *Host) DepositReplica(key string, d ReplicaDeposit) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.health != Healthy {
+		return fmt.Errorf("host %q (%s) is %s: %w", h.hostName, h.Product(), h.health, ErrHostDown)
+	}
+	if h.replicas == nil {
+		h.replicas = make(map[string]ReplicaDeposit)
+	}
+	h.replicas[key] = d
+	return nil
+}
+
+// Replica retrieves a parked replica deposit, if the host still holds
+// one for the key (and is alive to serve it).
+func (h *Host) Replica(key string) (ReplicaDeposit, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.health != Healthy {
+		return ReplicaDeposit{}, false
+	}
+	d, ok := h.replicas[key]
+	return d, ok
+}
+
+// DropReplica discards a parked replica deposit (e.g. when protection
+// moves elsewhere or the VM is unprotected).
+func (h *Host) DropReplica(key string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	delete(h.replicas, key)
+}
+
 // Health reports the host's health.
 func (h *Host) Health() HealthState {
 	h.mu.Lock()
@@ -240,13 +291,17 @@ func (h *Host) Fail(state HealthState, reason string) {
 	}
 }
 
-// Recover returns the host to Healthy with no VMs (a reboot).
+// Recover returns the host to Healthy with no VMs (a reboot). Replica
+// deposits are wiped too — they were RAM on the machine that just
+// rebooted. (While the host is down, Replica already refuses to serve
+// them.)
 func (h *Host) Recover() {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	h.health = Healthy
 	h.reason = ""
 	h.vms = make(map[string]*VM)
+	h.replicas = nil
 }
 
 // FailureReason reports why the host failed, or "".

@@ -1,0 +1,702 @@
+// Package journal is the control plane's durability layer: a
+// CRC32-framed, fsync-disciplined write-ahead log plus atomic
+// (write-temp-then-rename) snapshots of the orchestrated fleet's
+// control-plane state — which VMs are protected and on which host
+// pair, each protection's period tuning and last-acknowledged epoch,
+// the monotone fencing generation, and the event-log sequence.
+//
+// The daemon appends one Record per mutating operation before
+// acknowledging it; a restarted daemon replays snapshot + log and
+// re-attaches every protection. The reader tolerates torn tails (a
+// partially written final frame is truncated away), reports mid-log
+// corruption with typed errors, and the log is compacted into a fresh
+// snapshot once it crosses a size threshold.
+//
+// On-disk layout, inside the state directory:
+//
+//	snapshot.json   8-byte magic + one CRC32 frame holding the state
+//	wal.log         8-byte magic + a sequence of CRC32 frames
+//
+// Each frame is [len uint32le][crc32(payload) uint32le][payload] with
+// a JSON-encoded Record as payload. Every record carries a monotone
+// LSN; a snapshot stores the LSN it covers, so replay after a crash
+// between "snapshot renamed" and "log rotated" skips the prefix of the
+// log the snapshot already contains instead of double-applying it.
+package journal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// File names inside the state directory.
+const (
+	walName  = "wal.log"
+	snapName = "snapshot.json"
+)
+
+// Magic prefixes identifying the two file kinds.
+const (
+	walMagic  = "HEREWAL1"
+	snapMagic = "HERESNP1"
+)
+
+// frameHeader is [len uint32le][crc uint32le].
+const frameHeader = 8
+
+// maxFrameBytes bounds a single record frame; control-plane records
+// are tiny, so a larger length field is corruption, not data.
+const maxFrameBytes = 4 << 20
+
+// DefaultCompactBytes is the log size past which Append compacts the
+// store into a fresh snapshot and rotates the log.
+const DefaultCompactBytes = 1 << 20
+
+// Errors reported by the store. CorruptError wraps ErrCorrupt with the
+// file, offset and reason, so callers can errors.Is against the
+// sentinel and still log the detail.
+var (
+	ErrCorrupt = errors.New("journal: corrupt")
+	ErrClosed  = errors.New("journal: store closed")
+)
+
+// CorruptError describes unrecoverable corruption in a journal file:
+// a full frame whose checksum does not match, an impossible frame
+// length, or a mangled snapshot. A torn tail — the final frame cut
+// short by a crash mid-write — is NOT corruption; the reader truncates
+// it and reports the fact in Report.TornBytes.
+type CorruptError struct {
+	File   string
+	Offset int64
+	Reason string
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("journal: %s: corrupt at offset %d: %s", e.File, e.Offset, e.Reason)
+}
+
+// Is makes errors.Is(err, ErrCorrupt) match.
+func (e *CorruptError) Is(target error) bool { return target == ErrCorrupt }
+
+// RecordKind tags a write-ahead record.
+type RecordKind string
+
+// Record kinds, one per control-plane mutation.
+const (
+	// RecProtect registers a protection: spec, host pair, generation.
+	RecProtect RecordKind = "protect"
+	// RecUnprotect removes a protection.
+	RecUnprotect RecordKind = "unprotect"
+	// RecAck advances a protection's last-acknowledged checkpoint
+	// epoch (scoped to its generation).
+	RecAck RecordKind = "ack"
+	// RecRetune records a period-controller retune (D, T_max).
+	RecRetune RecordKind = "retune"
+	// RecFenceIntent is the durable intent to activate the replica:
+	// written before activation so a crash mid-failover is resolvable
+	// on restart (did the replica come up on the target or not?).
+	RecFenceIntent RecordKind = "fence-intent"
+	// RecFailover commits a completed failover: new primary, new
+	// generation, the replica's VM name.
+	RecFailover RecordKind = "failover"
+	// RecReprotect records a new secondary after re-pairing.
+	RecReprotect RecordKind = "reprotect"
+	// RecSecondaryLost records the loss of the replica host.
+	RecSecondaryLost RecordKind = "secondary-lost"
+	// RecLost records service loss (both hosts gone).
+	RecLost RecordKind = "lost"
+	// RecFence bumps the daemon-wide fencing generation; appended on
+	// every restart-recovery so generations strictly increase across
+	// restarts and void any pre-crash activation intent.
+	RecFence RecordKind = "fence"
+)
+
+// ProtectionSpec is the journaled, rebuildable VM spec: enough to
+// re-create the VM and its workload after a restart. Opaque in-process
+// workloads cannot be journaled; they restore as idle guests.
+type ProtectionSpec struct {
+	Name        string  `json:"name"`
+	MemoryBytes uint64  `json:"memory_bytes"`
+	VCPUs       int     `json:"vcpus"`
+	Workload    string  `json:"workload,omitempty"`
+	LoadPercent float64 `json:"load_percent,omitempty"`
+	Seed        int64   `json:"seed,omitempty"`
+}
+
+// FenceIntent is a pending replica activation: the fencing token was
+// minted and journaled, but the commit record never made it. Restart
+// recovery resolves it by probing the target host for the activated
+// replica.
+type FenceIntent struct {
+	// Generation the activation would establish.
+	Generation int `json:"generation"`
+	// Target is the host the replica activates on.
+	Target string `json:"target"`
+	// Fence is the minted fencing token.
+	Fence uint64 `json:"fence"`
+}
+
+// Protection is the journaled state of one protected VM.
+type Protection struct {
+	Spec ProtectionSpec `json:"spec"`
+	// Primary and Secondary are host names; Secondary is empty while
+	// the VM runs unprotected.
+	Primary   string `json:"primary"`
+	Secondary string `json:"secondary,omitempty"`
+	// VMName is the name of the currently active VM instance —
+	// "name" for generation 0, "name-gN" after failovers.
+	VMName string `json:"vm_name"`
+	// Generation counts failovers (the per-VM fencing generation).
+	Generation int `json:"generation"`
+	// AckedEpoch is the last acknowledged checkpoint epoch of the
+	// current generation/pairing — the delta-resync cursor.
+	AckedEpoch uint64 `json:"acked_epoch"`
+	// Budget and MaxPeriodMS are the period controller's tuning.
+	Budget      float64 `json:"budget"`
+	MaxPeriodMS int64   `json:"max_period_ms"`
+	// Lost marks a service-lost protection.
+	Lost bool `json:"lost,omitempty"`
+	// Pending is an unresolved activation intent, nil otherwise.
+	Pending *FenceIntent `json:"pending,omitempty"`
+}
+
+// State is the full journaled control-plane state: what a restarted
+// daemon rebuilds the fleet from.
+type State struct {
+	// Fence is the daemon-wide monotone fencing generation.
+	Fence uint64 `json:"fence"`
+	// EventSeq is the fleet event-log sequence at the last record, so
+	// a restarted event log continues monotonically.
+	EventSeq uint64 `json:"event_seq"`
+	// Protections is keyed by protection (VM spec) name.
+	Protections map[string]*Protection `json:"protections"`
+}
+
+// Clone deep-copies the state.
+func (s *State) Clone() State {
+	out := State{
+		Fence:       s.Fence,
+		EventSeq:    s.EventSeq,
+		Protections: make(map[string]*Protection, len(s.Protections)),
+	}
+	for name, p := range s.Protections {
+		cp := *p
+		if p.Pending != nil {
+			pending := *p.Pending
+			cp.Pending = &pending
+		}
+		out.Protections[name] = &cp
+	}
+	return out
+}
+
+// Record is one write-ahead log entry. Only the fields relevant to its
+// Kind are set; LSN is assigned by Append.
+type Record struct {
+	LSN  uint64     `json:"lsn"`
+	Kind RecordKind `json:"kind"`
+	// VM is the protection name (not the generation-suffixed VM
+	// instance name).
+	VM string `json:"vm,omitempty"`
+	// EventSeq is the fleet event sequence when the record was
+	// appended.
+	EventSeq uint64 `json:"event_seq,omitempty"`
+
+	Spec        *ProtectionSpec `json:"spec,omitempty"`
+	Primary     string          `json:"primary,omitempty"`
+	Secondary   string          `json:"secondary,omitempty"`
+	VMName      string          `json:"vm_name,omitempty"`
+	Target      string          `json:"target,omitempty"`
+	Generation  int             `json:"generation,omitempty"`
+	Fence       uint64          `json:"fence,omitempty"`
+	Epoch       uint64          `json:"epoch,omitempty"`
+	Budget      float64         `json:"budget,omitempty"`
+	MaxPeriodMS int64           `json:"max_period_ms,omitempty"`
+}
+
+// apply folds one record into the state — the replay reducer. Records
+// for unknown protections (e.g. an ack racing an unprotect) are
+// dropped silently: the WAL is ordered, so that only happens when the
+// protection was legitimately removed.
+func (s *State) apply(r Record) {
+	if r.EventSeq > s.EventSeq {
+		s.EventSeq = r.EventSeq
+	}
+	if r.Fence > s.Fence {
+		s.Fence = r.Fence
+	}
+	switch r.Kind {
+	case RecProtect:
+		spec := ProtectionSpec{Name: r.VM}
+		if r.Spec != nil {
+			spec = *r.Spec
+		}
+		vmName := r.VMName
+		if vmName == "" {
+			vmName = r.VM
+		}
+		s.Protections[r.VM] = &Protection{
+			Spec:        spec,
+			Primary:     r.Primary,
+			Secondary:   r.Secondary,
+			VMName:      vmName,
+			Generation:  r.Generation,
+			Budget:      r.Budget,
+			MaxPeriodMS: r.MaxPeriodMS,
+		}
+	case RecUnprotect:
+		delete(s.Protections, r.VM)
+	case RecAck:
+		if p := s.Protections[r.VM]; p != nil && r.Generation == p.Generation {
+			p.AckedEpoch = r.Epoch
+		}
+	case RecRetune:
+		if p := s.Protections[r.VM]; p != nil {
+			p.Budget, p.MaxPeriodMS = r.Budget, r.MaxPeriodMS
+		}
+	case RecFenceIntent:
+		if p := s.Protections[r.VM]; p != nil {
+			p.Pending = &FenceIntent{
+				Generation: r.Generation, Target: r.Target, Fence: r.Fence,
+			}
+		}
+	case RecFailover:
+		if p := s.Protections[r.VM]; p != nil {
+			p.Generation = r.Generation
+			p.Primary = r.Primary
+			p.Secondary = ""
+			p.VMName = r.VMName
+			p.AckedEpoch = 0
+			p.Pending = nil
+		}
+	case RecReprotect:
+		if p := s.Protections[r.VM]; p != nil {
+			p.Secondary = r.Secondary
+			p.AckedEpoch = 0
+		}
+	case RecSecondaryLost:
+		if p := s.Protections[r.VM]; p != nil {
+			p.Secondary = ""
+		}
+	case RecLost:
+		if p := s.Protections[r.VM]; p != nil {
+			p.Lost = true
+			p.Secondary = ""
+		}
+	case RecFence:
+		// A restart voids every unresolved activation intent: recovery
+		// resolved them (or found them never-started) before appending
+		// this record.
+		for _, p := range s.Protections {
+			p.Pending = nil
+		}
+	}
+}
+
+// Options tunes a Store.
+type Options struct {
+	// NoSync skips the per-append fsync (tests; NOT crash-safe).
+	NoSync bool
+	// CompactBytes is the log size that triggers snapshot + rotation
+	// (default 1 MiB, negative disables auto-compaction).
+	CompactBytes int64
+}
+
+// Report describes what Open found on disk.
+type Report struct {
+	// SnapshotLSN is the LSN the loaded snapshot covered (0 if none).
+	SnapshotLSN uint64
+	// Replayed is the number of log records applied on top of the
+	// snapshot. Zero with a snapshot present means the previous run
+	// shut down cleanly and replay was skipped.
+	Replayed int
+	// TornBytes is the size of the torn tail truncated from the log.
+	TornBytes int64
+	// Clean reports a clean-shutdown start: a snapshot was present and
+	// no log records needed replay.
+	Clean bool
+}
+
+// snapshotDoc is the snapshot file payload.
+type snapshotDoc struct {
+	LSN   uint64 `json:"lsn"`
+	State State  `json:"state"`
+}
+
+// Store is the write-ahead journal plus snapshot state for one control
+// plane. It is safe for concurrent use; Append durably persists the
+// record (frame + fsync) before returning.
+type Store struct {
+	dir  string
+	opts Options
+
+	mu      sync.Mutex
+	wal     *os.File
+	walSize int64
+	lsn     uint64
+	state   State
+	closed  bool
+}
+
+// Open loads (or initializes) the journal in dir: the snapshot is
+// read if present, the log replayed on top of it, and a torn tail
+// truncated away. Mid-log corruption fails with a *CorruptError
+// (errors.Is ErrCorrupt) — nothing is silently dropped.
+func Open(dir string, opts Options) (*Store, Report, error) {
+	if opts.CompactBytes == 0 {
+		opts.CompactBytes = DefaultCompactBytes
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, Report{}, fmt.Errorf("journal: %w", err)
+	}
+	s := &Store{
+		dir:  dir,
+		opts: opts,
+		state: State{
+			Protections: make(map[string]*Protection),
+		},
+	}
+	var rep Report
+	snapLoaded, err := s.loadSnapshot()
+	if err != nil {
+		return nil, Report{}, err
+	}
+	rep.SnapshotLSN = s.lsn
+	if err := s.replayLog(&rep); err != nil {
+		return nil, Report{}, err
+	}
+	rep.Clean = snapLoaded && rep.Replayed == 0 && rep.TornBytes == 0
+	if err := s.openWAL(); err != nil {
+		return nil, Report{}, err
+	}
+	return s, rep, nil
+}
+
+// loadSnapshot reads the snapshot file if present, returning whether
+// one was loaded.
+func (s *Store) loadSnapshot() (bool, error) {
+	path := filepath.Join(s.dir, snapName)
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return false, nil
+	}
+	if err != nil {
+		return false, fmt.Errorf("journal: %w", err)
+	}
+	if len(data) < len(snapMagic) || string(data[:len(snapMagic)]) != snapMagic {
+		return false, &CorruptError{File: snapName, Offset: 0, Reason: "bad magic"}
+	}
+	payload, _, err := readFrame(snapName, data[len(snapMagic):], int64(len(snapMagic)))
+	if err != nil {
+		// A torn snapshot cannot happen under the rename discipline, so
+		// any framing failure here is corruption.
+		var torn *tornTail
+		if errors.As(err, &torn) {
+			return false, &CorruptError{File: snapName, Offset: torn.offset, Reason: "truncated snapshot"}
+		}
+		return false, err
+	}
+	var doc snapshotDoc
+	if err := json.Unmarshal(payload, &doc); err != nil {
+		return false, &CorruptError{File: snapName, Offset: int64(len(snapMagic)), Reason: "bad json: " + err.Error()}
+	}
+	if doc.State.Protections == nil {
+		doc.State.Protections = make(map[string]*Protection)
+	}
+	s.state = doc.State
+	s.lsn = doc.LSN
+	return true, nil
+}
+
+// tornTail marks an incomplete final frame — a crash mid-append.
+type tornTail struct{ offset int64 }
+
+func (e *tornTail) Error() string {
+	return fmt.Sprintf("journal: torn tail at offset %d", e.offset)
+}
+
+// readFrame parses one [len][crc][payload] frame from data, returning
+// the payload and total frame size. off is data's offset within the
+// file, for error reporting. An incomplete frame returns *tornTail; a
+// complete frame with a bad checksum or impossible length returns
+// *CorruptError.
+func readFrame(file string, data []byte, off int64) (payload []byte, size int64, err error) {
+	if len(data) < frameHeader {
+		return nil, 0, &tornTail{offset: off}
+	}
+	n := binary.LittleEndian.Uint32(data[0:4])
+	crc := binary.LittleEndian.Uint32(data[4:8])
+	if n == 0 || n > maxFrameBytes {
+		// An impossible length with the bytes to "cover" it is
+		// corruption; if the claimed frame runs past EOF it is
+		// indistinguishable from a torn write, so treat it as one only
+		// when nothing follows the header.
+		if int64(n) > int64(len(data)-frameHeader) {
+			return nil, 0, &tornTail{offset: off}
+		}
+		return nil, 0, &CorruptError{File: file, Offset: off, Reason: fmt.Sprintf("impossible frame length %d", n)}
+	}
+	if int(n) > len(data)-frameHeader {
+		return nil, 0, &tornTail{offset: off}
+	}
+	payload = data[frameHeader : frameHeader+int(n)]
+	if crc32.ChecksumIEEE(payload) != crc {
+		return nil, 0, &CorruptError{File: file, Offset: off, Reason: "checksum mismatch"}
+	}
+	return payload, frameHeader + int64(n), nil
+}
+
+// replayLog applies the WAL on top of the loaded snapshot, truncating
+// a torn tail in place.
+func (s *Store) replayLog(rep *Report) error {
+	path := filepath.Join(s.dir, walName)
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	if len(data) < len(walMagic) {
+		// The magic itself was torn; rewrite the file from scratch.
+		rep.TornBytes = int64(len(data))
+		return os.Remove(path)
+	}
+	if string(data[:len(walMagic)]) != walMagic {
+		return &CorruptError{File: walName, Offset: 0, Reason: "bad magic"}
+	}
+	off := int64(len(walMagic))
+	for off < int64(len(data)) {
+		payload, size, err := readFrame(walName, data[off:], off)
+		if err != nil {
+			var torn *tornTail
+			if errors.As(err, &torn) {
+				rep.TornBytes = int64(len(data)) - off
+				return os.Truncate(path, off)
+			}
+			return err
+		}
+		var rec Record
+		if jerr := json.Unmarshal(payload, &rec); jerr != nil {
+			return &CorruptError{File: walName, Offset: off, Reason: "bad json: " + jerr.Error()}
+		}
+		if rec.LSN > s.lsn {
+			s.state.apply(rec)
+			s.lsn = rec.LSN
+			rep.Replayed++
+		}
+		off += size
+	}
+	return nil
+}
+
+// openWAL opens (creating if needed) the log for appending.
+func (s *Store) openWAL() error {
+	path := filepath.Join(s.dir, walName)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("journal: %w", err)
+	}
+	if st.Size() == 0 {
+		if _, err := f.Write([]byte(walMagic)); err != nil {
+			f.Close()
+			return fmt.Errorf("journal: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return fmt.Errorf("journal: %w", err)
+		}
+		s.walSize = int64(len(walMagic))
+	} else {
+		if _, err := f.Seek(0, 2); err != nil {
+			f.Close()
+			return fmt.Errorf("journal: %w", err)
+		}
+		s.walSize = st.Size()
+	}
+	s.wal = f
+	return nil
+}
+
+// Dir reports the state directory.
+func (s *Store) Dir() string { return s.dir }
+
+// State returns a deep copy of the current journaled state.
+func (s *Store) State() State {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state.Clone()
+}
+
+// LSN reports the last assigned record sequence number.
+func (s *Store) LSN() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lsn
+}
+
+// LogSize reports the current WAL size in bytes.
+func (s *Store) LogSize() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.walSize
+}
+
+// Append durably logs one record: frame, write, fsync (unless
+// NoSync), then fold it into the in-memory state. Crossing the
+// compaction threshold snapshots and rotates the log before returning.
+func (s *Store) Append(rec Record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	s.lsn++
+	rec.LSN = s.lsn
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		s.lsn--
+		return fmt.Errorf("journal: marshal: %w", err)
+	}
+	frame := make([]byte, frameHeader+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	copy(frame[frameHeader:], payload)
+	if _, err := s.wal.Write(frame); err != nil {
+		return fmt.Errorf("journal: append: %w", err)
+	}
+	if !s.opts.NoSync {
+		if err := s.wal.Sync(); err != nil {
+			return fmt.Errorf("journal: fsync: %w", err)
+		}
+	}
+	s.walSize += int64(len(frame))
+	s.state.apply(rec)
+	if s.opts.CompactBytes > 0 && s.walSize > s.opts.CompactBytes {
+		return s.compactLocked()
+	}
+	return nil
+}
+
+// Compact snapshots the current state atomically and rotates the log.
+// The daemon calls it on graceful shutdown so the next start skips log
+// replay entirely.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	return s.compactLocked()
+}
+
+// compactLocked writes snapshot.json via temp-file + rename (durable
+// before the log is touched), then truncates the log back to its
+// magic. A crash between the two leaves snapshot + full log; replay
+// skips records with LSN <= the snapshot's. Caller holds s.mu.
+func (s *Store) compactLocked() error {
+	doc := snapshotDoc{LSN: s.lsn, State: s.state.Clone()}
+	payload, err := json.Marshal(doc)
+	if err != nil {
+		return fmt.Errorf("journal: snapshot marshal: %w", err)
+	}
+	buf := make([]byte, len(snapMagic)+frameHeader+len(payload))
+	copy(buf, snapMagic)
+	binary.LittleEndian.PutUint32(buf[len(snapMagic):], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[len(snapMagic)+4:], crc32.ChecksumIEEE(payload))
+	copy(buf[len(snapMagic)+frameHeader:], payload)
+
+	tmp := filepath.Join(s.dir, snapName+".tmp")
+	final := filepath.Join(s.dir, snapName)
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: snapshot: %w", err)
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		return fmt.Errorf("journal: snapshot: %w", err)
+	}
+	if !s.opts.NoSync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return fmt.Errorf("journal: snapshot fsync: %w", err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("journal: snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return fmt.Errorf("journal: snapshot rename: %w", err)
+	}
+	if !s.opts.NoSync {
+		if err := syncDir(s.dir); err != nil {
+			return err
+		}
+	}
+
+	// Snapshot durable; rotate the log.
+	if err := s.wal.Truncate(int64(len(walMagic))); err != nil {
+		return fmt.Errorf("journal: rotate: %w", err)
+	}
+	if _, err := s.wal.Seek(int64(len(walMagic)), 0); err != nil {
+		return fmt.Errorf("journal: rotate: %w", err)
+	}
+	if !s.opts.NoSync {
+		if err := s.wal.Sync(); err != nil {
+			return fmt.Errorf("journal: rotate fsync: %w", err)
+		}
+	}
+	s.walSize = int64(len(walMagic))
+	return nil
+}
+
+// syncDir fsyncs the directory entry so a rename is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("journal: dir fsync: %w", err)
+	}
+	return nil
+}
+
+// Sync forces the log to stable storage (used by NoSync stores at
+// quiesce points, e.g. graceful shutdown).
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	return s.wal.Sync()
+}
+
+// Close flushes and closes the store. Further appends fail with
+// ErrClosed.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if err := s.wal.Sync(); err != nil {
+		s.wal.Close()
+		return fmt.Errorf("journal: %w", err)
+	}
+	return s.wal.Close()
+}

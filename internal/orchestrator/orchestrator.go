@@ -23,6 +23,7 @@ import (
 	"github.com/here-ft/here/internal/arch"
 	"github.com/here-ft/here/internal/failover"
 	"github.com/here-ft/here/internal/hypervisor"
+	"github.com/here-ft/here/internal/journal"
 	"github.com/here-ft/here/internal/period"
 	"github.com/here-ft/here/internal/replication"
 	"github.com/here-ft/here/internal/simnet"
@@ -56,6 +57,7 @@ const (
 	EventServiceLost   EventKind = "service-lost"
 	EventRemoved       EventKind = "removed"
 	EventRetuned       EventKind = "period-retuned"
+	EventRecovered     EventKind = "recovered"
 )
 
 // Event is one fleet-level occurrence. Seq is a monotone sequence
@@ -95,6 +97,46 @@ type Config struct {
 	// TraceCapacity bounds each protection's trace ring (default
 	// 16384 events).
 	TraceCapacity int
+	// Journal, when set, makes the control plane crash-recoverable:
+	// every mutating operation appends a write-ahead record before
+	// acknowledging, and Recover rebuilds the fleet's protections from
+	// the journaled state after a restart. Nil keeps everything
+	// in-memory (library use).
+	Journal *journal.Store
+}
+
+// WorkloadSpec is the journalable description of a guest workload —
+// what ProtectRequest carries over the API, and what the journal can
+// rebuild after a restart (an opaque Workload closure cannot be
+// re-created from disk).
+type WorkloadSpec struct {
+	// Name selects the workload: "" or "idle" for none, "membench"
+	// for the memory-write benchmark.
+	Name string
+	// LoadPercent is membench's write intensity (default 30).
+	LoadPercent float64
+	// Seed is membench's RNG seed (default 1).
+	Seed int64
+}
+
+// Build materializes the described workload.
+func (w WorkloadSpec) Build() (workload.Workload, error) {
+	switch w.Name {
+	case "", "idle":
+		return nil, nil
+	case "membench":
+		load := w.LoadPercent
+		if load == 0 {
+			load = 30
+		}
+		seed := w.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		return workload.NewMemoryBench(load, 100_000, seed)
+	default:
+		return nil, fmt.Errorf("orchestrator: unknown workload %q (want idle or membench)", w.Name)
+	}
 }
 
 // VMSpec describes a VM to protect.
@@ -102,7 +144,15 @@ type VMSpec struct {
 	Name        string
 	MemoryBytes uint64
 	VCPUs       int
-	Workload    workload.Workload // optional guest activity
+	// Workload is an opaque in-process workload; it takes precedence
+	// over WorkloadSpec but cannot be journaled — after a crash-restart
+	// the VM recreates as an idle guest. Prefer WorkloadSpec where
+	// restart-resume matters.
+	Workload workload.Workload
+	// WorkloadSpec is the journalable workload description; used when
+	// Workload is nil, and recorded in the write-ahead journal so a
+	// restarted daemon rebuilds the same guest activity.
+	WorkloadSpec WorkloadSpec
 }
 
 // Protection is one VM under orchestration. Exported accessors take
@@ -121,9 +171,11 @@ type Protection struct {
 	primary   hypervisor.Hypervisor
 	secondary hypervisor.Hypervisor
 	wl        workload.Workload
+	wlSpec    WorkloadSpec
 	budget    float64
 	tmax      time.Duration
 	lost      bool
+	acked     uint64 // last checkpoint epoch journaled + deposited
 }
 
 // VM returns the currently active VM of the protection.
@@ -217,6 +269,16 @@ type Status struct {
 type Manager struct {
 	cfg Config
 
+	// guard is the daemon-wide fencing gate every activation goes
+	// through; Recover advances it past the journaled fence so tokens
+	// minted before a crash can never activate after the restart.
+	guard *failover.Guard
+
+	// crashHook, when set (tests only), is called at named points
+	// inside mutating operations; a non-nil return aborts the
+	// operation mid-flight, simulating the process dying there.
+	crashHook func(point string) error
+
 	mu      sync.Mutex
 	hosts   []*hypervisor.Host
 	links   map[string]*simnet.Link // "hostA->hostB"
@@ -241,9 +303,44 @@ func New(cfg Config) (*Manager, error) {
 	}
 	return &Manager{
 		cfg:   cfg,
+		guard: failover.NewGuard(0),
 		links: make(map[string]*simnet.Link),
 		prots: make(map[string]*Protection),
 	}, nil
+}
+
+// Guard exposes the fencing gate (for tests asserting fencing
+// invariants; activation paths use it internally).
+func (m *Manager) Guard() *failover.Guard { return m.guard }
+
+// journalAppend durably logs one control-plane mutation, stamped with
+// the current event sequence. A nil journal makes it a no-op. Caller
+// holds m.mu.
+func (m *Manager) journalAppend(rec journal.Record) error {
+	if m.cfg.Journal == nil {
+		return nil
+	}
+	rec.EventSeq = m.nextSeq
+	return m.cfg.Journal.Append(rec)
+}
+
+// crash triggers the test-only crash hook at a named point. Caller
+// holds m.mu.
+func (m *Manager) crash(point string) error {
+	if m.crashHook == nil {
+		return nil
+	}
+	return m.crashHook(point)
+}
+
+// hostByName finds a registered host. Caller holds m.mu.
+func (m *Manager) hostByName(name string) *hypervisor.Host {
+	for _, h := range m.hosts {
+		if h.HostName() == name {
+			return h
+		}
+	}
+	return nil
 }
 
 // Clock returns the clock driving the fleet.
@@ -387,11 +484,17 @@ func (m *Manager) Events() []Event {
 func (m *Manager) EventsSince(seq uint64) []Event {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	// Seqs are contiguous from 1, so the tail starts at index seq.
-	if seq >= uint64(len(m.events)) {
+	// Seqs are contiguous, but after a restart-recovery they continue
+	// from the journaled watermark rather than 1, so events[0] carries
+	// Seq base+1 where base = nextSeq - len(events).
+	base := m.nextSeq - uint64(len(m.events))
+	if seq < base {
+		seq = base
+	}
+	if seq >= m.nextSeq {
 		return nil
 	}
-	return append([]Event(nil), m.events[seq:]...)
+	return append([]Event(nil), m.events[seq-base:]...)
 }
 
 // LastEventSeq reports the sequence number of the newest event (0 when
@@ -413,6 +516,14 @@ func (m *Manager) Protect(spec VMSpec) (*Protection, error) {
 	}
 	if _, ok := m.prots[spec.Name]; ok {
 		return nil, fmt.Errorf("%w: %q", ErrAlreadyExists, spec.Name)
+	}
+	wl := spec.Workload
+	if wl == nil {
+		built, err := spec.WorkloadSpec.Build()
+		if err != nil {
+			return nil, err
+		}
+		wl = built
 	}
 	primary, err := m.pickPrimary()
 	if err != nil {
@@ -439,7 +550,8 @@ func (m *Manager) Protect(spec VMSpec) (*Protection, error) {
 		Name:   spec.Name,
 		m:      m,
 		vm:     vm,
-		wl:     spec.Workload,
+		wl:     wl,
+		wlSpec: spec.WorkloadSpec,
 		budget: m.cfg.DegradationBudget,
 		tmax:   m.cfg.MaxPeriod,
 	}
@@ -449,7 +561,7 @@ func (m *Manager) Protect(spec VMSpec) (*Protection, error) {
 			prot.tr.Instrument(m.cfg.Metrics)
 		}
 	}
-	if err := m.wire(prot, primary, secondary); err != nil {
+	if err := m.wire(prot, primary, secondary, nil); err != nil {
 		_ = primary.DestroyVM(spec.Name)
 		return nil, err
 	}
@@ -457,12 +569,33 @@ func (m *Manager) Protect(spec VMSpec) (*Protection, error) {
 	m.record(EventProtected, spec.Name,
 		fmt.Sprintf("%s (%s) -> %s (%s)", primary.HostName(), primary.Product(),
 			secondary.HostName(), secondary.Product()))
+	if err := m.journalAppend(journal.Record{
+		Kind: journal.RecProtect, VM: spec.Name,
+		Spec: &journal.ProtectionSpec{
+			Name:        spec.Name,
+			MemoryBytes: spec.MemoryBytes,
+			VCPUs:       spec.VCPUs,
+			Workload:    spec.WorkloadSpec.Name,
+			LoadPercent: spec.WorkloadSpec.LoadPercent,
+			Seed:        spec.WorkloadSpec.Seed,
+		},
+		Primary:     primary.HostName(),
+		Secondary:   secondary.HostName(),
+		VMName:      spec.Name,
+		Budget:      prot.budget,
+		MaxPeriodMS: prot.tmax.Milliseconds(),
+	}); err != nil {
+		return nil, err
+	}
 	return prot, nil
 }
 
-// wire builds the replicator and monitor for prot on the given pair
-// and seeds it. Caller holds m.mu.
-func (m *Manager) wire(prot *Protection, primary, secondary *hypervisor.Host) error {
+// wire builds the replicator and monitor for prot on the given pair.
+// With resume nil the replica is seeded by a full migration; with a
+// resume state (replica memory + last acked image surviving on the
+// secondary) the replicator re-attaches in degraded mode and the first
+// healthy cycle ships only a delta resync. Caller holds m.mu.
+func (m *Manager) wire(prot *Protection, primary, secondary *hypervisor.Host, resume *replication.ResumeState) error {
 	link, err := m.linkBetween(primary, secondary)
 	if err != nil {
 		return err
@@ -478,12 +611,15 @@ func (m *Manager) wire(prot *Protection, primary, secondary *hypervisor.Host) er
 		Workload:      prot.wl,
 		Tracer:        prot.tr,
 		Metrics:       m.cfg.Metrics,
+		Resume:        resume,
 	})
 	if err != nil {
 		return err
 	}
-	if _, err := rep.Seed(); err != nil {
-		return err
+	if resume == nil {
+		if _, err := rep.Seed(); err != nil {
+			return err
+		}
 	}
 	mon, err := failover.NewMonitorConfig(primary, failover.Config{
 		Interval: m.cfg.HeartbeatInterval,
@@ -499,7 +635,28 @@ func (m *Manager) wire(prot *Protection, primary, secondary *hypervisor.Host) er
 	prot.pm = pm
 	prot.primary = primary
 	prot.secondary = secondary
+	prot.acked = rep.Totals().Checkpoints
+	// Park the replica-side session state on the secondary host so a
+	// restarted control plane can resume with a delta resync instead of
+	// a full re-seed; refreshed after every acknowledged checkpoint.
+	m.depositReplica(prot)
 	return nil
+}
+
+// depositReplica parks prot's replica handoff state on its secondary
+// host. Caller holds m.mu.
+func (m *Manager) depositReplica(p *Protection) {
+	host, ok := p.secondary.(*hypervisor.Host)
+	if !ok || p.rep == nil {
+		return
+	}
+	h, err := p.rep.Handoff()
+	if err != nil {
+		return
+	}
+	_ = host.DepositReplica(p.Name, hypervisor.ReplicaDeposit{
+		Mem: h.Mem, Image: h.Image, Epoch: h.Seq,
+	})
 }
 
 // Lookup returns a protection by VM name.
@@ -617,12 +774,15 @@ func (m *Manager) Unprotect(name string) error {
 			}
 		}
 	}
+	if host, ok := p.secondary.(*hypervisor.Host); ok {
+		host.DropReplica(name)
+	}
 	p.rep = nil
 	p.mon = nil
 	p.pm = nil
 	p.secondary = nil
 	m.record(EventRemoved, name, detail)
-	return nil
+	return m.journalAppend(journal.Record{Kind: journal.RecUnprotect, VM: name})
 }
 
 // Failover forces an immediate failover of a protection: the replica
@@ -648,10 +808,27 @@ func (m *Manager) Failover(name string) (failover.Result, error) {
 			ErrNoReplica, p.secondary.HostName(), p.secondary.Health())
 	}
 	gen := p.Generation + 1
-	res, err := failover.ActivateOpts(p.rep, fmt.Sprintf("%s-g%d", p.Name, gen),
-		failover.Options{Monitor: p.mon, Force: true})
+	replicaName := fmt.Sprintf("%s-g%d", p.Name, gen)
+	// Journal the activation intent (with a freshly minted fencing
+	// token) BEFORE any side effect: a crash from here on is resolvable
+	// on restart by probing the target for the activated replica.
+	token := m.guard.Generation() + 1
+	if err := m.journalAppend(journal.Record{
+		Kind: journal.RecFenceIntent, VM: name,
+		Generation: gen, Target: p.secondary.HostName(), Fence: token,
+	}); err != nil {
+		return failover.Result{}, err
+	}
+	if err := m.crash("failover-intent"); err != nil {
+		return failover.Result{}, err
+	}
+	res, err := failover.ActivateOpts(p.rep, replicaName,
+		failover.Options{Monitor: p.mon, Force: true, Guard: m.guard, Token: token})
 	if err != nil {
 		return failover.Result{}, fmt.Errorf("orchestrator: vm %q failover: %w", name, err)
+	}
+	if err := m.crash("failover-activated"); err != nil {
+		return res, err
 	}
 	p.Generation = gen
 	// Fence: the old primary copy must not keep executing beside the
@@ -666,6 +843,16 @@ func (m *Manager) Failover(name string) (failover.Result, error) {
 	p.secondary = nil
 	p.rep = nil
 	p.mon = nil
+	p.acked = 0
+	if host, ok := p.primary.(*hypervisor.Host); ok {
+		host.DropReplica(name) // the deposit is now the live VM
+	}
+	if err := m.journalAppend(journal.Record{
+		Kind: journal.RecFailover, VM: name,
+		Generation: gen, Primary: p.primary.HostName(), VMName: replicaName, Fence: token,
+	}); err != nil {
+		return res, err
+	}
 	if err := m.tryReprotect(p); err != nil && !errors.Is(err, ErrNoHeterogeneous) {
 		return res, err
 	}
@@ -693,6 +880,12 @@ func (m *Manager) SetPeriod(name string, d float64, tmax time.Duration) (time.Du
 	}
 	p.budget, p.tmax = d, tmax
 	m.record(EventRetuned, name, fmt.Sprintf("D=%.3g Tmax=%v", d, tmax))
+	if err := m.journalAppend(journal.Record{
+		Kind: journal.RecRetune, VM: name,
+		Budget: d, MaxPeriodMS: tmax.Milliseconds(),
+	}); err != nil {
+		return 0, err
+	}
 	if p.pm != nil {
 		return p.pm.Period(), nil
 	}
@@ -751,9 +944,30 @@ func (m *Manager) tickOne(p *Protection) error {
 				return fmt.Errorf("orchestrator: vm %q: %w", p.Name, err)
 			}
 		}
-		return nil
+		return m.ackCheckpoint(p)
 	}
 	return m.handleFailure(p)
+}
+
+// ackCheckpoint records checkpoint progress after a successful cycle:
+// the replica handoff deposit on the secondary host is refreshed and
+// the acked epoch journaled, giving a restarted control plane its
+// delta-resync cursor. Cycles that acknowledged nothing (degraded
+// intervals) are skipped. Caller holds m.mu.
+func (m *Manager) ackCheckpoint(p *Protection) error {
+	if p.rep == nil {
+		return nil
+	}
+	epoch := p.rep.Totals().Checkpoints
+	if epoch <= p.acked {
+		return nil
+	}
+	p.acked = epoch
+	m.depositReplica(p)
+	return m.journalAppend(journal.Record{
+		Kind: journal.RecAck, VM: p.Name,
+		Generation: p.Generation, Epoch: epoch,
+	})
 }
 
 // dropSecondary abandons a replication session whose replica host
@@ -764,6 +978,8 @@ func (m *Manager) dropSecondary(p *Protection) {
 	p.secondary = nil
 	p.rep = nil
 	p.mon = nil
+	p.acked = 0
+	_ = m.journalAppend(journal.Record{Kind: journal.RecSecondaryLost, VM: p.Name})
 }
 
 // handleFailure detects the failure via the heartbeat monitor, fails
@@ -773,6 +989,7 @@ func (m *Manager) handleFailure(p *Protection) error {
 		p.secondary.Health() != hypervisor.Healthy {
 		p.lost = true
 		m.record(EventServiceLost, p.Name, "no healthy replica host")
+		_ = m.journalAppend(journal.Record{Kind: journal.RecLost, VM: p.Name})
 		return ErrServiceLost
 	}
 	detect, err := p.mon.WaitForFailure(0)
@@ -783,11 +1000,27 @@ func (m *Manager) handleFailure(p *Protection) error {
 		fmt.Sprintf("%s %s (detected in %v)", p.primary.HostName(),
 			p.primary.Health(), detect))
 
-	p.Generation++
-	res, err := failover.Activate(p.rep, fmt.Sprintf("%s-g%d", p.Name, p.Generation), nil)
+	gen := p.Generation + 1
+	replicaName := fmt.Sprintf("%s-g%d", p.Name, gen)
+	token := m.guard.Generation() + 1
+	if err := m.journalAppend(journal.Record{
+		Kind: journal.RecFenceIntent, VM: p.Name,
+		Generation: gen, Target: p.secondary.HostName(), Fence: token,
+	}); err != nil {
+		return err
+	}
+	if err := m.crash("failover-intent"); err != nil {
+		return err
+	}
+	res, err := failover.ActivateOpts(p.rep, replicaName,
+		failover.Options{Guard: m.guard, Token: token})
 	if err != nil {
 		return fmt.Errorf("orchestrator: vm %q failover: %w", p.Name, err)
 	}
+	if err := m.crash("failover-activated"); err != nil {
+		return err
+	}
+	p.Generation = gen
 	m.record(EventFailedOver, p.Name,
 		fmt.Sprintf("resumed on %s in %v", p.secondary.HostName(), res.ResumeTime))
 	newPrimary := p.secondary
@@ -796,6 +1029,16 @@ func (m *Manager) handleFailure(p *Protection) error {
 	p.secondary = nil
 	p.rep = nil
 	p.mon = nil
+	p.acked = 0
+	if host, ok := newPrimary.(*hypervisor.Host); ok {
+		host.DropReplica(p.Name) // the deposit is now the live VM
+	}
+	if err := m.journalAppend(journal.Record{
+		Kind: journal.RecFailover, VM: p.Name,
+		Generation: gen, Primary: newPrimary.HostName(), VMName: replicaName, Fence: token,
+	}); err != nil {
+		return err
+	}
 	return m.tryReprotect(p)
 }
 
@@ -813,11 +1056,13 @@ func (m *Manager) tryReprotect(p *Protection) error {
 		}
 		return err
 	}
-	if err := m.wire(p, primary, secondary); err != nil {
+	if err := m.wire(p, primary, secondary, nil); err != nil {
 		return err
 	}
 	m.record(EventReprotected, p.Name,
 		fmt.Sprintf("%s (%s) -> %s (%s)", primary.HostName(), primary.Product(),
 			secondary.HostName(), secondary.Product()))
-	return nil
+	return m.journalAppend(journal.Record{
+		Kind: journal.RecReprotect, VM: p.Name, Secondary: secondary.HostName(),
+	})
 }

@@ -451,3 +451,95 @@ func TestSecondaryFailureTriggersRepair(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestReprotectWaitsOutSparePoolExhaustion(t *testing.T) {
+	// The replica host dies with no eligible heterogeneous spare left:
+	// the protection must ride it out unprotected — still running, not
+	// lost, re-pairing attempted (and recorded) every round — and heal
+	// the moment a suitable host joins the fleet.
+	m, _, clk := fleet(t, "xk")
+	p, err := m.Protect(spec("svc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldSecondary := p.Secondary()
+	oldSecondary.Fail(hypervisor.Crashed, "replica host power loss")
+	if err := m.Tick(); err != nil && !errors.Is(err, orchestrator.ErrNoHeterogeneous) {
+		t.Fatal(err)
+	}
+	if p.Lost() {
+		t.Fatal("protection lost while its primary is healthy")
+	}
+	if p.Secondary() != nil {
+		t.Fatalf("re-paired with %s, but no heterogeneous spare exists", p.Secondary().HostName())
+	}
+
+	// It stays degraded-but-alive round after round.
+	for i := 0; i < 3; i++ {
+		if err := m.Tick(); err != nil && !errors.Is(err, orchestrator.ErrNoHeterogeneous) {
+			t.Fatal(err)
+		}
+	}
+	st, err := m.Status("svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Mode != orchestrator.ModeUnprotected {
+		t.Fatalf("mode %s with the spare pool exhausted, want unprotected", st.Mode)
+	}
+	var sawLost bool
+	unprotected := 0
+	for _, e := range m.Events() {
+		switch e.Kind {
+		case orchestrator.EventSecondaryLost:
+			sawLost = true
+		case orchestrator.EventUnprotected:
+			unprotected++
+		}
+	}
+	if !sawLost {
+		t.Fatalf("no secondary-lost event: %v", m.Events())
+	}
+	if unprotected < 2 {
+		t.Fatalf("re-pairing attempts not surfaced: %d unprotected events, want one per failed round", unprotected)
+	}
+
+	// A fresh host of the right kind joins; the next round heals.
+	var spare *hypervisor.Host
+	if oldSecondary.Kind() == hypervisor.KindKVM {
+		spare, err = kvm.New("spare", clk)
+	} else {
+		spare, err = xen.New("spare", clk)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddHost(spare); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Secondary() != spare {
+		t.Fatalf("not re-paired with the new spare: %v", p.Secondary())
+	}
+	st, err = m.Status("svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Mode != orchestrator.ModeProtected {
+		t.Fatalf("mode %s after re-pairing, want protected", st.Mode)
+	}
+	var reprotected bool
+	for _, e := range m.Events() {
+		if e.Kind == orchestrator.EventReprotected {
+			reprotected = true
+		}
+	}
+	if !reprotected {
+		t.Fatalf("no reprotected event: %v", m.Events())
+	}
+	if err := m.Tick(); err != nil {
+		t.Fatal(err)
+	}
+}

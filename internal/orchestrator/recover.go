@@ -1,0 +1,380 @@
+package orchestrator
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/here-ft/here/internal/arch"
+	"github.com/here-ft/here/internal/failover"
+	"github.com/here-ft/here/internal/hypervisor"
+	"github.com/here-ft/here/internal/journal"
+	"github.com/here-ft/here/internal/replication"
+	"github.com/here-ft/here/internal/trace"
+	"github.com/here-ft/here/internal/translate"
+)
+
+// RecoverReport summarizes a restart-recovery: how each journaled
+// protection was brought back.
+type RecoverReport struct {
+	// Fence is the fencing generation established by this recovery —
+	// strictly greater than any generation (or minted token) of the
+	// previous control-plane lifetime.
+	Fence uint64
+	// Resumed protections re-attached to surviving replica state and
+	// will delta-resync on their next cycle (no full re-seed).
+	Resumed int
+	// Reseeded protections found their VM alive but no usable replica
+	// deposit (e.g. the secondary rebooted) and ran a full re-seed.
+	Reseeded int
+	// Recreated protections found no VM on the journaled primary (the
+	// simulated hosts restarted with the daemon) and were rebuilt from
+	// the journaled spec.
+	Recreated int
+	// FailedOver protections lost their primary while the control
+	// plane was down and were activated from the replica deposit.
+	FailedOver int
+	// Unprotected protections came back without a live secondary and
+	// wait for re-pairing on the next ticks.
+	Unprotected int
+	// Lost protections had no host left to run them.
+	Lost int
+}
+
+// Recover rebuilds the fleet's protections from the journaled state:
+// the counterpart of the write-ahead records every mutating operation
+// appends. It must run on a freshly constructed Manager (hosts added,
+// no protections) whose Config.Journal replayed the previous
+// lifetime's snapshot + log.
+//
+// Recovery establishes a new fencing generation strictly above
+// everything the previous lifetime minted — so a pre-crash primary
+// that raced a failover can never be re-activated — then brings each
+// journaled protection back by the cheapest safe path:
+//
+//   - an unresolved activation intent is resolved by probing the
+//     target host for the activated replica (completed → commit it,
+//     never started → void under the new fence);
+//   - a live VM on the journaled primary with a replica deposit on the
+//     journaled secondary resumes replication in degraded mode — the
+//     next cycle ships a delta resync from the acked epoch, not a full
+//     re-seed;
+//   - a live VM without a usable deposit re-seeds;
+//   - a missing VM (the hosts restarted too) is recreated from the
+//     journaled spec, preserving its generation;
+//   - a dead primary with a surviving deposit is failed over from the
+//     deposit, exactly as if the failure had been detected live;
+//   - anything else is service-lost.
+func (m *Manager) Recover() (RecoverReport, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var rep RecoverReport
+	if m.cfg.Journal == nil {
+		return rep, errors.New("orchestrator: recover without a journal")
+	}
+	if len(m.prots) > 0 {
+		return rep, errors.New("orchestrator: recover on a manager that already has protections")
+	}
+
+	st := m.cfg.Journal.State()
+	m.nextSeq = st.EventSeq
+	// Adopt the journaled fence before resolving intents (so their
+	// tokens compare against the right base), bump it after.
+	m.guard.Advance(st.Fence)
+
+	names := make([]string, 0, len(st.Protections))
+	for name := range st.Protections {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	// Phase 1: resolve pending activation intents against reality.
+	// This must precede the fence record — a crash between the two
+	// must not lose the resolution (the fence record clears pendings
+	// on replay).
+	for _, name := range names {
+		jp := st.Protections[name]
+		if jp.Pending == nil || jp.Lost {
+			continue
+		}
+		if err := m.resolveIntent(name, jp); err != nil {
+			return rep, err
+		}
+	}
+
+	// Phase 2: establish the new fencing generation. Every token the
+	// previous lifetime minted is ≤ st.Fence, so none can activate
+	// anything from here on.
+	fence := st.Fence + 1
+	if err := m.cfg.Journal.Append(journal.Record{
+		Kind: journal.RecFence, Fence: fence, EventSeq: m.nextSeq,
+	}); err != nil {
+		return rep, err
+	}
+	m.guard.Advance(fence)
+	rep.Fence = fence
+
+	// Phase 3: bring each protection back.
+	for _, name := range names {
+		jp := st.Protections[name]
+		if err := m.recoverOne(name, jp, &rep); err != nil {
+			return rep, err
+		}
+	}
+	return rep, nil
+}
+
+// resolveIntent decides the fate of a crash-interrupted activation:
+// if the replica VM exists on the intent's target host the activation
+// completed before the crash, so commit it into the journaled state;
+// otherwise the intent died un-acted-on and is void. Caller holds
+// m.mu; jp is mutated in place (it feeds recoverOne).
+func (m *Manager) resolveIntent(name string, jp *journal.Protection) error {
+	pending := jp.Pending
+	jp.Pending = nil
+	target := m.hostByName(pending.Target)
+	if target == nil || target.Health() != hypervisor.Healthy {
+		return nil // target gone: the activation cannot have survived
+	}
+	replicaName := fmt.Sprintf("%s-g%d", name, pending.Generation)
+	if _, err := target.LookupVM(replicaName); err != nil {
+		return nil // never activated: void under the new fence
+	}
+	// The activation completed. Destroy the stale pre-failover copy if
+	// its host still runs it — the replica is the one true VM now.
+	if old := m.hostByName(jp.Primary); old != nil &&
+		old.Health() == hypervisor.Healthy && jp.Primary != pending.Target {
+		_ = old.DestroyVM(jp.VMName)
+	}
+	jp.Generation = pending.Generation
+	jp.Primary = pending.Target
+	jp.Secondary = ""
+	jp.VMName = replicaName
+	jp.AckedEpoch = 0
+	target.DropReplica(name)
+	m.record(EventRecovered, name,
+		fmt.Sprintf("crash-interrupted failover committed: %s runs on %s", replicaName, pending.Target))
+	return m.cfg.Journal.Append(journal.Record{
+		Kind: journal.RecFailover, VM: name, EventSeq: m.nextSeq,
+		Generation: pending.Generation, Primary: pending.Target,
+		VMName: replicaName, Fence: pending.Fence,
+	})
+}
+
+// recoverOne rebuilds one journaled protection. Caller holds m.mu.
+func (m *Manager) recoverOne(name string, jp *journal.Protection, rep *RecoverReport) error {
+	prot := &Protection{
+		Name:       name,
+		Generation: jp.Generation,
+		m:          m,
+		budget:     jp.Budget,
+		tmax:       time.Duration(jp.MaxPeriodMS) * time.Millisecond,
+		wlSpec: WorkloadSpec{
+			Name:        jp.Spec.Workload,
+			LoadPercent: jp.Spec.LoadPercent,
+			Seed:        jp.Spec.Seed,
+		},
+	}
+	if prot.budget == 0 {
+		prot.budget = m.cfg.DegradationBudget
+	}
+	if prot.tmax == 0 {
+		prot.tmax = m.cfg.MaxPeriod
+	}
+	wl, err := prot.wlSpec.Build()
+	if err != nil {
+		return err
+	}
+	prot.wl = wl
+	if !m.cfg.NoTrace {
+		prot.tr = trace.New(m.cfg.Clock, m.cfg.TraceCapacity)
+		if m.cfg.Metrics != nil {
+			prot.tr.Instrument(m.cfg.Metrics)
+		}
+	}
+	m.prots[name] = prot
+
+	if jp.Lost {
+		prot.lost = true
+		rep.Lost++
+		m.record(EventRecovered, name, "still lost (no host survived its failures)")
+		return nil
+	}
+
+	primary := m.hostByName(jp.Primary)
+	secondary := m.hostByName(jp.Secondary) // nil when unpaired
+	if secondary != nil && secondary.Health() != hypervisor.Healthy {
+		secondary = nil
+	}
+
+	if primary == nil || primary.Health() != hypervisor.Healthy {
+		return m.recoverFailover(prot, jp, secondary, rep)
+	}
+	prot.primary = primary
+
+	vm, err := primary.LookupVM(jp.VMName)
+	if err == nil {
+		// The VM survived the control-plane crash; re-attach.
+		prot.vm = vm
+		return m.recoverAttach(prot, jp, primary, secondary, rep)
+	}
+	// The hosts restarted with the daemon: rebuild the VM from the
+	// journaled spec, preserving its generation.
+	return m.recoverRecreate(prot, jp, primary, secondary, rep)
+}
+
+// recoverAttach re-wires replication for a VM that survived on its
+// journaled primary: delta resync from the replica deposit when the
+// secondary still holds one, full re-seed otherwise. Caller holds m.mu.
+func (m *Manager) recoverAttach(prot *Protection, jp *journal.Protection,
+	primary, secondary *hypervisor.Host, rep *RecoverReport) error {
+	if secondary == nil {
+		if jp.Secondary != "" {
+			m.record(EventSecondaryLost, prot.Name, jp.Secondary)
+			if err := m.journalAppend(journal.Record{
+				Kind: journal.RecSecondaryLost, VM: prot.Name,
+			}); err != nil {
+				return err
+			}
+		} else {
+			m.record(EventUnprotected, prot.Name, "recovered without a secondary")
+		}
+		rep.Unprotected++
+		return nil
+	}
+	if deposit, ok := secondary.Replica(prot.Name); ok && len(deposit.Image) > 0 {
+		seq := deposit.Epoch
+		if jp.AckedEpoch > seq {
+			// The journal acked further than the deposit claims; trust
+			// the higher cursor so epochs never regress.
+			seq = jp.AckedEpoch
+		}
+		resume := &replication.ResumeState{Mem: deposit.Mem, Image: deposit.Image, Seq: seq}
+		if err := m.wire(prot, primary, secondary, resume); err != nil {
+			return err
+		}
+		rep.Resumed++
+		m.record(EventRecovered, prot.Name,
+			fmt.Sprintf("resumed on %s -> %s at epoch %d (delta resync pending)",
+				primary.HostName(), secondary.HostName(), seq))
+		return nil
+	}
+	// No deposit (the secondary rebooted): a full re-seed, journaled
+	// as a re-pairing so the acked-epoch cursor resets.
+	if err := m.wire(prot, primary, secondary, nil); err != nil {
+		return err
+	}
+	rep.Reseeded++
+	m.record(EventRecovered, prot.Name,
+		fmt.Sprintf("re-seeded on %s -> %s (replica deposit lost)",
+			primary.HostName(), secondary.HostName()))
+	return m.journalAppend(journal.Record{
+		Kind: journal.RecReprotect, VM: prot.Name, Secondary: secondary.HostName(),
+	})
+}
+
+// recoverRecreate rebuilds a protection whose VM is gone (daemon and
+// hosts restarted together) from the journaled spec. Caller holds m.mu.
+func (m *Manager) recoverRecreate(prot *Protection, jp *journal.Protection,
+	primary, secondary *hypervisor.Host, rep *RecoverReport) error {
+	if secondary == nil {
+		// Prefer the journaled partner, but any heterogeneous host
+		// will do for a rebuild.
+		if s, err := m.pickSecondary(primary); err == nil {
+			secondary = s
+		}
+	}
+	features := primary.Features()
+	if secondary != nil {
+		features = translate.CompatibleFeatures(primary, secondary)
+	}
+	vm, err := primary.CreateVM(hypervisor.VMConfig{
+		Name:     jp.VMName,
+		MemBytes: jp.Spec.MemoryBytes,
+		VCPUs:    jp.Spec.VCPUs,
+		Features: features,
+		Devices: []hypervisor.DeviceSpec{
+			{Class: arch.DeviceNet, ID: "net0", MAC: "52:54:00:48:45:52"},
+			{Class: arch.DeviceConsole, ID: "con0"},
+		},
+	})
+	if err != nil {
+		return fmt.Errorf("orchestrator: recover %q: %w", prot.Name, err)
+	}
+	prot.vm = vm
+	if secondary == nil {
+		m.record(EventUnprotected, prot.Name, "recreated without a secondary")
+		if err := m.journalAppend(journal.Record{
+			Kind: journal.RecSecondaryLost, VM: prot.Name,
+		}); err != nil {
+			return err
+		}
+		rep.Unprotected++
+		rep.Recreated++
+		return nil
+	}
+	if err := m.wire(prot, primary, secondary, nil); err != nil {
+		return err
+	}
+	rep.Recreated++
+	m.record(EventRecovered, prot.Name,
+		fmt.Sprintf("recreated %s on %s -> %s from the journaled spec",
+			jp.VMName, primary.HostName(), secondary.HostName()))
+	return m.journalAppend(journal.Record{
+		Kind: journal.RecReprotect, VM: prot.Name, Secondary: secondary.HostName(),
+	})
+}
+
+// recoverFailover handles a primary that died while the control plane
+// was down: activate the replica deposit on the journaled secondary
+// under a fresh fencing token, exactly as a live-detected failure
+// would have. Caller holds m.mu.
+func (m *Manager) recoverFailover(prot *Protection, jp *journal.Protection,
+	secondary *hypervisor.Host, rep *RecoverReport) error {
+	deposit, ok := hypervisor.ReplicaDeposit{}, false
+	if secondary != nil {
+		deposit, ok = secondary.Replica(prot.Name)
+	}
+	if !ok || len(deposit.Image) == 0 {
+		prot.lost = true
+		rep.Lost++
+		m.record(EventServiceLost, prot.Name, "primary died with the control plane; no replica deposit survived")
+		return m.journalAppend(journal.Record{Kind: journal.RecLost, VM: prot.Name})
+	}
+	gen := jp.Generation + 1
+	replicaName := fmt.Sprintf("%s-g%d", prot.Name, gen)
+	token := m.guard.Generation() + 1
+	if err := m.journalAppend(journal.Record{
+		Kind: journal.RecFenceIntent, VM: prot.Name,
+		Generation: gen, Target: secondary.HostName(), Fence: token,
+	}); err != nil {
+		return err
+	}
+	res, err := failover.ActivateFromImage(secondary, replicaName, deposit.Image, deposit.Mem,
+		failover.Options{Guard: m.guard, Token: token, Tracer: prot.tr})
+	if err != nil {
+		prot.lost = true
+		rep.Lost++
+		m.record(EventServiceLost, prot.Name, fmt.Sprintf("deposit activation failed: %v", err))
+		return m.journalAppend(journal.Record{Kind: journal.RecLost, VM: prot.Name})
+	}
+	prot.Generation = gen
+	prot.vm = res.VM
+	prot.primary = secondary
+	secondary.DropReplica(prot.Name)
+	rep.FailedOver++
+	m.record(EventFailedOver, prot.Name,
+		fmt.Sprintf("recovered from deposit: resumed %s on %s in %v",
+			replicaName, secondary.HostName(), res.ResumeTime))
+	if err := m.journalAppend(journal.Record{
+		Kind: journal.RecFailover, VM: prot.Name,
+		Generation: gen, Primary: secondary.HostName(), VMName: replicaName, Fence: token,
+	}); err != nil {
+		return err
+	}
+	if err := m.tryReprotect(prot); err != nil && !errors.Is(err, ErrNoHeterogeneous) {
+		return err
+	}
+	return nil
+}

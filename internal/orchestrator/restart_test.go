@@ -1,0 +1,595 @@
+package orchestrator
+
+// Crash-restart end-to-end tests: the control plane (Manager + journal
+// handle) is killed and rebuilt mid-flight while the hosts, their VMs
+// and the parked replica deposits live on — the in-process equivalent
+// of `kill -9 hered && hered -state-dir ...`. White-box on purpose:
+// the kill points (mid-checkpoint, mid-failover) and the invariants
+// (fencing tokens, one live VM instance per protection) need access to
+// the manager's internals.
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/here-ft/here/internal/failover"
+	"github.com/here-ft/here/internal/faults"
+	"github.com/here-ft/here/internal/hypervisor"
+	"github.com/here-ft/here/internal/journal"
+	"github.com/here-ft/here/internal/kvm"
+	"github.com/here-ft/here/internal/memory"
+	"github.com/here-ft/here/internal/trace"
+	"github.com/here-ft/here/internal/vclock"
+	"github.com/here-ft/here/internal/xen"
+)
+
+// crashHarness drives one control-plane lifetime after another over a
+// shared state directory and host fleet.
+type crashHarness struct {
+	t     *testing.T
+	dir   string
+	clk   vclock.Clock
+	hosts []*hypervisor.Host
+	store *journal.Store
+	m     *Manager
+}
+
+func newCrashHarness(t *testing.T, kinds string) *crashHarness {
+	t.Helper()
+	return newCrashHarnessOn(t, kinds, vclock.NewSim())
+}
+
+func newCrashHarnessOn(t *testing.T, kinds string, clk vclock.Clock) *crashHarness {
+	t.Helper()
+	h := &crashHarness{t: t, dir: t.TempDir(), clk: clk}
+	for i, c := range kinds {
+		name := string(c) + string(rune('0'+i))
+		var host *hypervisor.Host
+		var err error
+		if c == 'x' {
+			host, err = xen.New(name, clk)
+		} else {
+			host, err = kvm.New(name, clk)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.hosts = append(h.hosts, host)
+	}
+	h.boot()
+	return h
+}
+
+// boot opens the journal (replaying whatever the previous lifetime
+// left) and builds a fresh Manager over the surviving hosts.
+func (h *crashHarness) boot() journal.Report {
+	h.t.Helper()
+	store, jrep, err := journal.Open(h.dir, journal.Options{})
+	if err != nil {
+		h.t.Fatalf("journal.Open: %v", err)
+	}
+	m, err := New(Config{Clock: h.clk, Journal: store})
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	for _, host := range h.hosts {
+		if err := m.AddHost(host); err != nil {
+			h.t.Fatal(err)
+		}
+	}
+	h.store, h.m = store, m
+	return jrep
+}
+
+// kill models the daemon dying hard: no snapshot, no flush courtesy —
+// the next Open replays the write-ahead log.
+func (h *crashHarness) kill() {
+	h.t.Helper()
+	if err := h.store.Close(); err != nil {
+		h.t.Fatal(err)
+	}
+	h.m, h.store = nil, nil
+}
+
+func (h *crashHarness) restart() (journal.Report, RecoverReport) {
+	h.t.Helper()
+	jrep := h.boot()
+	rec, err := h.m.Recover()
+	if err != nil {
+		h.t.Fatalf("Recover: %v", err)
+	}
+	return jrep, rec
+}
+
+func (h *crashHarness) status(name string) Status {
+	h.t.Helper()
+	st, err := h.m.Status(name)
+	if err != nil {
+		h.t.Fatalf("Status(%s): %v", name, err)
+	}
+	return st
+}
+
+func (h *crashHarness) ticks(n int) {
+	h.t.Helper()
+	for i := 0; i < n; i++ {
+		if err := h.m.Tick(); err != nil {
+			h.t.Fatalf("Tick: %v", err)
+		}
+	}
+}
+
+func hostNamed(hosts []*hypervisor.Host, name string) *hypervisor.Host {
+	for _, h := range hosts {
+		if h.HostName() == name {
+			return h
+		}
+	}
+	return nil
+}
+
+// vmInstances counts the live VM instances of a protection across the
+// healthy fleet — the split-brain invariant is that this is exactly 1.
+func vmInstances(hosts []*hypervisor.Host, prot string) int {
+	n := 0
+	for _, h := range hosts {
+		if h.Health() != hypervisor.Healthy {
+			continue
+		}
+		for _, name := range h.VMs() {
+			if name == prot || strings.HasPrefix(name, prot+"-g") {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func TestRestartResumesWithDeltaResync(t *testing.T) {
+	h := newCrashHarness(t, "xk")
+	if _, err := h.m.Protect(VMSpec{
+		Name: "web", MemoryBytes: 512 * memory.PageSize, VCPUs: 2,
+		WorkloadSpec: WorkloadSpec{Name: "membench", LoadPercent: 40, Seed: 7},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.m.Protect(VMSpec{
+		Name: "idle", MemoryBytes: 512 * memory.PageSize, VCPUs: 2,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	h.ticks(5)
+
+	// Sanity: the first lifetime did run a full seed, so the absence of
+	// seed-round spans after restart actually discriminates the paths.
+	seeded := false
+	for _, ev := range h.m.prots["web"].tr.Events() {
+		if ev.Kind == trace.SpanSeedRound {
+			seeded = true
+		}
+	}
+	if !seeded {
+		t.Fatal("first lifetime recorded no seed-round spans; the no-reseed check would be vacuous")
+	}
+
+	before := map[string]Status{}
+	for _, st := range h.m.StatusAll() {
+		before[st.Name] = st
+	}
+
+	h.kill()
+	jrep, rec := h.restart()
+	if jrep.Clean {
+		t.Fatal("hard kill reported a clean shutdown")
+	}
+	if rec.Resumed != 2 || rec.Reseeded+rec.Recreated+rec.FailedOver+rec.Unprotected+rec.Lost != 0 {
+		t.Fatalf("recover report = %+v, want exactly 2 resumed", rec)
+	}
+	if rec.Fence == 0 {
+		t.Fatal("recovery established no fencing generation")
+	}
+
+	for name, prev := range before {
+		st := h.status(name)
+		if st.Mode != ModeDegraded {
+			t.Fatalf("%s after restart: mode %s, want degraded until the resync cycle", name, st.Mode)
+		}
+		if st.Epoch != prev.Epoch {
+			t.Fatalf("%s: epoch %d after restart, want the journaled cursor %d", name, st.Epoch, prev.Epoch)
+		}
+		if st.Generation != prev.Generation {
+			t.Fatalf("%s: generation %d after restart, want %d", name, st.Generation, prev.Generation)
+		}
+	}
+
+	h.ticks(1)
+	for name, prev := range before {
+		st := h.status(name)
+		if st.Mode != ModeProtected {
+			t.Fatalf("%s: mode %s after the resync tick, want protected", name, st.Mode)
+		}
+		if st.Recovery.Resyncs != 1 {
+			t.Fatalf("%s: Resyncs = %d, want exactly one delta resync", name, st.Recovery.Resyncs)
+		}
+		if st.Epoch <= prev.Epoch {
+			t.Fatalf("%s: epoch %d did not advance past the pre-crash %d", name, st.Epoch, prev.Epoch)
+		}
+		for _, ev := range h.m.prots[name].tr.Events() {
+			if ev.Kind == trace.SpanSeedRound {
+				t.Fatalf("%s: seed-round span after restart — resumed protections must not re-seed", name)
+			}
+		}
+	}
+	// The idle guest dirtied nothing while the daemon was down, so its
+	// resync ships almost nothing; a full re-seed would move every
+	// populated page of the 512-page guest.
+	if sent := h.status("idle").Totals.PagesSent; sent >= 512 {
+		t.Fatalf("idle guest shipped %d pages after restart — that is a re-seed, not a delta resync", sent)
+	}
+	h.ticks(3)
+}
+
+func TestRestartReseedsWhenDepositLost(t *testing.T) {
+	h := newCrashHarness(t, "xk")
+	if _, err := h.m.Protect(VMSpec{
+		Name: "vm", MemoryBytes: 512 * memory.PageSize, VCPUs: 2,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	h.ticks(3)
+	st0 := h.status("vm")
+	if st0.Secondary == nil {
+		t.Fatal("protection has no secondary")
+	}
+
+	h.kill()
+	// The secondary rebooted while the daemon was down: its parked
+	// replica deposit is gone, the primary's VM is not.
+	hostNamed(h.hosts, st0.Secondary.Name).Recover()
+	_, rec := h.restart()
+	if rec.Reseeded != 1 || rec.Resumed != 0 {
+		t.Fatalf("recover report = %+v, want 1 reseeded", rec)
+	}
+	st := h.status("vm")
+	if st.Mode != ModeProtected {
+		t.Fatalf("mode %s after re-seed, want protected", st.Mode)
+	}
+	if st.Epoch != 0 {
+		t.Fatalf("epoch %d after re-seed, want the cursor reset to 0", st.Epoch)
+	}
+	h.ticks(2)
+}
+
+func TestRestartFailsOverDeadPrimaryFromDeposit(t *testing.T) {
+	h := newCrashHarness(t, "xxkk")
+	if _, err := h.m.Protect(VMSpec{
+		Name: "vm", MemoryBytes: 512 * memory.PageSize, VCPUs: 2,
+		WorkloadSpec: WorkloadSpec{Name: "membench", Seed: 3},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	h.ticks(3)
+	st0 := h.status("vm")
+
+	h.kill()
+	hostNamed(h.hosts, st0.Primary.Name).Fail(hypervisor.Crashed,
+		"power loss while the control plane was down")
+	_, rec := h.restart()
+	if rec.FailedOver != 1 {
+		t.Fatalf("recover report = %+v, want 1 failed over from the deposit", rec)
+	}
+	st := h.status("vm")
+	if st.Generation != st0.Generation+1 {
+		t.Fatalf("generation %d, want %d", st.Generation, st0.Generation+1)
+	}
+	if st.Primary.Name != st0.Secondary.Name {
+		t.Fatalf("activated on %s, want the deposit holder %s", st.Primary.Name, st0.Secondary.Name)
+	}
+	if st.Mode != ModeProtected {
+		t.Fatalf("mode %s, want re-protected onto the spare", st.Mode)
+	}
+	if n := vmInstances(h.hosts, "vm"); n != 1 {
+		t.Fatalf("%d live VM instances, want exactly 1", n)
+	}
+	// Every token the previous lifetime could have minted is below the
+	// new fence and can never activate anything again.
+	if err := h.m.Guard().Admit(rec.Fence - 1); !errors.Is(err, failover.ErrFenced) {
+		t.Fatalf("pre-crash token admitted: %v", err)
+	}
+	h.ticks(2)
+}
+
+func TestRestartResolvesInterruptedFailover(t *testing.T) {
+	cases := []struct {
+		name      string
+		point     string
+		committed bool // the replica activation survived the crash
+	}{
+		{"killed-before-activation", "failover-intent", false},
+		{"killed-after-activation", "failover-activated", true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := newCrashHarness(t, "xk")
+			if _, err := h.m.Protect(VMSpec{
+				Name: "vm", MemoryBytes: 512 * memory.PageSize, VCPUs: 2,
+			}); err != nil {
+				t.Fatal(err)
+			}
+			h.ticks(3)
+			st0 := h.status("vm")
+
+			boom := errors.New("daemon crashed at " + tc.point)
+			h.m.crashHook = func(p string) error {
+				if p == tc.point {
+					return boom
+				}
+				return nil
+			}
+			hostNamed(h.hosts, st0.Primary.Name).Fail(hypervisor.Crashed, "primary lost")
+			if err := h.m.Tick(); !errors.Is(err, boom) {
+				t.Fatalf("Tick = %v, want the injected crash", err)
+			}
+			h.kill()
+			_, rec := h.restart()
+
+			if tc.committed {
+				// The journaled intent resolved by probing the target: the
+				// activated replica was found and committed.
+				if rec.FailedOver != 0 || rec.Unprotected != 1 {
+					t.Fatalf("recover report = %+v, want the committed activation back unprotected", rec)
+				}
+			} else {
+				// The intent never acted; it is void under the new fence and
+				// the deposit is activated with a fresh token.
+				if rec.FailedOver != 1 {
+					t.Fatalf("recover report = %+v, want 1 failed over from the deposit", rec)
+				}
+			}
+			st := h.status("vm")
+			if st.Generation != st0.Generation+1 {
+				t.Fatalf("generation %d, want %d", st.Generation, st0.Generation+1)
+			}
+			if st.Primary.Name != st0.Secondary.Name {
+				t.Fatalf("runs on %s, want %s", st.Primary.Name, st0.Secondary.Name)
+			}
+			if n := vmInstances(h.hosts, "vm"); n != 1 {
+				t.Fatalf("%d live VM instances, want exactly 1", n)
+			}
+
+			// The old primary reboots: its stale copy must not come back,
+			// and the fleet re-pairs onto it.
+			old := hostNamed(h.hosts, st0.Primary.Name)
+			old.Recover()
+			if _, err := old.LookupVM("vm"); err == nil {
+				t.Fatal("stale pre-failover copy survived the old primary's reboot")
+			}
+			h.ticks(2)
+			if got := h.status("vm"); got.Mode != ModeProtected {
+				t.Fatalf("mode %s after re-pairing ticks, want protected", got.Mode)
+			}
+			if n := vmInstances(h.hosts, "vm"); n != 1 {
+				t.Fatalf("%d live VM instances after re-pairing, want exactly 1", n)
+			}
+		})
+	}
+}
+
+func TestRestartDestroysStaleCopyAfterInterruptedForcedFailover(t *testing.T) {
+	h := newCrashHarness(t, "xk")
+	if _, err := h.m.Protect(VMSpec{
+		Name: "vm", MemoryBytes: 512 * memory.PageSize, VCPUs: 2,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	h.ticks(3)
+	st0 := h.status("vm")
+
+	// A forced failover activates the replica, then the daemon dies
+	// before it can destroy the still-healthy old primary's copy.
+	boom := errors.New("daemon crashed before fencing the old primary")
+	h.m.crashHook = func(p string) error {
+		if p == "failover-activated" {
+			return boom
+		}
+		return nil
+	}
+	if _, err := h.m.Failover("vm"); !errors.Is(err, boom) {
+		t.Fatalf("Failover = %v, want the injected crash", err)
+	}
+	if n := vmInstances(h.hosts, "vm"); n != 2 {
+		t.Fatalf("split-brain window not open: %d copies, want 2", n)
+	}
+
+	h.kill()
+	_, rec := h.restart()
+	if n := vmInstances(h.hosts, "vm"); n != 1 {
+		t.Fatalf("split brain survived restart: %d copies", n)
+	}
+	old := hostNamed(h.hosts, st0.Primary.Name)
+	if _, err := old.LookupVM("vm"); err == nil {
+		t.Fatal("stale primary copy still present after restart")
+	}
+	st := h.status("vm")
+	if st.Primary.Name != st0.Secondary.Name || st.Generation != st0.Generation+1 {
+		t.Fatalf("recovered as gen %d on %s, want gen %d on %s",
+			st.Generation, st.Primary.Name, st0.Generation+1, st0.Secondary.Name)
+	}
+	if rec.Fence == 0 {
+		t.Fatal("no fence established")
+	}
+	h.ticks(1)
+	if got := h.status("vm"); got.Mode != ModeProtected {
+		t.Fatalf("mode %s after re-pairing, want protected", got.Mode)
+	}
+}
+
+func TestSplitBrainGuardHoldsAfterRestart(t *testing.T) {
+	h := newCrashHarness(t, "xk")
+	if _, err := h.m.Protect(VMSpec{
+		Name: "vm", MemoryBytes: 512 * memory.PageSize, VCPUs: 2,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	h.ticks(3)
+	h.kill()
+	h.restart()
+	h.ticks(1)
+
+	// The resumed session enforces the same activation discipline: the
+	// out-of-band probe still sees the primary healthy, so an unforced
+	// activation is refused.
+	p := h.m.prots["vm"]
+	if _, err := failover.ActivateOpts(p.rep, "vm-g1", failover.Options{Monitor: p.mon}); !errors.Is(err, failover.ErrSplitBrain) {
+		t.Fatalf("activation beside a healthy primary = %v, want ErrSplitBrain", err)
+	}
+}
+
+// TestRestartChaos is the randomized crash-restart storm: seeded kill
+// points — between rounds, mid-checkpoint (the pair's link dies under
+// a transfer and the cycle rolls back) and mid-failover (at both crash
+// hooks) — after each of which the control plane rebuilds from the
+// journal. Invariants: no protection is lost or forgotten, the fencing
+// generation strictly increases, plain kills resume every protection
+// by delta resync (never a re-seed), and each protection always has
+// exactly one live VM instance.
+func TestRestartChaos(t *testing.T) {
+	const vms = 3
+	const rounds = 8
+	sim := vclock.NewSim()
+	start := sim.Now()
+	plan := faults.New(sim, 99)
+	clk := plan.Clock()
+	h := newCrashHarnessOn(t, "xkxk", clk)
+
+	for i := 0; i < vms; i++ {
+		spec := VMSpec{
+			Name: fmt.Sprintf("vm%d", i), MemoryBytes: 512 * memory.PageSize, VCPUs: 2,
+		}
+		if i < 2 {
+			spec.WorkloadSpec = WorkloadSpec{
+				Name: "membench", LoadPercent: 30 + 10*float64(i), Seed: int64(i + 1),
+			}
+		}
+		if _, err := h.m.Protect(spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h.ticks(3)
+
+	rng := rand.New(rand.NewSource(4242))
+	prev := map[string]Status{}
+	snap := func() {
+		for _, st := range h.m.StatusAll() {
+			prev[st.Name] = st
+		}
+	}
+	snap()
+	var lastFence uint64
+
+	for round := 0; round < rounds; round++ {
+		victim := fmt.Sprintf("vm%d", rng.Intn(vms))
+		expectResumeAll := false
+		switch rng.Intn(3) {
+		case 0:
+			// Plain kill/restart, timed by the fault plan — the schedule
+			// hered would run under.
+			var killed, restarted bool
+			at := sim.Now().Sub(start) + time.Millisecond
+			plan.DaemonCrash(at, 5*time.Millisecond,
+				func() { killed = true }, func() { restarted = true })
+			clk.Sleep(2 * time.Millisecond)
+			if !killed {
+				t.Fatalf("round %d: kill event did not fire", round)
+			}
+			h.kill()
+			clk.Sleep(10 * time.Millisecond)
+			if !restarted {
+				t.Fatalf("round %d: restart event did not fire", round)
+			}
+			expectResumeAll = true
+		case 1:
+			// Kill mid-checkpoint: the transfer fails, the cycle rolls
+			// back re-marking the dirty pages, then the daemon dies.
+			p := h.m.prots[victim]
+			link := h.m.links[p.primary.HostName()+"->"+p.secondary.HostName()]
+			link.SetDown(true)
+			_ = h.m.Tick() // the victim's checkpoint rolls back
+			link.SetDown(false)
+			h.kill()
+			expectResumeAll = true
+		case 2:
+			// Kill mid-failover: the victim's primary dies and the daemon
+			// crashes at a random point of the failover it started.
+			point := "failover-intent"
+			if rng.Intn(2) == 1 {
+				point = "failover-activated"
+			}
+			boom := errors.New("chaos: daemon crashed at " + point)
+			h.m.crashHook = func(pt string) error {
+				if pt == point {
+					return boom
+				}
+				return nil
+			}
+			p := h.m.prots[victim]
+			p.primary.(*hypervisor.Host).Fail(hypervisor.Crashed, "chaos host loss")
+			if err := h.m.Tick(); !errors.Is(err, boom) {
+				t.Fatalf("round %d: Tick = %v, want the injected crash", round, err)
+			}
+			h.kill()
+		}
+
+		_, rec := h.restart()
+		if rec.Lost != 0 {
+			t.Fatalf("round %d: lost %d protections: %+v", round, rec.Lost, rec)
+		}
+		if rec.Fence <= lastFence {
+			t.Fatalf("round %d: fence %d did not advance past %d", round, rec.Fence, lastFence)
+		}
+		lastFence = rec.Fence
+		if got := len(h.m.Protections()); got != vms {
+			t.Fatalf("round %d: %d protections survived, want %d", round, got, vms)
+		}
+		if expectResumeAll && (rec.Resumed != vms || rec.Reseeded != 0) {
+			t.Fatalf("round %d: recover report = %+v, want all %d resumed by delta resync", round, rec, vms)
+		}
+		for name, old := range prev {
+			st := h.status(name)
+			if st.Generation < old.Generation {
+				t.Fatalf("round %d: %s generation regressed %d -> %d",
+					round, name, old.Generation, st.Generation)
+			}
+			if expectResumeAll && st.Epoch < old.Epoch {
+				t.Fatalf("round %d: %s epoch regressed %d -> %d",
+					round, name, old.Epoch, st.Epoch)
+			}
+		}
+
+		// Reboot whatever iron the round broke and let the fleet settle.
+		for _, host := range h.hosts {
+			if host.Health() != hypervisor.Healthy {
+				host.Recover()
+			}
+		}
+		h.ticks(3)
+		for i := 0; i < vms; i++ {
+			name := fmt.Sprintf("vm%d", i)
+			if st := h.status(name); st.Mode != ModeProtected {
+				t.Fatalf("round %d: %s mode %s after settling, want protected", round, name, st.Mode)
+			}
+			if n := vmInstances(h.hosts, name); n != 1 {
+				t.Fatalf("round %d: %s has %d live instances, want exactly 1", round, name, n)
+			}
+		}
+		snap()
+	}
+
+	if err := h.m.Guard().Admit(lastFence - 1); !errors.Is(err, failover.ErrFenced) {
+		t.Fatalf("stale token admitted after %d restarts: %v", rounds, err)
+	}
+}

@@ -287,6 +287,24 @@ type Config struct {
 	// private registry — Recovery and Totals still work, nothing is
 	// exported.
 	Metrics *trace.Registry
+	// Resume re-attaches to replica-side state that survived from a
+	// previous replicator (a control-plane restart): the replicator
+	// starts seeded with the given replica memory, last acked state
+	// image and checkpoint sequence, in degraded mode, so the first
+	// healthy cycle ships a delta resync of the pages dirtied since —
+	// no full re-seed. The encoder's delta baseline is primed from the
+	// resumed memory. Nil starts unseeded as usual (Seed required).
+	Resume *ResumeState
+}
+
+// ResumeState is the replica-side state a Replicator hands off for a
+// successor to resume from: the replicated guest memory, the
+// dst-native machine-state image of the last acknowledged checkpoint,
+// and that checkpoint's sequence number.
+type ResumeState struct {
+	Mem   *memory.GuestMemory
+	Image []byte
+	Seq   uint64
 }
 
 // CheckpointStats describes one completed checkpoint.
@@ -441,7 +459,19 @@ func New(vm *hypervisor.VM, dst hypervisor.Hypervisor, cfg Config) (*Replicator,
 	enc := wire.NewEncoder(cfg.Compression)
 	enc.Instrument(reg)
 	cfg.Tracer.Instrument(reg)
-	return &Replicator{
+	if cfg.Resume != nil {
+		if cfg.Resume.Mem == nil || len(cfg.Resume.Image) == 0 {
+			return nil, errors.New("replication: resume without replica memory or state image")
+		}
+		if cfg.Resume.Mem.SizeBytes() != vm.Memory().SizeBytes() {
+			return nil, fmt.Errorf("replication: resume memory is %d bytes, vm has %d",
+				cfg.Resume.Mem.SizeBytes(), vm.Memory().SizeBytes())
+		}
+		if err := enc.Prime(cfg.Resume.Mem); err != nil {
+			return nil, fmt.Errorf("replication: %w", err)
+		}
+	}
+	r := &Replicator{
 		cfg:     cfg,
 		primary: vm,
 		src:     vm.Hypervisor(),
@@ -477,6 +507,39 @@ func New(vm *hypervisor.VM, dst hypervisor.Hypervisor, cfg Config) (*Replicator,
 		timeline: metrics.NewTimeline(vm.Hypervisor().Clock().Now(), StateProtected.String()),
 		dstMem:   memory.NewGuestMemory(vm.Memory().SizeBytes()),
 		iob:      devices.NewIOBuffer(vm.Hypervisor().Clock()),
+	}
+	if res := cfg.Resume; res != nil {
+		// Re-attach to the surviving replica state: already seeded, in
+		// degraded mode, so the first healthy cycle is a delta resync
+		// of whatever was dirtied while unattached.
+		r.seeded = true
+		r.dstMem = res.Mem
+		r.lastImage = append([]byte(nil), res.Image...)
+		r.seq = res.Seq
+		r.totals.Checkpoints = res.Seq
+		r.state = StateDegraded
+		r.timeline = metrics.NewTimeline(vm.Hypervisor().Clock().Now(), StateDegraded.String())
+		r.runStarted = vm.Hypervisor().Clock().Now()
+	}
+	return r, nil
+}
+
+// Handoff exports the replica-side state a successor replicator needs
+// to resume protection without a full re-seed: the replica memory, a
+// copy of the last acknowledged state image, and its sequence number.
+// The control plane parks it on the secondary host after each
+// acknowledged checkpoint (see hypervisor.ReplicaDeposit) and feeds it
+// back through Config.Resume after a restart.
+func (r *Replicator) Handoff() (*ResumeState, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.seeded {
+		return nil, ErrNotSeeded
+	}
+	return &ResumeState{
+		Mem:   r.dstMem,
+		Image: append([]byte(nil), r.lastImage...),
+		Seq:   r.seq,
 	}, nil
 }
 

@@ -75,6 +75,46 @@ func NewEncoder(contentAware bool) *Encoder {
 // ContentAware reports whether content-aware encoding is enabled.
 func (e *Encoder) ContentAware() bool { return e.contentAware }
 
+// Prime rebuilds the baseline cache from an existing replica memory:
+// every populated, non-zero page becomes the acked image the next
+// encode's deltas diff against. This is the restart-resume path — a
+// fresh encoder re-attaching to replica state that survived from a
+// previous process, where delta frames must XOR against exactly what
+// the replica holds. Any staged or previously primed state is
+// discarded first. A no-op in raw mode.
+func (e *Encoder) Prime(mem *memory.GuestMemory) error {
+	if mem == nil {
+		return fmt.Errorf("wire: prime from nil memory")
+	}
+	if !e.contentAware {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.baseline = make(map[memory.PageNum][]byte)
+	e.staged = make(map[memory.PageNum][]byte)
+	e.baseSize = 0
+	var buf [memory.PageSize]byte
+	for p := memory.PageNum(0); p < mem.NumPages(); p++ {
+		if !mem.Populated(p) {
+			continue
+		}
+		if err := mem.ReadPage(p, buf[:]); err != nil {
+			return fmt.Errorf("wire: prime: %w", err)
+		}
+		if allZero(buf[:]) {
+			// Commit evicts logically zero pages (implicit zero
+			// baseline); mirror that here.
+			continue
+		}
+		img := make([]byte, memory.PageSize)
+		copy(img, buf[:])
+		e.baseline[p] = img
+		e.baseSize += memory.PageSize
+	}
+	return nil
+}
+
 // BaselinePages reports how many page images the baseline cache holds.
 func (e *Encoder) BaselinePages() int {
 	e.mu.Lock()
