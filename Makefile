@@ -1,8 +1,8 @@
 GO ?= go
 
-RACE_PKGS = ./internal/replication ./internal/failover ./internal/faults ./internal/simnet ./internal/trace ./internal/wire ./internal/journal ./internal/orchestrator ./internal/controlplane
+RACE_PKGS = ./internal/replication ./internal/failover ./internal/faults ./internal/simnet ./internal/trace ./internal/wire ./internal/journal ./internal/orchestrator ./internal/controlplane ./internal/transport
 
-.PHONY: check vet fmt build test race fuzz-smoke bench trace-demo serve-demo
+.PHONY: check vet fmt build test race fuzz-smoke bench trace-demo serve-demo transport-demo
 
 check: vet fmt build test race fuzz-smoke
 
@@ -46,3 +46,9 @@ trace-demo:
 # serving on 127.0.0.1:7070 for curl/herectl until interrupted.
 serve-demo:
 	$(GO) run ./examples/controlplane
+
+# Two in-process daemons replicating over loopback TCP through the
+# fault-injection proxy: protect → cut → degraded → reconnect → delta
+# resync, with the transport status printed at each step.
+transport-demo:
+	$(GO) run ./examples/twonode

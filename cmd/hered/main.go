@@ -31,7 +31,9 @@ import (
 	"github.com/here-ft/here/internal/journal"
 	"github.com/here-ft/here/internal/kvm"
 	"github.com/here-ft/here/internal/orchestrator"
+	"github.com/here-ft/here/internal/replication"
 	"github.com/here-ft/here/internal/trace"
+	"github.com/here-ft/here/internal/transport"
 	"github.com/here-ft/here/internal/vclock"
 	"github.com/here-ft/here/internal/xen"
 )
@@ -59,6 +61,8 @@ func run(args []string) error {
 		reqTimeout  = fs.Duration("req-timeout", controlplane.DefaultRequestTimeout, "per-request handling timeout")
 		drain       = fs.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
 		stateDir    = fs.String("state-dir", "", "control-plane state directory (write-ahead journal + snapshots); empty = in-memory only")
+		peerListen  = fs.String("peer-listen", "", "secondary-side replication transport listen address (e.g. 127.0.0.1:7071); empty = disabled")
+		peer        = fs.String("peer", "", "peer daemon's replication transport address: stream checkpoints there over TCP instead of the in-process link")
 		quiet       = fs.Bool("quiet", false, "suppress the access log")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -91,7 +95,7 @@ func run(args []string) error {
 		}
 	}
 
-	mgr, err := orchestrator.New(orchestrator.Config{
+	mcfg := orchestrator.Config{
 		Clock:             clock,
 		HeartbeatInterval: *hbInterval,
 		HeartbeatTimeout:  *hbTimeout,
@@ -99,9 +103,43 @@ func run(args []string) error {
 		MaxPeriod:         *tmax,
 		Metrics:           registry,
 		Journal:           store,
-	})
+	}
+	if *peer != "" {
+		// Every protection gets its own streaming client to the peer
+		// daemon; checkpoints cross real TCP, and an outage drops the
+		// protection into degraded mode until the reconnect-resync
+		// ladder restores it.
+		peerAddr := *peer
+		mcfg.DialTransport = func(name string, memBytes, generation uint64) (replication.Transport, error) {
+			return transport.Dial(transport.ClientConfig{
+				Addr:       peerAddr,
+				Protection: name,
+				MemBytes:   memBytes,
+				Generation: generation,
+				Metrics:    registry,
+				Logf:       log.Printf,
+			})
+		}
+	}
+	mgr, err := orchestrator.New(mcfg)
 	if err != nil {
 		return err
+	}
+	if *peerListen != "" {
+		// Secondary side: accept checkpoint streams from a peer daemon.
+		// The fleet's fencing guard gates every handshake, so a stale
+		// primary is rejected at the wire boundary.
+		ps := transport.NewServer(transport.ServerConfig{
+			Fence:   mgr.Guard(),
+			Metrics: registry,
+			Logf:    log.Printf,
+		})
+		if err := ps.Listen(*peerListen); err != nil {
+			return fmt.Errorf("peer-listen: %w", err)
+		}
+		defer ps.Close()
+		mgr.AttachPeerServer(ps)
+		log.Printf("peer transport listening on %s", ps.Addr())
 	}
 	for i := 0; i < *xenHosts; i++ {
 		h, err := xen.New(fmt.Sprintf("xen%d", i), clock)

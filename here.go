@@ -367,7 +367,7 @@ func (c *Cluster) Protect(vm *VM, opts ProtectOptions) (*Protected, error) {
 	}
 	cfg := replication.Config{
 		Engine:       engine,
-		Link:         c.link,
+		Transport:    c.link,
 		Threads:      opts.Threads,
 		Workload:     opts.Workload,
 		Sink:         opts.Sink,

@@ -141,6 +141,33 @@ type EventsResponse struct {
 	Next uint64 `json:"next"`
 }
 
+// TransportPeerDTO describes one network-transport endpoint: a
+// replica session on the daemon's peer listener (role "server") or a
+// protection's streaming client (role "client"). Mirrors
+// transport.PeerStatus on the wire.
+type TransportPeerDTO struct {
+	Role       string `json:"role"`
+	Protection string `json:"protection"`
+	State      string `json:"state"`
+	RemoteAddr string `json:"remote_addr,omitempty"`
+	Generation uint64 `json:"generation"`
+	AckedSeq   uint64 `json:"acked_seq"`
+	Acked      bool   `json:"acked"`
+
+	Connects    int64 `json:"connects"`
+	Disconnects int64 `json:"disconnects"`
+	Checkpoints int64 `json:"checkpoints"`
+	SeedRounds  int64 `json:"seed_rounds"`
+	Bytes       int64 `json:"bytes"`
+}
+
+// TransportList is the collection served by GET /v1/transport. Peers
+// is empty (not an error) when the fleet replicates over the
+// in-process simulated links.
+type TransportList struct {
+	Peers []TransportPeerDTO `json:"peers"`
+}
+
 // VMList is the collection served by GET /v1/vms.
 type VMList struct {
 	VMs []VMStatus `json:"vms"`

@@ -7,10 +7,12 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"net"
 	"net/http"
 	"net/url"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 )
 
@@ -153,8 +155,8 @@ func (c *Client) once(method, path string, payload []byte, out any) error {
 }
 
 // retryable decides whether a failed attempt may be re-sent: 429
-// always (the request was never admitted), transport errors and
-// gateway-ish 5xx only when re-sending cannot double-apply.
+// always (the request was never admitted), connection-level transport
+// errors and gateway-ish 5xx only when re-sending cannot double-apply.
 func retryable(err error, idempotent bool) bool {
 	var api *APIError
 	if errors.As(err, &api) {
@@ -165,7 +167,25 @@ func retryable(err error, idempotent bool) bool {
 			api.StatusCode == http.StatusServiceUnavailable ||
 			api.StatusCode == http.StatusGatewayTimeout)
 	}
-	return idempotent
+	return idempotent && transientConnErr(err)
+}
+
+// transientConnErr reports whether a request failed at the connection
+// level — refused, reset, broken pipe, truncated response, timeout —
+// the shapes a restarting or crashed daemon produces. These get the
+// same idempotent-verb retry treatment as 502/503/504: the response
+// never arrived, so re-sending a GET cannot double-apply anything.
+// Anything else (bad URL, TLS, redirect loops) fails fast.
+func transientConnErr(err error) bool {
+	if errors.Is(err, syscall.ECONNREFUSED) || errors.Is(err, syscall.ECONNRESET) ||
+		errors.Is(err, syscall.EPIPE) {
+		return true
+	}
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
 }
 
 // backoff computes the delay before the given (1-based) attempt's
@@ -283,6 +303,17 @@ func (c *Client) Events(since uint64) (EventsResponse, error) {
 	var out EventsResponse
 	err := c.do(http.MethodGet, "/v1/events?since="+strconv.FormatUint(since, 10), nil, &out)
 	return out, err
+}
+
+// Transport lists the daemon's network-transport endpoints (peer
+// listener sessions and streaming clients); empty when the fleet
+// replicates over the in-process simulated links.
+func (c *Client) Transport() ([]TransportPeerDTO, error) {
+	var out TransportList
+	if err := c.do(http.MethodGet, "/v1/transport", nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Peers, nil
 }
 
 // Hosts lists the fleet's hosts.

@@ -1,0 +1,148 @@
+// Connection-level retry tests: a daemon that is restarting (or
+// crashed mid-response) produces ECONNREFUSED / ECONNRESET / truncated
+// responses rather than clean 5xx envelopes. The client treats those
+// the same as 502/503/504 — retried on idempotent verbs, surfaced
+// immediately on mutating ones. White-box: the tests swap the client's
+// sleep function to observe backoff without waiting it out.
+package controlplane
+
+import (
+	"errors"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// rstServer is a flaky httptest server whose handler hard-closes (TCP
+// RST via SO_LINGER 0) the first failures connections, then serves
+// normally. It counts handler invocations.
+func rstServer(t *testing.T, failures int) (*httptest.Server, *int, *sync.Mutex) {
+	t.Helper()
+	var mu sync.Mutex
+	calls := 0
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		calls++
+		n := calls
+		mu.Unlock()
+		if n <= failures {
+			hj, ok := w.(http.Hijacker)
+			if !ok {
+				t.Error("response writer is not a hijacker")
+				return
+			}
+			conn, _, err := hj.Hijack()
+			if err != nil {
+				t.Errorf("hijack: %v", err)
+				return
+			}
+			if tc, ok := conn.(*net.TCPConn); ok {
+				_ = tc.SetLinger(0) // RST, not FIN: the client sees a reset
+			}
+			conn.Close()
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"status":"ok"}`))
+	}))
+	return srv, &calls, &mu
+}
+
+// A GET against a server that resets the connection twice recovers on
+// the third attempt.
+func TestClientRetriesConnResetOnGet(t *testing.T) {
+	srv, calls, mu := rstServer(t, 2)
+	defer srv.Close()
+
+	c := NewClient(srv.URL)
+	var slept []time.Duration
+	c.sleep = func(d time.Duration) { slept = append(slept, d) }
+	c.SetRetry(RetryPolicy{MaxAttempts: 4, BaseBackoff: time.Millisecond, MaxBackoff: 10 * time.Millisecond})
+
+	h, err := c.Healthz()
+	if err != nil {
+		t.Fatalf("Healthz after flaky resets: %v", err)
+	}
+	if h.Status != "ok" {
+		t.Fatalf("status = %q, want ok", h.Status)
+	}
+	if len(slept) != 2 {
+		t.Fatalf("slept %d times, want 2 (one per reset)", len(slept))
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if *calls != 3 {
+		t.Fatalf("handler saw %d calls, want 3", *calls)
+	}
+}
+
+// A refused connection (daemon not up yet) is retried on GETs and the
+// final error still reports ECONNREFUSED.
+func TestClientRetriesConnRefusedOnGet(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close() // nothing listens here now
+
+	c := NewClient(addr)
+	var slept []time.Duration
+	c.sleep = func(d time.Duration) { slept = append(slept, d) }
+	c.SetRetry(RetryPolicy{MaxAttempts: 3, BaseBackoff: time.Millisecond, MaxBackoff: 10 * time.Millisecond})
+
+	_, err = c.Healthz()
+	if err == nil {
+		t.Fatal("Healthz against a dead address succeeded")
+	}
+	if !errors.Is(err, syscall.ECONNREFUSED) {
+		t.Fatalf("error %v does not wrap ECONNREFUSED", err)
+	}
+	if len(slept) != 2 {
+		t.Fatalf("slept %d times, want 2 (MaxAttempts-1)", len(slept))
+	}
+}
+
+// A connection reset on a mutating verb is NOT retried: the request
+// may have been applied before the response was lost, and re-sending a
+// protect could double-apply.
+func TestClientDoesNotRetryConnResetOnPost(t *testing.T) {
+	srv, calls, mu := rstServer(t, 1000)
+	defer srv.Close()
+
+	c := NewClient(srv.URL)
+	var slept []time.Duration
+	c.sleep = func(d time.Duration) { slept = append(slept, d) }
+	c.SetRetry(RetryPolicy{MaxAttempts: 4, BaseBackoff: time.Millisecond, MaxBackoff: 10 * time.Millisecond})
+
+	_, err := c.Protect(ProtectRequest{Name: "vm", MemoryBytes: 1 << 20, VCPUs: 1})
+	if err == nil {
+		t.Fatal("Protect against a resetting server succeeded")
+	}
+	if len(slept) != 0 {
+		t.Fatalf("slept %d times, want 0 (POST must not retry a reset)", len(slept))
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if *calls != 1 {
+		t.Fatalf("handler saw %d calls, want 1", *calls)
+	}
+}
+
+// transientConnErr classifies only connection-level shapes; a generic
+// error is not retried even on GETs.
+func TestTransientConnErrClassification(t *testing.T) {
+	if !transientConnErr(syscall.ECONNRESET) || !transientConnErr(syscall.ECONNREFUSED) {
+		t.Fatal("ECONNRESET/ECONNREFUSED must classify as transient")
+	}
+	if transientConnErr(errors.New("no such host")) {
+		t.Fatal("generic error must not classify as transient")
+	}
+	if retryable(errors.New("boom"), true) {
+		t.Fatal("generic transport error must not be retryable")
+	}
+}

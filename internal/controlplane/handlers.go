@@ -260,6 +260,32 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
+// handleTransport serves GET /v1/transport: the daemon's network
+// transport endpoints — replica sessions on the peer listener and the
+// protections' streaming clients. An empty list means the fleet
+// replicates over the in-process simulated links.
+func (s *Server) handleTransport(w http.ResponseWriter, r *http.Request) {
+	peers := s.m.TransportStatus()
+	out := TransportList{Peers: make([]TransportPeerDTO, 0, len(peers))}
+	for _, p := range peers {
+		out.Peers = append(out.Peers, TransportPeerDTO{
+			Role:        p.Role,
+			Protection:  p.Protection,
+			State:       p.State,
+			RemoteAddr:  p.RemoteAddr,
+			Generation:  p.Generation,
+			AckedSeq:    p.AckedSeq,
+			Acked:       p.Acked,
+			Connects:    p.Connects,
+			Disconnects: p.Disconnects,
+			Checkpoints: p.Checkpoints,
+			SeedRounds:  p.SeedRounds,
+			Bytes:       p.Bytes,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
 // handleHosts serves GET /v1/hosts.
 func (s *Server) handleHosts(w http.ResponseWriter, r *http.Request) {
 	infos := s.m.HostsStatus()

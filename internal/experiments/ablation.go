@@ -47,11 +47,11 @@ func ThreadAblation(scale Scale, threadCounts []int) ([]ThreadAblationRow, error
 			return nil, err
 		}
 		rep, err := replication.New(vm, pair.Secondary, replication.Config{
-			Engine:   replication.EngineHERE,
-			Link:     pair.Link,
-			Threads:  threads,
-			Period:   4 * time.Second,
-			Workload: w,
+			Engine:    replication.EngineHERE,
+			Transport: pair.Link,
+			Threads:   threads,
+			Period:    4 * time.Second,
+			Workload:  w,
 		})
 		if err != nil {
 			return nil, err
@@ -123,7 +123,7 @@ func StreamShareAblation(scale Scale, shares []float64) ([]StreamShareRow, error
 				return 0, err
 			}
 			rep, err := replication.New(vm, pair.Secondary, replication.Config{
-				Engine: engine, Link: pair.Link, Period: 4 * time.Second, Workload: w,
+				Engine: engine, Transport: pair.Link, Period: 4 * time.Second, Workload: w,
 			})
 			if err != nil {
 				return 0, err
@@ -224,7 +224,7 @@ func RingAblation(scale Scale, capacities []int) ([]RingAblationRow, error) {
 			return nil, err
 		}
 		res, err := migration.Migrate(vm, memory.NewGuestMemory(GB(1)), migration.Config{
-			Link: pair.Link, Mode: migration.ModeHERE, Workload: w,
+			Transport: pair.Link, Mode: migration.ModeHERE, Workload: w,
 		})
 		if err != nil {
 			return nil, err
@@ -284,7 +284,7 @@ func CompressionAblation(scale Scale) ([]CompressionRow, error) {
 			}
 			rep, err := replication.New(vm, pair.Secondary, replication.Config{
 				Engine:      replication.EngineHERE,
-				Link:        pair.Link,
+				Transport:   pair.Link,
 				Period:      4 * time.Second,
 				Workload:    w,
 				Compression: compress,

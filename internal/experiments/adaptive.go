@@ -84,7 +84,7 @@ func runAdaptive(scenario, name string,
 	collector := sockperf.NewCollector()
 	cfg := replication.Config{
 		Engine:        replication.EngineHERE,
-		Link:          pair.Link,
+		Transport:     pair.Link,
 		Period:        fixed,
 		PeriodManager: policy,
 		Sink:          collector.Sink,

@@ -89,7 +89,7 @@ func COLOComparison(scale Scale) ([]COLORow, error) {
 	}
 	rep, err := replication.New(vm, pair.Secondary, replication.Config{
 		Engine:        replication.EngineHERE,
-		Link:          pair.Link,
+		Transport:     pair.Link,
 		PeriodManager: pm,
 		Workload:      w,
 	})

@@ -138,8 +138,8 @@ func startFor(setup ReplicationSetup) time.Duration {
 // by the caller).
 func replicationConfig(setup ReplicationSetup, pair *Pair) (replication.Config, error) {
 	cfg := replication.Config{
-		Engine: setup.Engine,
-		Link:   pair.Link,
+		Engine:    setup.Engine,
+		Transport: pair.Link,
 	}
 	if setup.FixedT > 0 {
 		cfg.Period = setup.FixedT
@@ -162,10 +162,10 @@ func replicationConfig(setup ReplicationSetup, pair *Pair) (replication.Config, 
 // replicationConfigFixed builds a fixed-period HERE configuration.
 func replicationConfigFixed(pair *Pair, T time.Duration, w workload.Workload) replication.Config {
 	return replication.Config{
-		Engine:   replication.EngineHERE,
-		Link:     pair.Link,
-		Period:   T,
-		Workload: w,
+		Engine:    replication.EngineHERE,
+		Transport: pair.Link,
+		Period:    T,
+		Workload:  w,
 	}
 }
 

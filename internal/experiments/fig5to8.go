@@ -56,9 +56,9 @@ func Fig5(scale Scale) (Fig5Result, error) {
 		return res, err
 	}
 	rep, err := replication.New(vm, pair.Secondary, replication.Config{
-		Engine: replication.EngineHERE,
-		Link:   pair.Link,
-		Period: time.Second,
+		Engine:    replication.EngineHERE,
+		Transport: pair.Link,
+		Period:    time.Second,
 	})
 	if err != nil {
 		return res, err
@@ -121,7 +121,7 @@ func Fig6(scale Scale) (Fig6Result, error) {
 		if err != nil {
 			return 0, err
 		}
-		cfg := migration.Config{Link: pair.Link, Mode: mode}
+		cfg := migration.Config{Transport: pair.Link, Mode: mode}
 		if loadPct > 0 {
 			w, err := workload.NewMemoryBench(loadPct, scale.WriteRatePages, scale.Seed)
 			if err != nil {
@@ -206,7 +206,7 @@ func Fig7(scale Scale) ([]Fig7Row, error) {
 			return 0, err
 		}
 		cfg := replication.Config{
-			Engine: replication.EngineHERE, Link: pair.Link, Period: time.Second,
+			Engine: replication.EngineHERE, Transport: pair.Link, Period: time.Second,
 		}
 		if loaded {
 			w, err := workload.NewMemoryBench(30, scale.WriteRatePages, scale.Seed)
@@ -297,7 +297,7 @@ func Fig8(scale Scale) (Fig8Result, error) {
 		if err != nil {
 			return 0, err
 		}
-		cfg := replication.Config{Engine: engine, Link: pair.Link, Period: T}
+		cfg := replication.Config{Engine: engine, Transport: pair.Link, Period: T}
 		if loaded {
 			w, err := workload.NewMemoryBench(30, scale.WriteRatePages, scale.Seed)
 			if err != nil {

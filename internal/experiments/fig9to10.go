@@ -57,7 +57,7 @@ func Fig9(scale Scale) (TraceResult, error) {
 	}
 	rep, err := replication.New(vm, pair.Secondary, replication.Config{
 		Engine:        replication.EngineHERE,
-		Link:          pair.Link,
+		Transport:     pair.Link,
 		PeriodManager: pm,
 		Workload:      bench,
 	})
@@ -132,7 +132,7 @@ func Fig10(scale Scale) (TraceResult, error) {
 	}
 	rep, err := replication.New(vm, pair.Secondary, replication.Config{
 		Engine:        replication.EngineHERE,
-		Link:          pair.Link,
+		Transport:     pair.Link,
 		PeriodManager: pm,
 		Workload:      w,
 	})

@@ -57,10 +57,10 @@ func TenantScaling(scale Scale, densities []int) (TenantCapacity, error) {
 		return cap, err
 	}
 	rep, err := replication.New(vm, pair.Secondary, replication.Config{
-		Engine:   replication.EngineHERE,
-		Link:     pair.Link,
-		Period:   4 * time.Second,
-		Workload: w,
+		Engine:    replication.EngineHERE,
+		Transport: pair.Link,
+		Period:    4 * time.Second,
+		Workload:  w,
 	})
 	if err != nil {
 		return cap, err

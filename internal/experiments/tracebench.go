@@ -108,11 +108,11 @@ func runTraceScenario(scale Scale, traced bool) (time.Duration, *trace.Tracer, i
 		tr = trace.New(pair.Clock, 0)
 	}
 	rep, err := replication.New(vm, pair.Secondary, replication.Config{
-		Engine:   replication.EngineHERE,
-		Link:     pair.Link,
-		Period:   time.Second,
-		Workload: w,
-		Tracer:   tr,
+		Engine:    replication.EngineHERE,
+		Transport: pair.Link,
+		Period:    time.Second,
+		Workload:  w,
+		Tracer:    tr,
 	})
 	if err != nil {
 		return 0, nil, 0, err

@@ -81,7 +81,7 @@ func runWireBench(scale Scale, name string, aware bool,
 	}
 	rep, err := replication.New(vm, pair.Secondary, replication.Config{
 		Engine:      replication.EngineHERE,
-		Link:        pair.Link,
+		Transport:   pair.Link,
 		Period:      time.Second,
 		Workload:    w,
 		Compression: aware,

@@ -15,7 +15,6 @@ import (
 	"github.com/here-ft/here/internal/hypervisor"
 	"github.com/here-ft/here/internal/memory"
 	"github.com/here-ft/here/internal/replication"
-	"github.com/here-ft/here/internal/simnet"
 	"github.com/here-ft/here/internal/trace"
 	"github.com/here-ft/here/internal/vclock"
 )
@@ -107,6 +106,17 @@ func (g *Guard) Admit(token uint64) error {
 	return nil
 }
 
+// Path is the heartbeat route a Monitor observes: *simnet.Link and the
+// real TCP transport's client both satisfy it. Structural typing keeps
+// the packages decoupled.
+type Path interface {
+	// Down reports whether the path is currently unusable.
+	Down() bool
+	// PropagationDelay is the one-way latency estimate; a round trip
+	// exceeding the heartbeat interval counts as a missed beat.
+	PropagationDelay() time.Duration
+}
+
 // Config tunes a heartbeat monitor. The zero value uses the defaults.
 type Config struct {
 	// Interval is the heartbeat period; Timeout is the detection
@@ -117,11 +127,11 @@ type Config struct {
 	// Requiring several misses keeps transient latency spikes on the
 	// heartbeat path from triggering spurious failovers.
 	Misses int
-	// Via routes heartbeats over a monitored link: a down link, or a
+	// Via routes heartbeats over a monitored path: a down path, or a
 	// propagation delay pushing the round-trip past the heartbeat
 	// interval, counts as a missed beat. Nil observes the host
 	// directly (a dedicated management path).
-	Via *simnet.Link
+	Via Path
 	// Tracer records each missed heartbeat as a discrete event. Nil
 	// disables tracing.
 	Tracer *trace.Tracer
@@ -136,7 +146,7 @@ type Monitor struct {
 	interval time.Duration
 	timeout  time.Duration
 	misses   int
-	via      *simnet.Link
+	via      Path
 	tracer   *trace.Tracer
 	missedC  *trace.Counter
 }

@@ -55,7 +55,7 @@ func newRig(t *testing.T, memBytes uint64) *rig {
 		t.Fatal(err)
 	}
 	rep, err := replication.New(vm, kh, replication.Config{
-		Engine: replication.EngineHERE, Link: link, Period: time.Second,
+		Engine: replication.EngineHERE, Transport: link, Period: time.Second,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -300,7 +300,7 @@ func TestFailbackRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	rep2, err := replication.New(res1.VM, r.xh, replication.Config{
-		Engine: replication.EngineHERE, Link: link2, Period: time.Second,
+		Engine: replication.EngineHERE, Transport: link2, Period: time.Second,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -492,7 +492,7 @@ func TestLinkDeathTriggersDetectionButGuardRefuses(t *testing.T) {
 		t.Fatal(err)
 	}
 	rep, err := replication.New(vm, kh, replication.Config{
-		Engine: replication.EngineHERE, Link: link, Period: time.Second,
+		Engine: replication.EngineHERE, Transport: link, Period: time.Second,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -585,7 +585,7 @@ func TestFailoverRacesMidFlightCheckpoint(t *testing.T) {
 		t.Fatal(err)
 	}
 	rep, err := replication.New(vm, kh, replication.Config{
-		Engine: replication.EngineHERE, Link: link, Period: time.Second,
+		Engine: replication.EngineHERE, Transport: link, Period: time.Second,
 		Retry: replication.RetryPolicy{MaxAttempts: 1},
 	})
 	if err != nil {

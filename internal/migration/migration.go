@@ -28,7 +28,6 @@ import (
 	"github.com/here-ft/here/internal/arch"
 	"github.com/here-ft/here/internal/hypervisor"
 	"github.com/here-ft/here/internal/memory"
-	"github.com/here-ft/here/internal/simnet"
 	"github.com/here-ft/here/internal/trace"
 	"github.com/here-ft/here/internal/wire"
 	"github.com/here-ft/here/internal/workload"
@@ -67,10 +66,27 @@ const (
 	DefaultStopThreshold = 256
 )
 
+// Transport carries the migration traffic: *simnet.Link for the
+// deterministic in-process simulation, or a real network transport
+// (*transport.Client). Structural typing keeps the packages decoupled.
+type Transport interface {
+	// Transfer moves (or models moving) bytes split across streams,
+	// reporting the time it took.
+	Transfer(bytes int64, streams int) (time.Duration, error)
+}
+
+// seedSender is the optional Transport extension a real network
+// transport implements: the encoded seed stream itself crosses the
+// wire and the peer replica applies it. A plain Transport only models
+// the transfer cost while the stream is decoded locally.
+type seedSender interface {
+	SendSeed(round uint64, stream []byte) error
+}
+
 // Config parameterizes a migration.
 type Config struct {
-	// Link carries the migration traffic.
-	Link *simnet.Link
+	// Transport carries the migration traffic.
+	Transport Transport
 	// Mode selects the algorithm.
 	Mode Mode
 	// Threads is the number of migrator threads for ModeHERE
@@ -127,8 +143,8 @@ func Migrate(vm *hypervisor.VM, dst *memory.GuestMemory, cfg Config) (Result, er
 	if vm == nil || dst == nil {
 		return res, errors.New("migration: nil vm or destination memory")
 	}
-	if cfg.Link == nil {
-		return res, errors.New("migration: nil link")
+	if cfg.Transport == nil {
+		return res, errors.New("migration: nil transport")
 	}
 	if cfg.Mode != ModeXen && cfg.Mode != ModeHERE {
 		return res, fmt.Errorf("migration: unknown mode %d", int(cfg.Mode))
@@ -179,7 +195,7 @@ func Migrate(vm *hypervisor.VM, dst *memory.GuestMemory, cfg Config) (Result, er
 		initialPass := iter == 1
 		iterStart := clock.Now()
 		bytesBefore := res.BytesSent
-		dur, err := transferBatch(vm, dst, batch, cfg.Mode, initialPass, threads, costs, cfg.Link, enc, &res)
+		dur, err := transferBatch(vm, dst, batch, cfg.Mode, initialPass, threads, costs, cfg.Transport, enc, &res)
 		if err != nil {
 			return res, err
 		}
@@ -215,7 +231,7 @@ func Migrate(vm *hypervisor.VM, dst *memory.GuestMemory, cfg Config) (Result, er
 		res.ProblematicResent = len(problematic)
 	}
 	stopBytesBefore := res.BytesSent
-	if _, err := transferBatch(vm, dst, final, cfg.Mode, false, threads, costs, cfg.Link, enc, &res); err != nil {
+	if _, err := transferBatch(vm, dst, final, cfg.Mode, false, threads, costs, cfg.Transport, enc, &res); err != nil {
 		return res, err
 	}
 	clock.Sleep(costs.StateRecord)
@@ -245,7 +261,7 @@ func Migrate(vm *hypervisor.VM, dst *memory.GuestMemory, cfg Config) (Result, er
 //	       streams
 func transferBatch(vm *hypervisor.VM, dst *memory.GuestMemory, pages []memory.PageNum,
 	mode Mode, initialPass bool, threads int, costs hypervisor.CostModel,
-	link *simnet.Link, enc *wire.Encoder, res *Result) (time.Duration, error) {
+	link Transport, enc *wire.Encoder, res *Result) (time.Duration, error) {
 
 	clock := vm.Hypervisor().Clock()
 	begin := clock.Now()
@@ -271,7 +287,14 @@ func transferBatch(vm *hypervisor.VM, dst *memory.GuestMemory, pages []memory.Pa
 		if err != nil {
 			return 0, fmt.Errorf("migration: %w", err)
 		}
-		if _, err := link.Transfer(cp.WireSize, threads); err != nil {
+		if sender, ok := link.(seedSender); ok {
+			// Real transport: the stream itself crosses the wire, and the
+			// return is the peer replica's acknowledgement of the round.
+			if err := sender.SendSeed(uint64(res.Iterations), cp.Stream); err != nil {
+				enc.Rollback()
+				return 0, fmt.Errorf("migration: %w", err)
+			}
+		} else if _, err := link.Transfer(cp.WireSize, threads); err != nil {
 			enc.Rollback()
 			return 0, fmt.Errorf("migration: %w", err)
 		}

@@ -16,6 +16,7 @@ package orchestrator
 import (
 	"errors"
 	"fmt"
+	"io"
 	"sort"
 	"sync"
 	"time"
@@ -29,6 +30,7 @@ import (
 	"github.com/here-ft/here/internal/simnet"
 	"github.com/here-ft/here/internal/trace"
 	"github.com/here-ft/here/internal/translate"
+	"github.com/here-ft/here/internal/transport"
 	"github.com/here-ft/here/internal/vclock"
 	"github.com/here-ft/here/internal/workload"
 )
@@ -79,6 +81,14 @@ type Config struct {
 	// Link is the replication interconnect configuration used between
 	// host pairs (default: Omni-Path 100).
 	Link simnet.LinkConfig
+	// DialTransport, when set, replaces the simulated link for every
+	// protection with a real network transport: it is invoked once per
+	// wiring (protect, re-protect, recover) with the protection's name,
+	// replica memory size and the fleet's current fencing generation —
+	// hered builds a *transport.Client from its -peer flag here. The
+	// returned transport is closed (when it implements io.Closer) on
+	// unprotect or re-wiring. Nil keeps the in-process simnet links.
+	DialTransport func(vmName string, memBytes, generation uint64) (replication.Transport, error)
 	// HeartbeatInterval and HeartbeatTimeout tune failure detection.
 	HeartbeatInterval, HeartbeatTimeout time.Duration
 	// DegradationBudget and MaxPeriod configure each protection's
@@ -176,6 +186,10 @@ type Protection struct {
 	tmax      time.Duration
 	lost      bool
 	acked     uint64 // last checkpoint epoch journaled + deposited
+	// transport carries this protection's checkpoints: the shared
+	// simnet link, or a dedicated real network client when the manager
+	// was configured with DialTransport.
+	transport replication.Transport
 }
 
 // VM returns the currently active VM of the protection.
@@ -283,6 +297,7 @@ type Manager struct {
 	hosts   []*hypervisor.Host
 	links   map[string]*simnet.Link // "hostA->hostB"
 	prots   map[string]*Protection
+	peerSrv *transport.Server // secondary-side listener, when attached
 	events  []Event
 	nextSeq uint64
 }
@@ -596,28 +611,48 @@ func (m *Manager) Protect(spec VMSpec) (*Protection, error) {
 // secondary) the replicator re-attaches in degraded mode and the first
 // healthy cycle ships only a delta resync. Caller holds m.mu.
 func (m *Manager) wire(prot *Protection, primary, secondary *hypervisor.Host, resume *replication.ResumeState) error {
-	link, err := m.linkBetween(primary, secondary)
-	if err != nil {
-		return err
+	var tp replication.Transport
+	if m.cfg.DialTransport != nil {
+		// A re-wiring replaces the protection's dedicated client; close
+		// the old one so its reconnect loop stops.
+		closeTransport(prot)
+		t, err := m.cfg.DialTransport(prot.Name, prot.vm.Memory().SizeBytes(), m.guard.Generation())
+		if err != nil {
+			return fmt.Errorf("orchestrator: dial transport: %w", err)
+		}
+		tp = t
+	} else {
+		link, err := m.linkBetween(primary, secondary)
+		if err != nil {
+			return err
+		}
+		tp = link
 	}
 	pm, err := period.New(period.Config{D: prot.budget, Tmax: prot.tmax})
 	if err != nil {
+		closeIfDialed(m, tp)
 		return err
 	}
 	rep, err := replication.New(prot.vm, secondary, replication.Config{
 		Engine:        replication.EngineHERE,
-		Link:          link,
+		Transport:     tp,
 		PeriodManager: pm,
 		Workload:      prot.wl,
 		Tracer:        prot.tr,
 		Metrics:       m.cfg.Metrics,
 		Resume:        resume,
+		// A dialed network path can drop and come back; ride outages
+		// out in degraded mode and let the reconnect-resync ladder
+		// restore protection. In-process links keep strict semantics.
+		DegradedMode: m.cfg.DialTransport != nil,
 	})
 	if err != nil {
+		closeIfDialed(m, tp)
 		return err
 	}
 	if resume == nil {
 		if _, err := rep.Seed(); err != nil {
+			closeIfDialed(m, tp)
 			return err
 		}
 	}
@@ -628,6 +663,7 @@ func (m *Manager) wire(prot *Protection, primary, secondary *hypervisor.Host, re
 		Metrics:  m.cfg.Metrics,
 	})
 	if err != nil {
+		closeIfDialed(m, tp)
 		return err
 	}
 	prot.rep = rep
@@ -635,12 +671,78 @@ func (m *Manager) wire(prot *Protection, primary, secondary *hypervisor.Host, re
 	prot.pm = pm
 	prot.primary = primary
 	prot.secondary = secondary
+	prot.transport = tp
 	prot.acked = rep.Totals().Checkpoints
 	// Park the replica-side session state on the secondary host so a
 	// restarted control plane can resume with a delta resync instead of
 	// a full re-seed; refreshed after every acknowledged checkpoint.
 	m.depositReplica(prot)
 	return nil
+}
+
+// closeTransport tears down a protection's dedicated network client,
+// if it has one. Shared simnet links are never closed (they carry
+// other protections too — and implement no Closer anyway).
+func closeTransport(p *Protection) {
+	if c, ok := p.transport.(io.Closer); ok {
+		_ = c.Close()
+	}
+	p.transport = nil
+}
+
+// closeIfDialed releases a freshly dialed transport on a wiring error;
+// simnet links pass through untouched.
+func closeIfDialed(m *Manager, tp replication.Transport) {
+	if m.cfg.DialTransport == nil {
+		return
+	}
+	if c, ok := tp.(io.Closer); ok {
+		_ = c.Close()
+	}
+}
+
+// AttachPeerServer registers the daemon's secondary-side transport
+// listener (hered -peer-listen) so its replica sessions appear in
+// TransportStatus alongside the protections' clients.
+func (m *Manager) AttachPeerServer(s *transport.Server) {
+	m.mu.Lock()
+	m.peerSrv = s
+	m.mu.Unlock()
+}
+
+// statusReporter is satisfied by *transport.Client.
+type statusReporter interface {
+	Status() transport.PeerStatus
+}
+
+// TransportStatus snapshots every network-transport endpoint this
+// daemon owns: the peer server's replica sessions (secondary side)
+// plus each protection's client (primary side). Empty when the fleet
+// replicates over the in-process simulated links.
+func (m *Manager) TransportStatus() []transport.PeerStatus {
+	m.mu.Lock()
+	srv := m.peerSrv
+	names := make([]string, 0, len(m.prots))
+	for name := range m.prots {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	clients := make([]statusReporter, 0, len(names))
+	for _, name := range names {
+		if r, ok := m.prots[name].transport.(statusReporter); ok {
+			clients = append(clients, r)
+		}
+	}
+	m.mu.Unlock()
+
+	var out []transport.PeerStatus
+	if srv != nil {
+		out = append(out, srv.Status()...)
+	}
+	for _, c := range clients {
+		out = append(out, c.Status())
+	}
+	return out
 }
 
 // depositReplica parks prot's replica handoff state on its secondary
@@ -777,6 +879,7 @@ func (m *Manager) Unprotect(name string) error {
 	if host, ok := p.secondary.(*hypervisor.Host); ok {
 		host.DropReplica(name)
 	}
+	closeTransport(p)
 	p.rep = nil
 	p.mon = nil
 	p.pm = nil
@@ -975,6 +1078,7 @@ func (m *Manager) ackCheckpoint(p *Protection) error {
 // re-pairing succeeds. Caller holds m.mu.
 func (m *Manager) dropSecondary(p *Protection) {
 	m.record(EventSecondaryLost, p.Name, p.secondary.HostName())
+	closeTransport(p)
 	p.secondary = nil
 	p.rep = nil
 	p.mon = nil

@@ -112,7 +112,7 @@ func TestReplicationOntoQEMUKVM(t *testing.T) {
 		t.Fatal(err)
 	}
 	rep, err := replication.New(vm, qh, replication.Config{
-		Engine: replication.EngineHERE, Link: link, Period: time.Second,
+		Engine: replication.EngineHERE, Transport: link, Period: time.Second,
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -31,7 +31,6 @@ import (
 	"github.com/here-ft/here/internal/metrics"
 	"github.com/here-ft/here/internal/migration"
 	"github.com/here-ft/here/internal/period"
-	"github.com/here-ft/here/internal/simnet"
 	"github.com/here-ft/here/internal/trace"
 	"github.com/here-ft/here/internal/translate"
 	"github.com/here-ft/here/internal/wire"
@@ -203,6 +202,54 @@ type RecoveryStats struct {
 // ackBytes is the size of the replica's checkpoint acknowledgement.
 const ackBytes = 64
 
+// Transport carries checkpoint traffic to the secondary host. Two
+// implementations exist: *simnet.Link — the deterministic in-process
+// simulation the experiments run on — and *transport.Client, a real
+// TCP connection to a peer daemon. Structural typing keeps the
+// packages decoupled; the replicator only sees this face.
+type Transport interface {
+	// Transfer moves (or models moving) bytes split across streams,
+	// reporting the time it took. Errors are transient path failures
+	// (link down, disconnected) unless they satisfy
+	// interface{ Permanent() bool }.
+	Transfer(bytes int64, streams int) (time.Duration, error)
+	// Down reports whether the path is currently unusable; the
+	// degraded-mode probe polls it before attempting a resync.
+	Down() bool
+	// PropagationDelay is the one-way latency estimate the failure
+	// detector compares against its heartbeat interval.
+	PropagationDelay() time.Duration
+}
+
+// CheckpointSender is the optional Transport extension a real network
+// transport implements: the encoded stream itself crosses the wire,
+// the remote replica decodes and applies it, and the acknowledgement
+// is the replica's — not a simulated round trip. When the configured
+// Transport implements it, the replicator ships streams through it and
+// reconciles acknowledged epochs with the peer after reconnects (the
+// delta-resync-from-last-acked-epoch ladder).
+type CheckpointSender interface {
+	Transport
+	// SendCheckpoint ships one checkpoint stream and blocks until the
+	// peer acknowledges epoch seq.
+	SendCheckpoint(seq uint64, stream []byte) error
+	// SendSeed ships one seeding-round stream (acknowledged, but it
+	// resets rather than advances the peer's acked checkpoint epoch).
+	SendSeed(round uint64, stream []byte) error
+	// PeerAcked reports the last checkpoint epoch the peer
+	// acknowledged, refreshed by every re-handshake; ok is false when
+	// the peer holds none.
+	PeerAcked() (seq uint64, ok bool)
+}
+
+// isPermanentErr reports whether err declares itself unrecoverable
+// (e.g. the transport was fenced): retries, reconnects and degraded
+// mode cannot help.
+func isPermanentErr(err error) bool {
+	var p interface{ Permanent() bool }
+	return errors.As(err, &p) && p.Permanent()
+}
+
 // PeriodPolicy decides the checkpoint interval. period.Manager
 // (HERE's Algorithm 1) and period.AdaptiveRemus implement it.
 type PeriodPolicy interface {
@@ -232,14 +279,24 @@ var (
 	// VM keeps running unprotected. errors.Is also matches the
 	// underlying transfer error (e.g. simnet.ErrLinkDown).
 	ErrDegraded = errors.New("replication: path unavailable, VM unprotected")
+	// ErrReplicaDiverged is returned by a resync attempt when the peer
+	// replica no longer holds an epoch a delta (or overwrite) resync
+	// can build on — it restarted empty, or regressed behind the last
+	// epoch this side believes acknowledged. Only a full re-seed can
+	// restore protection; the replicator stays degraded.
+	ErrReplicaDiverged = errors.New("replication: replica diverged beyond delta resync; full re-seed required")
 )
 
 // Config parameterizes a Replicator.
 type Config struct {
 	// Engine selects Remus or HERE.
 	Engine Engine
-	// Link carries checkpoints to the secondary host.
-	Link *simnet.Link
+	// Transport carries checkpoints to the secondary host: a
+	// *simnet.Link for deterministic in-process simulation, or a
+	// *transport.Client streaming to a peer daemon over TCP. A
+	// Transport that also implements CheckpointSender ships the encoded
+	// streams themselves and reconciles acked epochs on reconnect.
+	Transport Transport
 	// Threads is the number of transfer threads (EngineHERE only,
 	// DefaultThreads if 0). Remus always uses one.
 	Threads int
@@ -390,6 +447,9 @@ type Replicator struct {
 	threads int
 	retry   RetryPolicy
 	enc     *wire.Encoder
+	// sender is non-nil when the configured Transport carries the
+	// encoded streams itself (real network transport).
+	sender CheckpointSender
 
 	tr *trace.Tracer
 
@@ -431,8 +491,8 @@ func New(vm *hypervisor.VM, dst hypervisor.Hypervisor, cfg Config) (*Replicator,
 	if vm == nil || dst == nil {
 		return nil, errors.New("replication: nil vm or destination")
 	}
-	if cfg.Link == nil {
-		return nil, errors.New("replication: nil link")
+	if cfg.Transport == nil {
+		return nil, errors.New("replication: nil transport")
 	}
 	if cfg.Engine != EngineRemus && cfg.Engine != EngineHERE {
 		return nil, fmt.Errorf("replication: unknown engine %d", int(cfg.Engine))
@@ -471,6 +531,7 @@ func New(vm *hypervisor.VM, dst hypervisor.Hypervisor, cfg Config) (*Replicator,
 			return nil, fmt.Errorf("replication: %w", err)
 		}
 	}
+	sender, _ := cfg.Transport.(CheckpointSender)
 	r := &Replicator{
 		cfg:     cfg,
 		primary: vm,
@@ -479,6 +540,7 @@ func New(vm *hypervisor.VM, dst hypervisor.Hypervisor, cfg Config) (*Replicator,
 		threads: threads,
 		retry:   retry,
 		enc:     enc,
+		sender:  sender,
 		tr:      cfg.Tracer,
 		retries: reg.Counter("here_replication_retries_total",
 			"transfer attempts beyond the first"),
@@ -663,7 +725,7 @@ func (r *Replicator) Seed() (migration.Result, error) {
 		mode = migration.ModeHERE
 	}
 	mcfg := r.cfg.Seeding
-	mcfg.Link = r.cfg.Link
+	mcfg.Transport = r.cfg.Transport
 	mcfg.Mode = mode
 	// Seed through the replicator's own codec so the baseline cache is
 	// primed: the first checkpoint's deltas diff against seeded content.
@@ -774,10 +836,10 @@ func (r *Replicator) RunCycle() (CheckpointStats, error) {
 	r.mu.Unlock()
 
 	if r.State() == StateDegraded {
-		// Probe the link before attempting the resync; while the
+		// Probe the path before attempting the resync; while the
 		// outage lasts the guest just keeps running unprotected, the
 		// dirty bitmap accumulating the delta for the eventual resync.
-		if r.cfg.Link.Down() {
+		if r.cfg.Transport.Down() {
 			return r.degradedCycle(T), nil
 		}
 		return r.checkpoint(T, true)
@@ -829,11 +891,11 @@ func (r *Replicator) ship(epoch int64, bytes int64, streams int) error {
 	clock := r.src.Clock()
 	backoff := r.retry.InitialBackoff
 	for attempt := 1; ; attempt++ {
-		_, err := r.cfg.Link.Transfer(bytes, streams)
+		_, err := r.cfg.Transport.Transfer(bytes, streams)
 		if err == nil {
 			return nil
 		}
-		if attempt >= r.retry.MaxAttempts {
+		if attempt >= r.retry.MaxAttempts || isPermanentErr(err) {
 			return err
 		}
 		r.retries.Inc()
@@ -944,6 +1006,34 @@ func (r *Replicator) checkpoint(runPeriod time.Duration, resync bool) (Checkpoin
 		r.setState(StateResyncing)
 	}
 
+	// With a real network transport, reconcile acked epochs before a
+	// resync: the re-handshake told us which epoch the peer replica
+	// actually holds, and that decides what may be shipped.
+	overwrite := false
+	if resync && r.sender != nil {
+		switch acked, ok := r.sender.PeerAcked(); {
+		case ok && acked+1 == seq:
+			// In sync: the peer holds the same last-acked epoch the
+			// encoder's baseline describes — plain delta resync.
+		case ok && acked == seq:
+			// The peer applied the checkpoint whose acknowledgement was
+			// lost: it is one epoch ahead of the baseline, so XOR deltas
+			// would corrupt it. Ship overwrite frames instead and rebuild
+			// the baseline afterwards.
+			overwrite = true
+		default:
+			// The peer restarted empty or regressed — nothing a delta can
+			// build on. Stay degraded; only a re-seed restores protection.
+			r.setState(StateDegraded)
+			if ok {
+				return CheckpointStats{}, fmt.Errorf("%w (next epoch %d, peer acked %d)",
+					ErrReplicaDiverged, seq, acked)
+			}
+			return CheckpointStats{}, fmt.Errorf("%w (next epoch %d, peer holds none)",
+				ErrReplicaDiverged, seq)
+		}
+	}
+
 	r.primary.Pause()
 	epoch := r.iob.SealEpoch()
 	r.mu.Lock()
@@ -991,7 +1081,12 @@ func (r *Replicator) checkpoint(runPeriod time.Duration, resync bool) (Checkpoin
 	// Encode the checkpoint stream: dirtied memory + journaled disk
 	// writes + state record, framed and checksummed. The codec measures
 	// what the link actually carries — there is no assumed ratio.
-	cp, err := r.enc.Encode(r.primary.Memory(), dirty, image, diskWrites, seq, r.threads)
+	var cp *wire.Checkpoint
+	if overwrite {
+		cp, err = r.enc.EncodeOverwrite(r.primary.Memory(), dirty, image, diskWrites, seq)
+	} else {
+		cp, err = r.enc.Encode(r.primary.Memory(), dirty, image, diskWrites, seq, r.threads)
+	}
 	if err != nil {
 		return CheckpointStats{}, fmt.Errorf("replication: encode: %w", err)
 	}
@@ -1036,25 +1131,54 @@ func (r *Replicator) checkpoint(runPeriod time.Duration, resync bool) (Checkpoin
 	// staged baseline, so the next deltas still diff against the last
 	// epoch the replica acknowledged.
 	transferStart := clock.Now()
-	if err := r.ship(epochID, bytes, streams); err != nil {
+	if r.sender != nil {
+		// The real transport carries the stream itself and its return is
+		// the remote replica's acknowledgement — no separate ack round.
+		// Stream sends are never retried here: after an ambiguous
+		// failure the peer may or may not have applied the epoch, and
+		// re-sending delta frames onto an already-advanced replica would
+		// corrupt it. The degraded→reconnect→resync ladder reconciles
+		// acked epochs instead.
+		if err := r.sender.SendCheckpoint(seq, cp.Stream); err != nil {
+			r.tr.Span(trace.SpanTransfer, epochID, transferStart,
+				trace.Event{Engine: engine, Bytes: bytes, Outcome: "failed"})
+			r.enc.Rollback()
+			if isPermanentErr(err) {
+				// Fenced or protocol-incompatible: reconnects cannot cure
+				// it and degraded mode would never resync. Re-arm the
+				// dirty set, resume the guest, surface the error.
+				bm := r.primary.Tracker().Bitmap()
+				for _, p := range dirty {
+					bm.Set(p)
+				}
+				r.primary.Resume()
+				return CheckpointStats{}, fmt.Errorf("replication: transport: %w", err)
+			}
+			return r.rollback(pauseStart, runPeriod, dirty, err)
+		}
 		r.tr.Span(trace.SpanTransfer, epochID, transferStart,
-			trace.Event{Engine: engine, Bytes: bytes, Outcome: "failed"})
-		r.enc.Rollback()
-		return r.rollback(pauseStart, runPeriod, dirty, err)
-	}
-	r.tr.Span(trace.SpanTransfer, epochID, transferStart,
-		trace.Event{Engine: engine, Bytes: bytes})
-	ackStart := clock.Now()
-	if err := r.ship(epochID, ackBytes, 1); err != nil {
-		// The replica may hold the checkpoint data, but without the
-		// acknowledgement the primary must treat it as never applied.
+			trace.Event{Engine: engine, Bytes: bytes})
+	} else {
+		if err := r.ship(epochID, bytes, streams); err != nil {
+			r.tr.Span(trace.SpanTransfer, epochID, transferStart,
+				trace.Event{Engine: engine, Bytes: bytes, Outcome: "failed"})
+			r.enc.Rollback()
+			return r.rollback(pauseStart, runPeriod, dirty, err)
+		}
+		r.tr.Span(trace.SpanTransfer, epochID, transferStart,
+			trace.Event{Engine: engine, Bytes: bytes})
+		ackStart := clock.Now()
+		if err := r.ship(epochID, ackBytes, 1); err != nil {
+			// The replica may hold the checkpoint data, but without the
+			// acknowledgement the primary must treat it as never applied.
+			r.tr.Span(trace.SpanAck, epochID, ackStart,
+				trace.Event{Engine: engine, Bytes: ackBytes, Outcome: "failed"})
+			r.enc.Rollback()
+			return r.rollback(pauseStart, runPeriod, dirty, err)
+		}
 		r.tr.Span(trace.SpanAck, epochID, ackStart,
-			trace.Event{Engine: engine, Bytes: ackBytes, Outcome: "failed"})
-		r.enc.Rollback()
-		return r.rollback(pauseStart, runPeriod, dirty, err)
+			trace.Event{Engine: engine, Bytes: ackBytes})
 	}
-	r.tr.Span(trace.SpanAck, epochID, ackStart,
-		trace.Event{Engine: engine, Bytes: ackBytes})
 	// Decode atomically on the replica only once acknowledged — a
 	// checkpoint that failed mid-flight above leaves the previous
 	// acknowledged checkpoint intact. The decoder re-validates every
@@ -1063,7 +1187,16 @@ func (r *Replicator) checkpoint(runPeriod time.Duration, resync bool) (Checkpoin
 	if err != nil {
 		return CheckpointStats{}, fmt.Errorf("replication: apply: %w", err)
 	}
-	r.enc.Commit()
+	if overwrite {
+		// Overwrite streams carry no deltas and never staged a baseline;
+		// rebuild the codec's delta cache from the now-reconciled replica
+		// content so the next checkpoint diffs against it.
+		if err := r.enc.Prime(r.dstMem); err != nil {
+			return CheckpointStats{}, fmt.Errorf("replication: reprime: %w", err)
+		}
+	} else {
+		r.enc.Commit()
+	}
 
 	pause := clock.Since(pauseStart)
 	r.primary.Resume()

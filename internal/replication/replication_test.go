@@ -62,7 +62,7 @@ func newRig(t *testing.T, memBytes uint64, vcpus int) *rig {
 func (r *rig) here(t *testing.T, cfg replication.Config) *replication.Replicator {
 	t.Helper()
 	cfg.Engine = replication.EngineHERE
-	cfg.Link = r.link
+	cfg.Transport = r.link
 	rep, err := replication.New(r.vm, r.kh, cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -73,7 +73,7 @@ func (r *rig) here(t *testing.T, cfg replication.Config) *replication.Replicator
 func TestNewValidation(t *testing.T) {
 	r := newRig(t, 1<<22, 2)
 	valid := replication.Config{
-		Engine: replication.EngineHERE, Link: r.link, Period: time.Second,
+		Engine: replication.EngineHERE, Transport: r.link, Period: time.Second,
 	}
 	if _, err := replication.New(nil, r.kh, valid); err == nil {
 		t.Fatal("nil vm accepted")
@@ -82,7 +82,7 @@ func TestNewValidation(t *testing.T) {
 		t.Fatal("nil dst accepted")
 	}
 	bad := valid
-	bad.Link = nil
+	bad.Transport = nil
 	if _, err := replication.New(r.vm, r.kh, bad); err == nil {
 		t.Fatal("nil link accepted")
 	}
@@ -133,7 +133,7 @@ func TestNewRejectsIncompatibleFeatureBoot(t *testing.T) {
 		t.Fatal(err)
 	}
 	_, err = replication.New(vm, kh, replication.Config{
-		Engine: replication.EngineHERE, Link: link, Period: time.Second,
+		Engine: replication.EngineHERE, Transport: link, Period: time.Second,
 	})
 	if !errors.Is(err, translate.ErrFeatureMismatch) {
 		t.Fatalf("err = %v, want ErrFeatureMismatch", err)
@@ -391,7 +391,7 @@ func TestHERECheckpointFasterThanRemus(t *testing.T) {
 			t.Fatal(err)
 		}
 		cfg := replication.Config{
-			Engine: engine, Link: link, Period: 8 * time.Second,
+			Engine: engine, Transport: link, Period: 8 * time.Second,
 		}
 		if loaded {
 			w, err := workload.NewMemoryBench(30, workload.DefaultWriteRate, 5)
@@ -513,7 +513,7 @@ func TestConcurrentReplicators(t *testing.T) {
 			t.Fatal(err)
 		}
 		rep, err := replication.New(vm, kh, replication.Config{
-			Engine: replication.EngineHERE, Link: link, Period: time.Second,
+			Engine: replication.EngineHERE, Transport: link, Period: time.Second,
 		})
 		if err != nil {
 			t.Fatal(err)

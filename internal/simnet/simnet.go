@@ -17,6 +17,7 @@ package simnet
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"time"
 
@@ -161,6 +162,13 @@ func (l *Link) Instrument(reg *trace.Registry) {
 func NewLink(cfg LinkConfig, clock vclock.Clock) (*Link, error) {
 	if cfg.BytesPerSec <= 0 {
 		return nil, fmt.Errorf("link %q: bandwidth must be positive, got %v", cfg.Name, cfg.BytesPerSec)
+	}
+	if math.IsNaN(cfg.BytesPerSec) || math.IsInf(cfg.BytesPerSec, 0) {
+		return nil, fmt.Errorf("link %q: bandwidth must be finite, got %v", cfg.Name, cfg.BytesPerSec)
+	}
+	if cfg.Latency < 0 {
+		// A negative latency would make transfers complete in the past.
+		return nil, fmt.Errorf("link %q: latency must be >= 0, got %v", cfg.Name, cfg.Latency)
 	}
 	if cfg.SingleStreamShare <= 0 || cfg.SingleStreamShare > 1 {
 		return nil, fmt.Errorf("link %q: single-stream share must be in (0,1], got %v",

@@ -2,6 +2,7 @@ package simnet
 
 import (
 	"errors"
+	"math"
 	"testing"
 	"testing/quick"
 	"time"
@@ -25,6 +26,12 @@ func TestNewLinkValidation(t *testing.T) {
 		{Name: "neg-bw", BytesPerSec: -1, SingleStreamShare: 0.5},
 		{Name: "zero-share", BytesPerSec: 1e9, SingleStreamShare: 0},
 		{Name: "big-share", BytesPerSec: 1e9, SingleStreamShare: 1.5},
+		// NaN compares false against <= 0, so it needs its own check;
+		// either way a non-finite rate must never reach TransferTime.
+		{Name: "nan-bw", BytesPerSec: math.NaN(), SingleStreamShare: 0.5},
+		{Name: "inf-bw", BytesPerSec: math.Inf(1), SingleStreamShare: 0.5},
+		{Name: "neg-inf-bw", BytesPerSec: math.Inf(-1), SingleStreamShare: 0.5},
+		{Name: "neg-latency", BytesPerSec: 1e9, Latency: -time.Millisecond, SingleStreamShare: 0.5},
 	}
 	for _, cfg := range bad {
 		if _, err := NewLink(cfg, clk); err == nil {

@@ -73,6 +73,10 @@ const (
 	// EventHeartbeatMiss is one missed heartbeat observed by the
 	// failure detector.
 	EventHeartbeatMiss
+	// EventTransport is a network-transport state transition: connect,
+	// disconnect, reconnect, fencing rejection (Outcome/Note carry the
+	// detail).
+	EventTransport
 )
 
 // String names the kind as it appears in exported traces.
@@ -104,6 +108,8 @@ func (k Kind) String() string {
 		return "fault"
 	case EventHeartbeatMiss:
 		return "heartbeat-miss"
+	case EventTransport:
+		return "transport"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}

@@ -270,6 +270,109 @@ func (e *Encoder) Encode(mem *memory.GuestMemory, pages []memory.PageNum,
 	return cp, nil
 }
 
+// EncodeOverwrite frames one checkpoint as overwrite-only content —
+// zero-run and raw frames, never deltas — regardless of the encoder's
+// mode, without touching the staged/baseline bookkeeping. This is the
+// remote-ahead resync stream: after a lost acknowledgement the replica
+// may hold an epoch the local baseline does not describe (it applied a
+// checkpoint whose ack never arrived), so XOR deltas computed against
+// the local baseline would corrupt it. Overwrite frames are correct
+// against any replica content. Once the stream is acknowledged and
+// applied locally, call Prime to rebuild the baseline from the
+// converged replica memory.
+func (e *Encoder) EncodeOverwrite(mem *memory.GuestMemory, pages []memory.PageNum,
+	state []byte, disk []DiskWrite, seq uint64) (*Checkpoint, error) {
+
+	start := time.Now()
+	if mem == nil {
+		return nil, fmt.Errorf("wire: encode: nil memory")
+	}
+	for _, p := range pages {
+		if p >= mem.NumPages() {
+			return nil, fmt.Errorf("wire: encode: page %d beyond memory (%d pages)",
+				p, mem.NumPages())
+		}
+	}
+
+	var stats Stats
+	stream := appendHeader(nil)
+	var (
+		buf      [memory.PageSize]byte
+		payload  []byte
+		runStart memory.PageNum
+		runLen   uint32
+	)
+	flushRun := func() {
+		if runLen == 0 {
+			return
+		}
+		payload = payload[:0]
+		payload = binary.LittleEndian.AppendUint64(payload, uint64(runStart))
+		payload = binary.LittleEndian.AppendUint32(payload, runLen)
+		stream = appendFrame(stream, frameZeroRun, payload)
+		stats.ZeroFrames++
+		stats.ZeroPages += int64(runLen)
+		runLen = 0
+	}
+	seen := make(map[memory.PageNum]struct{}, len(pages))
+	for _, p := range pages {
+		if _, dup := seen[p]; dup {
+			continue
+		}
+		seen[p] = struct{}{}
+		zero := !mem.Populated(p)
+		if !zero {
+			_ = mem.ReadPage(p, buf[:])
+			zero = allZero(buf[:])
+		}
+		if zero {
+			if runLen > 0 && p == runStart+memory.PageNum(runLen) {
+				runLen++
+			} else {
+				flushRun()
+				runStart, runLen = p, 1
+			}
+			continue
+		}
+		flushRun()
+		payload = payload[:0]
+		payload = binary.LittleEndian.AppendUint64(payload, uint64(p))
+		payload = append(payload, buf[:]...)
+		stream = appendFrame(stream, frameRaw, payload)
+		stats.RawFrames++
+	}
+	flushRun()
+
+	var scratch []byte
+	for _, w := range disk {
+		if len(w.Data) != SectorSize {
+			return nil, fmt.Errorf("wire: encode: disk write of %d bytes", len(w.Data))
+		}
+		scratch = scratch[:0]
+		scratch = binary.LittleEndian.AppendUint64(scratch, w.Sector)
+		scratch = append(scratch, w.Data...)
+		stream = appendFrame(stream, frameDisk, scratch)
+		stats.DiskFrames++
+	}
+	if state != nil {
+		stream = appendFrame(stream, frameState, state)
+		stats.StateFrames++
+	}
+	commit := make([]byte, 0, commitPayloadSize)
+	commit = binary.LittleEndian.AppendUint64(commit, seq)
+	commit = binary.LittleEndian.AppendUint64(commit,
+		uint64(stats.ZeroPages)+uint64(stats.RawFrames))
+	commit = binary.LittleEndian.AppendUint32(commit, uint32(stats.DiskFrames))
+	commit = binary.LittleEndian.AppendUint32(commit, uint32(stats.StateFrames))
+	stream = appendFrame(stream, frameCommit, commit)
+
+	stats.RawBytes = int64(len(seen))*memory.PageSize + int64(len(state)) +
+		int64(len(disk))*SectorSize
+	stats.EncodedBytes = int64(len(stream))
+	stats.EncodeTime = time.Since(start)
+	return &Checkpoint{Seq: seq, Stream: stream, WireSize: stats.EncodedBytes, Stats: stats}, nil
+}
+
 // encodeShard frames one worker's pages.
 func (e *Encoder) encodeShard(mem *memory.GuestMemory,
 	baseline map[memory.PageNum][]byte, pages []memory.PageNum) shardFrames {
