@@ -1,8 +1,8 @@
 GO ?= go
 
-RACE_PKGS = ./internal/replication ./internal/failover ./internal/faults ./internal/simnet ./internal/trace ./internal/wire ./internal/journal ./internal/orchestrator ./internal/controlplane ./internal/transport
+RACE_PKGS = ./internal/replication ./internal/failover ./internal/faults ./internal/simnet ./internal/trace ./internal/wire ./internal/journal ./internal/orchestrator ./internal/controlplane ./internal/transport ./internal/placement ./internal/hypervisor
 
-.PHONY: check vet fmt build test race fuzz-smoke bench trace-demo serve-demo transport-demo
+.PHONY: check vet fmt build test race fuzz-smoke bench trace-demo serve-demo transport-demo placement-demo
 
 check: vet fmt build test race fuzz-smoke
 
@@ -18,23 +18,26 @@ fmt:
 build:
 	$(GO) build ./...
 
+# The experiments package alone runs 10+ minutes on a small machine —
+# give it headroom beyond go test's default 10m per-package timeout.
 test:
-	$(GO) test ./...
+	$(GO) test -timeout 30m ./...
 
 # Race-check the packages with the concurrency-sensitive state
 # machines; the full suite under -race is slow (experiments alone runs
 # for minutes).
 race:
-	$(GO) test -race . $(RACE_PKGS)
+	$(GO) test -race -timeout 30m . $(RACE_PKGS)
 
 # Replay the checked-in fuzz corpora (seed inputs only, no new input
 # generation) — fast regression coverage for the stream parsers.
 fuzz-smoke:
 	$(GO) test -run=Fuzz ./internal/...
 
-# Reduced-scale wire-codec benchmark; writes BENCH_wire.json.
+# Reduced-scale wire-codec and trace benchmarks; refreshes the
+# checked-in BENCH_wire.json and BENCH_trace.json baselines.
 bench:
-	$(GO) run ./cmd/here-bench -quick -only wire
+	$(GO) run ./cmd/here-bench -quick -only wire,trace
 
 # Replay the chaos example with tracing and dump the JSONL trace.
 trace-demo:
@@ -52,3 +55,9 @@ serve-demo:
 # resync, with the transport status printed at each step.
 transport-demo:
 	$(GO) run ./examples/twonode
+
+# Security-aware placement walkthrough: print the fleet's pairwise
+# CVE-overlap score matrix, plan a 1+2 chain, crash a secondary and
+# show the re-plan — all on the simulated four-flavor fleet.
+placement-demo:
+	$(GO) run ./examples/placement

@@ -44,7 +44,7 @@ func extractAddr(args []string) (addr string, retries int, rest []string) {
 // runClient executes one client-mode verb against the daemon at addr.
 func runClient(addr string, retries int, args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("client mode needs a verb: protect, list, status, unprotect, failover, period, events, hosts, metrics, trace, health")
+		return fmt.Errorf("client mode needs a verb: protect, list, status, unprotect, failover, period, events, hosts, placement, metrics, trace, health")
 	}
 	c := controlplane.NewClient(addr)
 	if retries >= 0 {
@@ -70,6 +70,8 @@ func runClient(addr string, retries int, args []string) error {
 		return clientEvents(c, args)
 	case "hosts":
 		return clientHosts(c)
+	case "placement":
+		return clientPlacement(c)
 	case "metrics":
 		return clientMetrics(c, args)
 	case "trace":
@@ -89,6 +91,8 @@ func clientProtect(c *controlplane.Client, args []string) error {
 	wl := fs.String("workload", "idle", "workload: idle or membench")
 	load := fs.Float64("load", 30, "membench working-set percentage")
 	seed := fs.Int64("seed", 1, "workload random seed")
+	secondaries := fs.Int("secondaries", 1, "replication chain width: number of replica hosts")
+	quorum := fs.Int("quorum", 0, "checkpoint ack quorum (0 = all legs)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -99,6 +103,8 @@ func clientProtect(c *controlplane.Client, args []string) error {
 		Workload:    *wl,
 		LoadPercent: *load,
 		Seed:        *seed,
+		Secondaries: *secondaries,
+		Quorum:      *quorum,
 	})
 	if err != nil {
 		return err
@@ -121,7 +127,13 @@ func clientList(c *controlplane.Client) error {
 		"NAME", "GEN", "MODE", "PRIMARY", "SECONDARY", "EPOCH", "PERIOD")
 	for _, vm := range vms {
 		sec := "-"
-		if vm.Secondary != nil {
+		if len(vm.Secondaries) > 0 {
+			names := make([]string, len(vm.Secondaries))
+			for i, s := range vm.Secondaries {
+				names[i] = s.Name
+			}
+			sec = strings.Join(names, "+")
+		} else if vm.Secondary != nil {
 			sec = vm.Secondary.Name
 		}
 		fmt.Fprintf(w, "%-12s %-4d %-12s %-14s %-14s %8d %10s\n",
@@ -147,11 +159,48 @@ func printStatus(st controlplane.VMStatus) {
 	fmt.Printf("vm      : %s (generation %d, %s, running=%v)\n",
 		st.Name, st.Generation, st.Mode, st.Running)
 	sec := "none (unprotected)"
-	if st.Secondary != nil {
+	if len(st.Secondaries) > 0 {
+		parts := make([]string, len(st.Secondaries))
+		for i, s := range st.Secondaries {
+			parts[i] = fmt.Sprintf("%s (%s, %s)", s.Name, s.Product, s.Health)
+		}
+		sec = strings.Join(parts, " + ")
+	} else if st.Secondary != nil {
 		sec = fmt.Sprintf("%s (%s, %s)", st.Secondary.Name, st.Secondary.Product, st.Secondary.Health)
 	}
-	fmt.Printf("pair    : %s (%s, %s) -> %s\n",
+	fmt.Printf("chain   : %s (%s, %s) -> %s\n",
 		st.Primary.Name, st.Primary.Product, st.Primary.Health, sec)
+	if len(st.Legs) > 0 {
+		quorum := st.Quorum
+		if quorum <= 0 {
+			quorum = len(st.Legs)
+		}
+		fmt.Printf("quorum  : %d of %d legs must ack each checkpoint\n", quorum, len(st.Legs))
+		for _, l := range st.Legs {
+			state := "ok"
+			switch {
+			case l.Dead:
+				state = "DEAD: " + l.DeadCause
+			case l.NeedsSeed:
+				state = "seeding"
+			}
+			fmt.Printf("  leg %d : %s (%s) acked epoch %d, %d pages pending [%s]\n",
+				l.Index, l.Host, l.Product, l.AckedEpoch, l.PendingPages, state)
+		}
+	}
+	if d := st.Placement; d != nil {
+		for _, ch := range d.Secondaries {
+			fmt.Printf("placed  : %s [%s] overlap %d CVEs, load %d, score %.1f\n",
+				ch.Host, ch.Flavor, ch.Overlap, ch.Load, ch.Score)
+		}
+		for _, rej := range d.Rejections {
+			detail := string(rej.Reason)
+			if rej.Detail != "" {
+				detail += ": " + rej.Detail
+			}
+			fmt.Printf("rejected: %s [%s] %s\n", rej.Host, rej.Flavor, detail)
+		}
+	}
 	fmt.Printf("period  : %v (budget D=%.3g, Tmax=%v)\n",
 		time.Duration(st.PeriodMS)*time.Millisecond, st.Budget,
 		time.Duration(st.MaxPeriod)*time.Millisecond)
@@ -245,6 +294,25 @@ func clientHosts(c *controlplane.Client) error {
 	fmt.Fprintf(w, "%-12s %-5s %-24s %-10s %4s\n", "NAME", "KIND", "PRODUCT", "HEALTH", "VMS")
 	for _, h := range hosts {
 		fmt.Fprintf(w, "%-12s %-5s %-24s %-10s %4d\n", h.Name, h.Kind, h.Product, h.Health, h.VMs)
+	}
+	return w.Flush()
+}
+
+func clientPlacement(c *controlplane.Client) error {
+	matrix, err := c.Placement()
+	if err != nil {
+		return err
+	}
+	if len(matrix.Pairs) == 0 {
+		fmt.Println("no host pairs (fleet has fewer than two hosts)")
+		return nil
+	}
+	w := bufio.NewWriter(os.Stdout)
+	fmt.Fprintf(w, "%-12s %-12s %-12s %-12s %8s %8s\n",
+		"PRIMARY", "SECONDARY", "P-FLAVOR", "S-FLAVOR", "OVERLAP", "SCORE")
+	for _, p := range matrix.Pairs {
+		fmt.Fprintf(w, "%-12s %-12s %-12s %-12s %8d %8.1f\n",
+			p.Primary, p.Secondary, p.PrimaryFlavor, p.SecondaryFlavor, p.Overlap, p.Score)
 	}
 	return w.Flush()
 }

@@ -27,10 +27,12 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/here-ft/here/internal/chv"
 	"github.com/here-ft/here/internal/controlplane"
 	"github.com/here-ft/here/internal/journal"
 	"github.com/here-ft/here/internal/kvm"
 	"github.com/here-ft/here/internal/orchestrator"
+	"github.com/here-ft/here/internal/qemukvm"
 	"github.com/here-ft/here/internal/replication"
 	"github.com/here-ft/here/internal/trace"
 	"github.com/here-ft/here/internal/transport"
@@ -52,6 +54,8 @@ func run(args []string) error {
 		addr        = fs.String("addr", "127.0.0.1:7070", "listen address")
 		xenHosts    = fs.Int("xen", 2, "number of Xen hosts in the fleet")
 		kvmHosts    = fs.Int("kvm", 2, "number of KVM/kvmtool hosts in the fleet")
+		qemuHosts   = fs.Int("qemukvm", 0, "number of QEMU-KVM hosts in the fleet")
+		chvHosts    = fs.Int("chv", 0, "number of Cloud Hypervisor hosts in the fleet")
 		pump        = fs.Duration("pump", controlplane.DefaultPumpInterval, "real-time interval between orchestration rounds")
 		budget      = fs.Float64("budget", 0.3, "default degradation budget D for new protections")
 		tmax        = fs.Duration("tmax", 25*time.Second, "default maximum checkpoint interval T_max")
@@ -159,6 +163,24 @@ func run(args []string) error {
 			return err
 		}
 	}
+	for i := 0; i < *qemuHosts; i++ {
+		h, err := qemukvm.New(fmt.Sprintf("qemu%d", i), clock)
+		if err != nil {
+			return err
+		}
+		if err := mgr.AddHost(h); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < *chvHosts; i++ {
+		h, err := chv.New(fmt.Sprintf("chv%d", i), clock)
+		if err != nil {
+			return err
+		}
+		if err := mgr.AddHost(h); err != nil {
+			return err
+		}
+	}
 
 	if store != nil {
 		rec, err := mgr.Recover()
@@ -189,8 +211,8 @@ func run(args []string) error {
 	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe(*addr) }()
-	log.Printf("fleet: %d xen + %d kvm hosts, pump every %v, api on http://%s",
-		*xenHosts, *kvmHosts, *pump, *addr)
+	log.Printf("fleet: %d xen + %d kvm + %d qemukvm + %d chv hosts, pump every %v, api on http://%s",
+		*xenHosts, *kvmHosts, *qemuHosts, *chvHosts, *pump, *addr)
 
 	select {
 	case err := <-errc:

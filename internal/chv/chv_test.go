@@ -1,0 +1,175 @@
+package chv_test
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/here-ft/here/internal/arch"
+	"github.com/here-ft/here/internal/chv"
+	"github.com/here-ft/here/internal/hypervisor"
+	"github.com/here-ft/here/internal/kvm"
+	"github.com/here-ft/here/internal/vclock"
+	"github.com/here-ft/here/internal/vulns"
+)
+
+func newHost(t *testing.T) *hypervisor.Host {
+	t.Helper()
+	h, err := chv.New("chvhost", vclock.NewSim())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func captured(t *testing.T, h *hypervisor.Host) arch.MachineState {
+	t.Helper()
+	vm, err := h.CreateVM(hypervisor.VMConfig{
+		Name: "vm0", MemBytes: 1 << 20, VCPUs: 2,
+		Devices: []hypervisor.DeviceSpec{
+			{Class: arch.DeviceNet, ID: "net0", MAC: "52:54:00:aa:bb:01"},
+			{Class: arch.DeviceBlock, ID: "disk0", CapacityB: 1 << 30},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm.Pause()
+	st, err := vm.CaptureState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestIdentityAndCapabilities(t *testing.T) {
+	h := newHost(t)
+	if h.Kind() != hypervisor.KindCHV {
+		t.Fatalf("kind = %v, want chv", h.Kind())
+	}
+	caps := h.Capabilities()
+	if caps.StateFormat != "chv-snapshot-tlv" || caps.DeviceNaming != "chv-virtio-pci" {
+		t.Fatalf("unexpected capabilities %+v", caps)
+	}
+	if !caps.SnapshotRestore || !caps.LiveDirtyLog {
+		t.Fatalf("chv must support both replica roles, got %+v", caps)
+	}
+	if caps.VulnFlavor != vulns.FlavorCHV {
+		t.Fatalf("vuln flavor = %q", caps.VulnFlavor)
+	}
+	// The CVE surface shared with kvmtool is exactly kvm-core (38 DoS
+	// CVEs); with Xen it is empty.
+	if got := vulns.Overlap(caps.VulnFlavor, vulns.FlavorKVM); got != 38 {
+		t.Fatalf("overlap with kvmtool = %d, want 38", got)
+	}
+	if got := vulns.Overlap(caps.VulnFlavor, vulns.FlavorXen); got != 0 {
+		t.Fatalf("overlap with xen = %d, want 0", got)
+	}
+}
+
+func TestBootStateIsNative(t *testing.T) {
+	h := newHost(t)
+	st := captured(t, h)
+	if st.IRQChip.Kind != arch.IRQChipIOAPIC {
+		t.Fatalf("irqchip = %v", st.IRQChip.Kind)
+	}
+	for i, b := range st.IRQChip.Pending {
+		if b.Vector != uint32(chv.FirstGSI+i) {
+			t.Fatalf("binding %d on GSI %d, want %d", i, b.Vector, chv.FirstGSI+i)
+		}
+	}
+	models := map[string]bool{}
+	for _, d := range st.Devices {
+		models[d.Model] = true
+	}
+	if !models["virtio-net-pci"] || !models["virtio-blk-pci"] {
+		t.Fatalf("unexpected device models %v", models)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	h := newHost(t)
+	st := captured(t, h)
+	img, err := h.EncodeState(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := h.DecodeState(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(st, got) {
+		t.Fatal("decode(encode(st)) != st")
+	}
+}
+
+// TestRejectsForeignState pins the format and flavor boundaries: a
+// kvmtool image is not a chv snapshot, and kvmtool-flavored state
+// (virtio-mmio models, GSIs from 16) does not encode as chv state —
+// the translator must convert it first.
+func TestRejectsForeignState(t *testing.T) {
+	h := newHost(t)
+	kh, err := kvm.New("kvmhost", vclock.NewSim())
+	if err != nil {
+		t.Fatal(err)
+	}
+	kvmVM, err := kh.CreateVM(hypervisor.VMConfig{
+		Name: "kvm-vm", MemBytes: 1 << 20, VCPUs: 1,
+		Devices: []hypervisor.DeviceSpec{{Class: arch.DeviceNet, ID: "net0", MAC: "52:54:00:aa:bb:02"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kvmVM.Pause()
+	kst, err := kvmVM.CaptureState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	kimg, err := kh.EncodeState(kst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.DecodeState(kimg); err == nil {
+		t.Fatal("decoded a kvmtool image as a chv snapshot")
+	}
+	if _, err := h.EncodeState(kst); err == nil {
+		t.Fatal("encoded kvmtool-flavored state without translation")
+	}
+	// Same irqchip family but kvmtool GSI numbering: still rejected.
+	shifted := kst.Clone()
+	for i := range shifted.Devices {
+		m, merr := h.DeviceModel(shifted.Devices[i].Class)
+		if merr != nil {
+			t.Fatal(merr)
+		}
+		shifted.Devices[i].Model = m
+	}
+	_, err = h.EncodeState(shifted)
+	if err == nil || !strings.Contains(err.Error(), "reserved GSI") {
+		t.Fatalf("kvmtool GSI numbering accepted: %v", err)
+	}
+}
+
+// TestRegistryBuildsBackend exercises the backend registry path the
+// fleet builders use.
+func TestRegistryBuildsBackend(t *testing.T) {
+	h, err := hypervisor.NewHostOf(chv.Backend, "via-registry", vclock.NewSim())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Product() != chv.Product {
+		t.Fatalf("product = %q", h.Product())
+	}
+	found := false
+	for _, name := range hypervisor.Backends() {
+		if name == chv.Backend {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("chv missing from registry: %v", hypervisor.Backends())
+	}
+	if _, err := hypervisor.NewHostOf("nonesuch", "x", vclock.NewSim()); err == nil {
+		t.Fatal("unknown backend accepted")
+	}
+}

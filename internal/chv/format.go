@@ -1,0 +1,313 @@
+package chv
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+
+	"github.com/here-ft/here/internal/arch"
+)
+
+// Wire format: a cloud-hypervisor style versioned snapshot stream. A
+// magic header followed by little-endian TLV segments of the form
+// (u16 numeric tag, u32 payload length, payload), terminated by an end
+// tag. Deliberate differences from the other backends' formats: byte
+// order (little-endian vs kvmtool's big-endian), tagging (numeric tags
+// vs named sections vs libxc record types), TSC frequency stored in Hz
+// as a u64 (vs KVM's kHz u32), the clock segment placed last, and
+// per-binding layout (source before GSI — the reverse of kvmtool).
+const formatMagic = "CHVSNAP\x01"
+
+// Segment tags of the snapshot stream.
+const (
+	tagConfig uint16 = 0x0001 // guest CPUID feature set
+	tagVCPU   uint16 = 0x0002 // one per vCPU
+	tagDevice uint16 = 0x0003 // one per device
+	tagIRQ    uint16 = 0x0004 // interrupt routing table
+	tagClock  uint16 = 0x0005 // timer state (always last)
+	tagEnd    uint16 = 0xFFFF
+)
+
+// EncodeState serializes chv-flavored machine state to the TLV
+// snapshot format.
+func (f flavor) EncodeState(st arch.MachineState) ([]byte, error) {
+	if err := f.ValidateNative(st); err != nil {
+		return nil, fmt.Errorf("chv encode: %w", err)
+	}
+	var out bytes.Buffer
+	out.WriteString(formatMagic)
+
+	writeSegment(&out, tagConfig, func(b *bytes.Buffer) {
+		le(b, uint64(st.Features))
+	})
+	for _, v := range st.VCPUs {
+		v := v
+		writeSegment(&out, tagVCPU, func(b *bytes.Buffer) {
+			le(b, uint32(v.ID))
+			le(b, v.Index) // revision counter first — reversed vs kvmtool
+			le(b, v.Halt)
+			le(b, v.TSC)
+			le(b, v.Regs)
+			le(b, v.APIC.ID)
+			le(b, v.APIC.TPR)
+			le(b, v.APIC.Timer) // count before divider — reversed vs kvmtool
+			le(b, v.APIC.TimerDiv)
+			leBytes(b, v.APIC.ISR) // ISR before IRR — reversed vs kvmtool
+			leBytes(b, v.APIC.IRR)
+			keys := make([]uint32, 0, len(v.MSRs))
+			for k := range v.MSRs {
+				keys = append(keys, k)
+			}
+			sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+			le(b, uint32(len(keys)))
+			for _, k := range keys {
+				le(b, k)
+				le(b, v.MSRs[k])
+			}
+		})
+	}
+	for _, d := range st.Devices {
+		d := d
+		writeSegment(&out, tagDevice, func(b *bytes.Buffer) {
+			leStr(b, d.Model) // model before id — reversed vs kvmtool
+			leStr(b, d.ID)
+			le(b, uint16(d.Class))
+			le(b, d.CapacityB)
+			leStr(b, d.MAC)
+			le(b, uint32(d.MTU))
+			le(b, uint16(d.InFlight))
+			le(b, d.WriteBack)
+		})
+	}
+	writeSegment(&out, tagIRQ, func(b *bytes.Buffer) {
+		le(b, uint32(len(st.IRQChip.Pending)))
+		for _, bind := range st.IRQChip.Pending {
+			leStr(b, bind.Source)
+			le(b, bind.Vector)
+			le(b, bind.Masked)
+		}
+	})
+	writeSegment(&out, tagClock, func(b *bytes.Buffer) {
+		le(b, st.Timers.TSCFrequencyHz) // Hz as u64 — vs KVM's kHz u32
+		le(b, st.Timers.SystemTimeNS)
+		le(b, st.Timers.WallClockSec)
+		le(b, st.Timers.WallClockNSec)
+	})
+	writeSegment(&out, tagEnd, func(*bytes.Buffer) {})
+	return out.Bytes(), nil
+}
+
+// DecodeState parses a chv snapshot stream.
+func (f flavor) DecodeState(data []byte) (arch.MachineState, error) {
+	var st arch.MachineState
+	if len(data) < len(formatMagic) || string(data[:len(formatMagic)]) != formatMagic {
+		return st, fmt.Errorf("chv decode: bad magic")
+	}
+	r := bytes.NewReader(data[len(formatMagic):])
+	sawEnd := false
+	for !sawEnd {
+		tag, payload, err := readSegment(r)
+		if err != nil {
+			return st, fmt.Errorf("chv decode: %w", err)
+		}
+		p := bytes.NewReader(payload)
+		switch tag {
+		case tagConfig:
+			var fs uint64
+			err = binary.Read(p, binary.LittleEndian, &fs)
+			st.Features = arch.FeatureSet(fs)
+		case tagVCPU:
+			var v arch.VCPUState
+			v, err = decodeVCPU(p)
+			if err == nil {
+				st.VCPUs = append(st.VCPUs, v)
+			}
+		case tagDevice:
+			var d arch.DeviceState
+			d, err = decodeDevice(p)
+			if err == nil {
+				st.Devices = append(st.Devices, d)
+			}
+		case tagIRQ:
+			st.IRQChip.Kind = arch.IRQChipIOAPIC
+			var n uint32
+			if err = binary.Read(p, binary.LittleEndian, &n); err != nil {
+				break
+			}
+			for i := uint32(0); i < n && err == nil; i++ {
+				var bind arch.IRQBinding
+				if bind.Source, err = leReadStr(p); err != nil {
+					break
+				}
+				if err = readAllLE(p, &bind.Vector, &bind.Masked); err != nil {
+					break
+				}
+				st.IRQChip.Pending = append(st.IRQChip.Pending, bind)
+			}
+		case tagClock:
+			err = readAllLE(p, &st.Timers.TSCFrequencyHz, &st.Timers.SystemTimeNS,
+				&st.Timers.WallClockSec, &st.Timers.WallClockNSec)
+		case tagEnd:
+			sawEnd = true
+		default:
+			return st, fmt.Errorf("chv decode: unknown tag %#04x", tag)
+		}
+		if err != nil {
+			return st, fmt.Errorf("chv decode: tag %#04x: %w", tag, err)
+		}
+	}
+	if err := f.ValidateNative(st); err != nil {
+		return st, fmt.Errorf("chv decode: %w", err)
+	}
+	return st, nil
+}
+
+func decodeVCPU(p *bytes.Reader) (arch.VCPUState, error) {
+	var v arch.VCPUState
+	var id uint32
+	if err := readAllLE(p, &id, &v.Index, &v.Halt, &v.TSC); err != nil {
+		return v, err
+	}
+	v.ID = int(id)
+	if err := binary.Read(p, binary.LittleEndian, &v.Regs); err != nil {
+		return v, err
+	}
+	if err := readAllLE(p, &v.APIC.ID, &v.APIC.TPR, &v.APIC.Timer, &v.APIC.TimerDiv); err != nil {
+		return v, err
+	}
+	var err error
+	if v.APIC.ISR, err = leReadBytes(p); err != nil {
+		return v, err
+	}
+	if v.APIC.IRR, err = leReadBytes(p); err != nil {
+		return v, err
+	}
+	var nMSRs uint32
+	if err := binary.Read(p, binary.LittleEndian, &nMSRs); err != nil {
+		return v, err
+	}
+	if int64(nMSRs) > int64(p.Len()) {
+		return v, fmt.Errorf("msr count %d exceeds remaining input", nMSRs)
+	}
+	if nMSRs > 0 {
+		v.MSRs = make(map[uint32]uint64, nMSRs)
+		for i := uint32(0); i < nMSRs; i++ {
+			var k uint32
+			var val uint64
+			if err := readAllLE(p, &k, &val); err != nil {
+				return v, err
+			}
+			v.MSRs[k] = val
+		}
+	}
+	return v, nil
+}
+
+func decodeDevice(p *bytes.Reader) (arch.DeviceState, error) {
+	var d arch.DeviceState
+	var err error
+	if d.Model, err = leReadStr(p); err != nil {
+		return d, err
+	}
+	if d.ID, err = leReadStr(p); err != nil {
+		return d, err
+	}
+	var class uint16
+	if err := binary.Read(p, binary.LittleEndian, &class); err != nil {
+		return d, err
+	}
+	d.Class = arch.DeviceClass(class)
+	if err := binary.Read(p, binary.LittleEndian, &d.CapacityB); err != nil {
+		return d, err
+	}
+	if d.MAC, err = leReadStr(p); err != nil {
+		return d, err
+	}
+	var mtu uint32
+	var inflight uint16
+	if err := readAllLE(p, &mtu, &inflight, &d.WriteBack); err != nil {
+		return d, err
+	}
+	d.MTU = int(mtu)
+	d.InFlight = int(inflight)
+	return d, nil
+}
+
+func writeSegment(out *bytes.Buffer, tag uint16, fill func(*bytes.Buffer)) {
+	var payload bytes.Buffer
+	fill(&payload)
+	le(out, tag)
+	le(out, uint32(payload.Len()))
+	out.Write(payload.Bytes())
+}
+
+func readSegment(r *bytes.Reader) (tag uint16, payload []byte, err error) {
+	if err := binary.Read(r, binary.LittleEndian, &tag); err != nil {
+		return 0, nil, fmt.Errorf("segment tag: %w", err)
+	}
+	var length uint32
+	if err := binary.Read(r, binary.LittleEndian, &length); err != nil {
+		return 0, nil, fmt.Errorf("segment %#04x length: %w", tag, err)
+	}
+	if int64(length) > int64(r.Len()) {
+		return 0, nil, fmt.Errorf("segment %#04x length %d exceeds remaining input %d",
+			tag, length, r.Len())
+	}
+	payload = make([]byte, length)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, fmt.Errorf("segment %#04x payload: %w", tag, err)
+	}
+	return tag, payload, nil
+}
+
+func le(b *bytes.Buffer, v any) {
+	_ = binary.Write(b, binary.LittleEndian, v)
+}
+
+func leStr(b *bytes.Buffer, s string) {
+	le(b, uint16(len(s)))
+	b.WriteString(s)
+}
+
+func leBytes(b *bytes.Buffer, p []byte) {
+	le(b, uint16(len(p)))
+	b.Write(p)
+}
+
+func leReadStr(r *bytes.Reader) (string, error) {
+	var n uint16
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return "", err
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+func leReadBytes(r *bytes.Reader) ([]byte, error) {
+	var n uint16
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+func readAllLE(r *bytes.Reader, dsts ...any) error {
+	for _, d := range dsts {
+		if err := binary.Read(r, binary.LittleEndian, d); err != nil {
+			return err
+		}
+	}
+	return nil
+}

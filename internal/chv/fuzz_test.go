@@ -1,0 +1,70 @@
+package chv_test
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/here-ft/here/internal/arch"
+	"github.com/here-ft/here/internal/chv"
+	"github.com/here-ft/here/internal/hypervisor"
+	"github.com/here-ft/here/internal/vclock"
+)
+
+// FuzzDecodeState feeds arbitrary bytes to the chv snapshot parser: it
+// must never panic and, when it accepts an input, the re-encoded state
+// must decode to the same value (decode∘encode idempotence).
+func FuzzDecodeState(f *testing.F) {
+	h, err := chv.New("fuzz", vclock.NewSim())
+	if err != nil {
+		f.Fatal(err)
+	}
+	valid, err := h.EncodeState(mustState(f))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte("CHVSNAP\x01"))
+	f.Add([]byte{})
+	f.Add(valid[:len(valid)/2])
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st, err := h.DecodeState(data)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		out, err := h.EncodeState(st)
+		if err != nil {
+			t.Fatalf("accepted state fails to re-encode: %v", err)
+		}
+		st2, err := h.DecodeState(out)
+		if err != nil {
+			t.Fatalf("re-encoded state fails to decode: %v", err)
+		}
+		if !reflect.DeepEqual(st, st2) {
+			t.Fatal("decode∘encode not idempotent")
+		}
+	})
+}
+
+func mustState(f *testing.F) arch.MachineState {
+	f.Helper()
+	h, err := chv.New("fuzz-src", vclock.NewSim())
+	if err != nil {
+		f.Fatal(err)
+	}
+	vm, err := h.CreateVM(hypervisor.VMConfig{
+		Name: "fuzz-vm", MemBytes: 1 << 20, VCPUs: 2,
+		Devices: []hypervisor.DeviceSpec{
+			{Class: arch.DeviceNet, ID: "net0", MAC: "52:54:00:00:00:01"},
+		},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	vm.Pause()
+	st, err := vm.CaptureState()
+	if err != nil {
+		f.Fatal(err)
+	}
+	return st
+}

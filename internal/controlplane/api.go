@@ -10,7 +10,11 @@
 // this file are shared by the server and the Client herectl uses.
 package controlplane
 
-import "time"
+import (
+	"time"
+
+	"github.com/here-ft/here/internal/placement"
+)
 
 // APIVersion is the path prefix of the versioned API.
 const APIVersion = "v1"
@@ -39,6 +43,12 @@ type ProtectRequest struct {
 	Workload    string  `json:"workload,omitempty"`
 	LoadPercent float64 `json:"load_percent,omitempty"`
 	Seed        int64   `json:"seed,omitempty"`
+	// Secondaries requests a replication chain of N replica hosts
+	// (default 1). Widths above one need the simulated fleet links.
+	Secondaries int `json:"secondaries,omitempty"`
+	// Quorum is the number of legs that must acknowledge a checkpoint
+	// before the epoch commits; 0 means all live legs.
+	Quorum int `json:"quorum,omitempty"`
 }
 
 // HostDTO describes one fleet host.
@@ -71,6 +81,19 @@ type WireDTO struct {
 	Ratio        float64 `json:"ratio"`
 }
 
+// LegDTO mirrors replication.LegStatus on the wire: the live state of
+// one replication-chain leg.
+type LegDTO struct {
+	Index        int    `json:"index"`
+	Host         string `json:"host"`
+	Product      string `json:"product"`
+	AckedEpoch   uint64 `json:"acked_epoch"`
+	PendingPages int    `json:"pending_pages"`
+	NeedsSeed    bool   `json:"needs_seed,omitempty"`
+	Dead         bool   `json:"dead,omitempty"`
+	DeadCause    string `json:"dead_cause,omitempty"`
+}
+
 // VMStatus is the protection-status resource served by GET /v1/vms
 // and GET /v1/vms/{name}.
 type VMStatus struct {
@@ -84,12 +107,41 @@ type VMStatus struct {
 	MaxPeriod  int64    `json:"max_period_ms"`
 	Primary    HostDTO  `json:"primary"`
 	Secondary  *HostDTO `json:"secondary,omitempty"`
+	// Secondaries is the full replica chain in leg order; Want and
+	// Quorum are the requested width and effective ack quorum.
+	Secondaries []HostDTO `json:"secondaries,omitempty"`
+	Want        int       `json:"want,omitempty"`
+	Quorum      int       `json:"quorum,omitempty"`
+	// Legs is the per-leg replication state (acked epochs, backlogs).
+	Legs []LegDTO `json:"legs,omitempty"`
+	// Placement is the placement engine's rationale for this
+	// protection's current chain: chosen hosts with scores, and every
+	// rejected candidate with a typed reason (e.g. shared-cve-surface).
+	Placement *placement.Decision `json:"placement,omitempty"`
 
 	Checkpoints uint64      `json:"checkpoints"`
 	PagesSent   int64       `json:"pages_sent"`
 	BytesSent   int64       `json:"bytes_sent"`
 	Recovery    RecoveryDTO `json:"recovery"`
 	Wire        WireDTO     `json:"wire"`
+}
+
+// PlacementPairDTO is one (primary, secondary) entry of the fleet
+// score matrix served by GET /v1/placement.
+type PlacementPairDTO struct {
+	Primary         string  `json:"primary"`
+	Secondary       string  `json:"secondary"`
+	PrimaryFlavor   string  `json:"primary_flavor"`
+	SecondaryFlavor string  `json:"secondary_flavor"`
+	Overlap         int     `json:"overlap"`
+	Score           float64 `json:"score"`
+}
+
+// PlacementMatrix is the collection served by GET /v1/placement: the
+// pairwise shared-CVE/load score of every ordered host pair, the raw
+// material of the planner's decisions.
+type PlacementMatrix struct {
+	Pairs []PlacementPairDTO `json:"pairs"`
 }
 
 // FailoverRequest is the body of POST /v1/vms/{name}/failover. The

@@ -316,6 +316,13 @@ func (c *Client) Transport() ([]TransportPeerDTO, error) {
 	return out.Peers, nil
 }
 
+// Placement fetches the fleet's pairwise placement score matrix.
+func (c *Client) Placement() (PlacementMatrix, error) {
+	var out PlacementMatrix
+	err := c.do(http.MethodGet, "/v1/placement", nil, &out)
+	return out, err
+}
+
 // Hosts lists the fleet's hosts.
 func (c *Client) Hosts() ([]HostDTO, error) {
 	var out HostList

@@ -90,6 +90,24 @@ func toVMStatus(st orchestrator.Status) VMStatus {
 		dto := toHostDTO(*st.Secondary)
 		out.Secondary = &dto
 	}
+	for _, s := range st.Secondaries {
+		out.Secondaries = append(out.Secondaries, toHostDTO(s))
+	}
+	out.Want = st.Want
+	out.Quorum = st.Quorum
+	for _, l := range st.Legs {
+		out.Legs = append(out.Legs, LegDTO{
+			Index:        l.Index,
+			Host:         l.Host,
+			Product:      l.Product,
+			AckedEpoch:   l.AckedEpoch,
+			PendingPages: l.PendingPages,
+			NeedsSeed:    l.NeedsSeed,
+			Dead:         l.Dead,
+			DeadCause:    l.DeadCause,
+		})
+	}
+	out.Placement = st.Placement
 	return out
 }
 
@@ -113,10 +131,20 @@ func (s *Server) handleProtect(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
+	if req.Secondaries < 0 || req.Quorum < 0 {
+		writeError(w, badRequest("secondaries and quorum must be >= 0"))
+		return
+	}
+	if req.Quorum > 0 && req.Secondaries > 0 && req.Quorum > req.Secondaries {
+		writeError(w, badRequest("quorum %d exceeds requested secondaries %d", req.Quorum, req.Secondaries))
+		return
+	}
 	if _, err := s.m.Protect(orchestrator.VMSpec{
 		Name:         req.Name,
 		MemoryBytes:  req.MemoryBytes,
 		VCPUs:        req.VCPUs,
+		Secondaries:  req.Secondaries,
+		Quorum:       req.Quorum,
 		WorkloadSpec: wspec,
 	}); err != nil {
 		writeError(w, err)
@@ -281,6 +309,25 @@ func (s *Server) handleTransport(w http.ResponseWriter, r *http.Request) {
 			Checkpoints: p.Checkpoints,
 			SeedRounds:  p.SeedRounds,
 			Bytes:       p.Bytes,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handlePlacement serves GET /v1/placement: the fleet's pairwise
+// placement score matrix — shared DoS-CVE overlap plus load for every
+// ordered (primary, secondary) host pair.
+func (s *Server) handlePlacement(w http.ResponseWriter, r *http.Request) {
+	entries := s.m.PlacementMatrix()
+	out := PlacementMatrix{Pairs: make([]PlacementPairDTO, 0, len(entries))}
+	for _, e := range entries {
+		out.Pairs = append(out.Pairs, PlacementPairDTO{
+			Primary:         e.Primary,
+			Secondary:       e.Secondary,
+			PrimaryFlavor:   string(e.PrimaryFlavor),
+			SecondaryFlavor: string(e.SecondaryFlavor),
+			Overlap:         e.Overlap,
+			Score:           e.Score,
 		})
 	}
 	writeJSON(w, http.StatusOK, out)

@@ -136,6 +136,7 @@ func (s *Server) buildHandler() http.Handler {
 	mux.HandleFunc("GET /v1/vms/{name}/trace", s.handleTrace)
 	mux.HandleFunc("GET /v1/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/hosts", s.handleHosts)
+	mux.HandleFunc("GET /v1/placement", s.handlePlacement)
 	mux.HandleFunc("GET /v1/transport", s.handleTransport)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)

@@ -278,10 +278,20 @@ type Result struct {
 	VM *hypervisor.VM
 }
 
+// AutoLeg selects the freshest healthy chain leg automatically (see
+// Options.Leg).
+const AutoLeg = -1
+
 // Options tunes replica activation.
 type Options struct {
 	// Agent performs the guest-visible device replug, if any.
 	Agent devices.GuestAgent
+	// Leg selects which chain leg's replica to activate. The zero value
+	// is leg 0 — the paper's pairwise failover. AutoLeg activates the
+	// leg with the freshest acknowledged epoch (Replicator.FreshestLeg),
+	// the right policy for 1+N chains where a lagging or stale secondary
+	// must not win over a fresher one.
+	Leg int
 	// Monitor, when set, arms the split-brain guard: activation is
 	// refused with ErrSplitBrain while the monitor's out-of-band probe
 	// still sees the primary healthy.
@@ -332,11 +342,21 @@ func ActivateOpts(r *replication.Replicator, replicaName string, opts Options) (
 	// Fencing admitted (or not configured): disarm the guard so the
 	// shared activation core does not consume the token twice.
 	opts.Guard, opts.Token = nil, 0
-	dst := r.Destination()
+	leg := opts.Leg
+	if leg == AutoLeg {
+		var err error
+		if leg, err = r.FreshestLeg(); err != nil {
+			return res, fmt.Errorf("failover: %w", err)
+		}
+	}
+	dst, err := r.LegHost(leg)
+	if err != nil {
+		return res, fmt.Errorf("failover: %w", err)
+	}
 	if dst.Health() != hypervisor.Healthy {
 		return res, fmt.Errorf("failover: secondary host is %s", dst.Health())
 	}
-	image, mem, err := r.ReplicaImage()
+	image, mem, err := r.ReplicaImageAt(leg)
 	if err != nil {
 		return res, fmt.Errorf("failover: %w", err)
 	}

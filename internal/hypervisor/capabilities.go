@@ -1,0 +1,47 @@
+package hypervisor
+
+import (
+	"github.com/here-ft/here/internal/vulns"
+)
+
+// DirtyTracking describes the dirty-page tracking mechanism a backend
+// exposes to the replication engine, and its granularity.
+type DirtyTracking struct {
+	// Mechanism names the facility: Xen's hypervisor-maintained
+	// log-dirty bitmap, or KVM's PML-fed per-vCPU dirty rings.
+	Mechanism string
+	// PageBytes is the tracking granularity — the unit in which the
+	// engine learns about guest writes.
+	PageBytes uint64
+}
+
+// Capabilities is a backend's first-class self-description: what the
+// replication, translation and placement layers may rely on without
+// knowing the concrete implementation. Engines must consult these
+// instead of switching on Kind — a new backend then plugs in by
+// registering, not by editing every engine.
+type Capabilities struct {
+	// StateFormat names the native machine-state wire format, e.g.
+	// "xen-libxc-records". Two hosts with equal formats can exchange
+	// raw images; different formats go through the state translator.
+	StateFormat string
+	// StateVersion is the format revision EncodeState produces.
+	StateVersion int
+	// DirtyTracking is the dirty-page tracking facility.
+	DirtyTracking DirtyTracking
+	// SnapshotRestore reports whether the backend can instantiate a
+	// paused VM from translated state plus received memory — required
+	// of any host asked to hold a replica (secondary role).
+	SnapshotRestore bool
+	// LiveDirtyLog reports whether the backend can track dirty pages
+	// while the guest runs — required of any host asked to run a
+	// protected primary.
+	LiveDirtyLog bool
+	// DeviceNaming names the device-model naming scheme, e.g. "xen-pv"
+	// or "kvmtool-virtio". Purely informational: the translator always
+	// rewrites models through DeviceModel().
+	DeviceNaming string
+	// VulnFlavor is the deployment flavor in the vulnerability study —
+	// what the placement engine scores CVE overlap with (§8.2).
+	VulnFlavor vulns.Flavor
+}

@@ -21,6 +21,8 @@ type Flavor interface {
 	Features() arch.FeatureSet
 	DeviceModel(class arch.DeviceClass) (string, error)
 	Costs() CostModel
+	// Capabilities is the backend's first-class self-description.
+	Capabilities() Capabilities
 	// NewMachineState builds the initial, native-flavored machine
 	// state for a freshly booted VM.
 	NewMachineState(cfg VMConfig) (arch.MachineState, error)
@@ -100,6 +102,9 @@ func (h *Host) DeviceModel(class arch.DeviceClass) (string, error) {
 
 // Costs reports the replication cost model.
 func (h *Host) Costs() CostModel { return h.flavor.Costs() }
+
+// Capabilities reports the backend's self-description.
+func (h *Host) Capabilities() Capabilities { return h.flavor.Capabilities() }
 
 // Clock reports the host time source.
 func (h *Host) Clock() vclock.Clock { return h.clock }

@@ -22,10 +22,14 @@ import (
 // Kind identifies a hypervisor implementation.
 type Kind string
 
-// The two hypervisor implementations of the paper's prototype (§7.1).
+// The hypervisor implementation families. Xen and KVM are the paper's
+// prototype pair (§7.1); CHV is a cloud-hypervisor-style rust-vmm VMM
+// on KVM with its own state format and device naming, added to give
+// the placement engine a third genuinely different backend.
 const (
 	KindXen Kind = "xen"
 	KindKVM Kind = "kvm"
+	KindCHV Kind = "chv"
 )
 
 // HealthState is the operational state of a hypervisor host. The three
@@ -178,6 +182,11 @@ type Hypervisor interface {
 	DeviceModel(class arch.DeviceClass) (string, error)
 	// Costs reports the host's replication cost model.
 	Costs() CostModel
+	// Capabilities reports what this backend can do: state format,
+	// dirty-tracking granularity, snapshot/restore support, device
+	// naming scheme and CVE-surface flavor. Placement and replication
+	// consult this instead of switching on Kind.
+	Capabilities() Capabilities
 	// Clock reports the host's time source.
 	Clock() vclock.Clock
 

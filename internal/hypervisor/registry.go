@@ -1,0 +1,61 @@
+package hypervisor
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/here-ft/here/internal/vclock"
+)
+
+// Builder constructs a host machine running one backend's flavor.
+type Builder func(hostName string, clock vclock.Clock) (*Host, error)
+
+var (
+	regMu    sync.Mutex
+	registry = make(map[string]Builder)
+)
+
+// Register makes a backend constructable by name. Backend packages
+// call this from init() (the database/sql driver pattern), so a fleet
+// builder that imports them can create mixed-flavor hosts from
+// configuration strings. Registering a duplicate or empty name panics:
+// both are programmer errors at init time.
+func Register(name string, b Builder) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if name == "" {
+		panic("hypervisor: Register with empty backend name")
+	}
+	if b == nil {
+		panic(fmt.Sprintf("hypervisor: Register(%q) with nil builder", name))
+	}
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("hypervisor: Register(%q) called twice", name))
+	}
+	registry[name] = b
+}
+
+// Backends lists the registered backend names, sorted.
+func Backends() []string {
+	regMu.Lock()
+	defer regMu.Unlock()
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NewHostOf builds a host running the named backend. The backend's
+// package must be linked in (imported) to have registered itself.
+func NewHostOf(backend, hostName string, clock vclock.Clock) (*Host, error) {
+	regMu.Lock()
+	b, ok := registry[backend]
+	regMu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("hypervisor: unknown backend %q (registered: %v)", backend, Backends())
+	}
+	return b(hostName, clock)
+}

@@ -127,6 +127,11 @@ type ProtectionSpec struct {
 	Workload    string  `json:"workload,omitempty"`
 	LoadPercent float64 `json:"load_percent,omitempty"`
 	Seed        int64   `json:"seed,omitempty"`
+	// Secondaries is the requested replica count (0 means 1); the
+	// orchestrator re-plans toward this width after host losses.
+	Secondaries int `json:"secondaries,omitempty"`
+	// Quorum is the ack quorum committing each epoch (0 = all legs).
+	Quorum int `json:"quorum,omitempty"`
 }
 
 // FenceIntent is a pending replica activation: the fencing token was
@@ -146,9 +151,15 @@ type FenceIntent struct {
 type Protection struct {
 	Spec ProtectionSpec `json:"spec"`
 	// Primary and Secondary are host names; Secondary is empty while
-	// the VM runs unprotected.
+	// the VM runs unprotected. With an N-way chain, Secondary is the
+	// first (leg 0) entry of Secondaries — kept for compatibility with
+	// pre-chain journals.
 	Primary   string `json:"primary"`
 	Secondary string `json:"secondary,omitempty"`
+	// Secondaries is the full replica host list in leg order. Empty in
+	// journals written before chains existed; SecondaryList falls back
+	// to Secondary then.
+	Secondaries []string `json:"secondaries,omitempty"`
 	// VMName is the name of the currently active VM instance —
 	// "name" for generation 0, "name-gN" after failovers.
 	VMName string `json:"vm_name"`
@@ -164,6 +175,19 @@ type Protection struct {
 	Lost bool `json:"lost,omitempty"`
 	// Pending is an unresolved activation intent, nil otherwise.
 	Pending *FenceIntent `json:"pending,omitempty"`
+}
+
+// SecondaryList returns the replica host list in leg order, falling
+// back to the legacy single Secondary field for journals written
+// before chains existed.
+func (p *Protection) SecondaryList() []string {
+	if len(p.Secondaries) > 0 {
+		return append([]string(nil), p.Secondaries...)
+	}
+	if p.Secondary != "" {
+		return []string{p.Secondary}
+	}
+	return nil
 }
 
 // State is the full journaled control-plane state: what a restarted
@@ -191,6 +215,7 @@ func (s *State) Clone() State {
 			pending := *p.Pending
 			cp.Pending = &pending
 		}
+		cp.Secondaries = append([]string(nil), p.Secondaries...)
 		out.Protections[name] = &cp
 	}
 	return out
@@ -211,6 +236,7 @@ type Record struct {
 	Spec        *ProtectionSpec `json:"spec,omitempty"`
 	Primary     string          `json:"primary,omitempty"`
 	Secondary   string          `json:"secondary,omitempty"`
+	Secondaries []string        `json:"secondaries,omitempty"`
 	VMName      string          `json:"vm_name,omitempty"`
 	Target      string          `json:"target,omitempty"`
 	Generation  int             `json:"generation,omitempty"`
@@ -241,10 +267,19 @@ func (s *State) apply(r Record) {
 		if vmName == "" {
 			vmName = r.VM
 		}
+		secondaries := append([]string(nil), r.Secondaries...)
+		secondary := r.Secondary
+		if len(secondaries) == 0 && secondary != "" {
+			secondaries = []string{secondary}
+		}
+		if len(secondaries) > 0 {
+			secondary = secondaries[0]
+		}
 		s.Protections[r.VM] = &Protection{
 			Spec:        spec,
 			Primary:     r.Primary,
-			Secondary:   r.Secondary,
+			Secondary:   secondary,
+			Secondaries: secondaries,
 			VMName:      vmName,
 			Generation:  r.Generation,
 			Budget:      r.Budget,
@@ -271,23 +306,37 @@ func (s *State) apply(r Record) {
 			p.Generation = r.Generation
 			p.Primary = r.Primary
 			p.Secondary = ""
+			p.Secondaries = nil
 			p.VMName = r.VMName
 			p.AckedEpoch = 0
 			p.Pending = nil
 		}
 	case RecReprotect:
+		// Carries the FULL current secondary list (not an increment), so
+		// replay converges on the live chain regardless of which legs
+		// were dropped or added in between.
 		if p := s.Protections[r.VM]; p != nil {
-			p.Secondary = r.Secondary
+			secondaries := append([]string(nil), r.Secondaries...)
+			if len(secondaries) == 0 && r.Secondary != "" {
+				secondaries = []string{r.Secondary}
+			}
+			p.Secondaries = secondaries
+			p.Secondary = ""
+			if len(secondaries) > 0 {
+				p.Secondary = secondaries[0]
+			}
 			p.AckedEpoch = 0
 		}
 	case RecSecondaryLost:
 		if p := s.Protections[r.VM]; p != nil {
 			p.Secondary = ""
+			p.Secondaries = nil
 		}
 	case RecLost:
 		if p := s.Protections[r.VM]; p != nil {
 			p.Lost = true
 			p.Secondary = ""
+			p.Secondaries = nil
 		}
 	case RecFence:
 		// A restart voids every unresolved activation intent: recovery

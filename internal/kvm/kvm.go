@@ -13,11 +13,21 @@ import (
 
 	"github.com/here-ft/here/internal/arch"
 	"github.com/here-ft/here/internal/hypervisor"
+	"github.com/here-ft/here/internal/memory"
 	"github.com/here-ft/here/internal/vclock"
+	"github.com/here-ft/here/internal/vulns"
 )
 
 // Product is the simulated product string.
 const Product = "KVM/kvmtool"
+
+// Backend is the name this package registers under in the hypervisor
+// backend registry.
+const Backend = "kvm"
+
+func init() {
+	hypervisor.Register(Backend, New)
+}
 
 // New returns a host machine running the simulated KVM hypervisor.
 func New(hostName string, clock vclock.Clock) (*hypervisor.Host, error) {
@@ -85,6 +95,25 @@ func (flavor) Costs() hypervisor.CostModel {
 		ResumeWarmup:         40 * time.Millisecond,
 		CompressPerDirtyPage: 2 * time.Microsecond,
 		StateRecord:          250 * time.Microsecond,
+	}
+}
+
+// Capabilities describes the KVM/kvmtool backend: sectioned kvmtool
+// save images, PML-fed per-vCPU dirty rings, full snapshot/restore,
+// virtio device naming, and the kvm-core-only CVE surface that makes
+// it the paper's secondary of choice.
+func (flavor) Capabilities() hypervisor.Capabilities {
+	return hypervisor.Capabilities{
+		StateFormat:  "kvmtool-sections",
+		StateVersion: 2,
+		DirtyTracking: hypervisor.DirtyTracking{
+			Mechanism: "pml-dirty-ring",
+			PageBytes: memory.PageSize,
+		},
+		SnapshotRestore: true,
+		LiveDirtyLog:    true,
+		DeviceNaming:    "kvmtool-virtio",
+		VulnFlavor:      vulns.FlavorKVM,
 	}
 }
 

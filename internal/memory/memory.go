@@ -67,6 +67,19 @@ func (m *GuestMemory) PopulatedPages() int {
 	return len(m.pages)
 }
 
+// PopulatedList returns the numbers of every populated page in
+// ascending order — the page set a full-copy seeding must ship.
+func (m *GuestMemory) PopulatedList() []PageNum {
+	m.mu.RLock()
+	out := make([]PageNum, 0, len(m.pages))
+	for n := range m.pages {
+		out = append(out, n)
+	}
+	m.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
 // Populated reports whether page n is backed by real storage. An
 // unpopulated page reads as zeroes; a populated page may still be
 // logically zero if it was overwritten byte-wise. The wire encoder

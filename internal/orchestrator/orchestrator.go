@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -26,6 +27,7 @@ import (
 	"github.com/here-ft/here/internal/hypervisor"
 	"github.com/here-ft/here/internal/journal"
 	"github.com/here-ft/here/internal/period"
+	"github.com/here-ft/here/internal/placement"
 	"github.com/here-ft/here/internal/replication"
 	"github.com/here-ft/here/internal/simnet"
 	"github.com/here-ft/here/internal/trace"
@@ -154,6 +156,18 @@ type VMSpec struct {
 	Name        string
 	MemoryBytes uint64
 	VCPUs       int
+	// Secondaries is the requested replication chain width: the number
+	// of replica hosts the VM checkpoints to (paper §8.2 generalized to
+	// 1-primary + N-secondary). Zero means one. Widths above one require
+	// the in-process simulated links (a dialed network transport
+	// replicates pairwise).
+	Secondaries int
+	// Quorum is the number of chain legs that must acknowledge a
+	// checkpoint before the epoch commits (guest outputs release). Zero
+	// means all live legs — the strictest, zero-data-loss-on-any-single
+	// failure setting. Lower values trade failover freshness on the slow
+	// legs for checkpoint latency.
+	Quorum int
 	// Workload is an opaque in-process workload; it takes precedence
 	// over WorkloadSpec but cannot be journaled — after a crash-restart
 	// the VM recreates as an idle guest. Prefer WorkloadSpec where
@@ -172,20 +186,31 @@ type Protection struct {
 	Name       string
 	Generation int // bumped at every failover
 
-	m         *Manager
-	vm        *hypervisor.VM
-	rep       *replication.Replicator
-	mon       *failover.Monitor
-	pm        *period.Manager
-	tr        *trace.Tracer
-	primary   hypervisor.Hypervisor
-	secondary hypervisor.Hypervisor
-	wl        workload.Workload
-	wlSpec    WorkloadSpec
-	budget    float64
-	tmax      time.Duration
-	lost      bool
-	acked     uint64 // last checkpoint epoch journaled + deposited
+	m       *Manager
+	vm      *hypervisor.VM
+	rep     *replication.Replicator
+	mon     *failover.Monitor
+	pm      *period.Manager
+	tr      *trace.Tracer
+	primary hypervisor.Hypervisor
+	// secondary is the leg-0 replica host (nil while unprotected);
+	// secondaries is the full chain in leg order. Both are maintained
+	// together — single-leg protections see identical values.
+	secondary   hypervisor.Hypervisor
+	secondaries []*hypervisor.Host
+	// want is the requested chain width; the orchestrator re-plans
+	// toward it after leg losses. quorum is the configured ack quorum.
+	want   int
+	quorum int
+	// decision is the placement rationale of the most recent plan for
+	// this protection (zero before any planner involvement).
+	decision placement.Decision
+	wl       workload.Workload
+	wlSpec   WorkloadSpec
+	budget   float64
+	tmax     time.Duration
+	lost     bool
+	acked    uint64 // last checkpoint epoch journaled + deposited
 	// transport carries this protection's checkpoints: the shared
 	// simnet link, or a dedicated real network client when the manager
 	// was configured with DialTransport.
@@ -206,12 +231,24 @@ func (p *Protection) Primary() hypervisor.Hypervisor {
 	return p.primary
 }
 
-// Secondary returns the host holding the replica (nil while running
-// unprotected).
+// Secondary returns the host holding the leg-0 replica (nil while
+// running unprotected).
 func (p *Protection) Secondary() hypervisor.Hypervisor {
 	p.m.mu.Lock()
 	defer p.m.mu.Unlock()
 	return p.secondary
+}
+
+// Secondaries returns every replica host of the chain in leg order
+// (empty while running unprotected).
+func (p *Protection) Secondaries() []hypervisor.Hypervisor {
+	p.m.mu.Lock()
+	defer p.m.mu.Unlock()
+	out := make([]hypervisor.Hypervisor, len(p.secondaries))
+	for i, h := range p.secondaries {
+		out[i] = h
+	}
+	return out
 }
 
 // Lost reports whether the service was lost (no host left to run it).
@@ -266,7 +303,21 @@ type Status struct {
 	Mode       Mode
 	Running    bool
 	Primary    HostInfo
-	Secondary  *HostInfo // nil while unprotected
+	Secondary  *HostInfo // nil while unprotected; leg 0 of the chain
+	// Secondaries lists every replica host of the chain in leg order.
+	Secondaries []HostInfo
+	// Want and Quorum are the protection's requested chain width and
+	// effective acknowledgement quorum.
+	Want   int
+	Quorum int
+	// Legs is the live per-leg replication state (acked epochs, dirty
+	// backlogs, seeding/dead flags).
+	Legs []replication.LegStatus
+	// Placement is the rationale of the most recent placement plan for
+	// this protection — what was chosen and which candidates were
+	// rejected, with typed reasons. Nil when no plan was computed (e.g.
+	// restored unprotected from the journal).
+	Placement *placement.Decision
 	// Epoch is the replication checkpoint count of the current
 	// generation (the acknowledged-epoch cursor).
 	Epoch uint64
@@ -293,6 +344,10 @@ type Manager struct {
 	// operation mid-flight, simulating the process dying there.
 	crashHook func(point string) error
 
+	// planner scores replica placements by shared-CVE overlap and host
+	// load (internal/placement); built at construction.
+	planner *placement.Engine
+
 	mu      sync.Mutex
 	hosts   []*hypervisor.Host
 	links   map[string]*simnet.Link // "hostA->hostB"
@@ -317,11 +372,25 @@ func New(cfg Config) (*Manager, error) {
 		cfg.MaxPeriod = 25 * time.Second
 	}
 	return &Manager{
-		cfg:   cfg,
-		guard: failover.NewGuard(0),
-		links: make(map[string]*simnet.Link),
-		prots: make(map[string]*Protection),
+		cfg:     cfg,
+		guard:   failover.NewGuard(0),
+		planner: placement.New(placement.Config{Metrics: cfg.Metrics}),
+		links:   make(map[string]*simnet.Link),
+		prots:   make(map[string]*Protection),
 	}, nil
+}
+
+// Planner exposes the placement engine (the control plane serves its
+// score matrix on /v1/placement).
+func (m *Manager) Planner() *placement.Engine { return m.planner }
+
+// PlacementMatrix snapshots the pairwise placement scores of the
+// current fleet — every (primary, secondary) host pair with its CVE
+// overlap, load and combined score.
+func (m *Manager) PlacementMatrix() []placement.MatrixEntry {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.planner.ScoreMatrix(m.hosts)
 }
 
 // Guard exposes the fencing gate (for tests asserting fencing
@@ -421,43 +490,44 @@ func hostInfo(h hypervisor.Hypervisor) HostInfo {
 	return info
 }
 
-// pickPrimary chooses the healthy host with the fewest VMs. Caller
-// holds m.mu.
-func (m *Manager) pickPrimary() (*hypervisor.Host, error) {
-	var best *hypervisor.Host
-	for _, h := range m.hosts {
-		if h.Health() != hypervisor.Healthy {
-			continue
-		}
-		if best == nil || len(h.VMs()) < len(best.VMs()) {
-			best = h
-		}
+// mapPlanErr translates the placement engine's typed errors into the
+// orchestrator's public ones, preserving the engine detail.
+func mapPlanErr(err error) error {
+	switch {
+	case errors.Is(err, placement.ErrNoPrimary):
+		return fmt.Errorf("%w (%v)", ErrNoHost, err)
+	case errors.Is(err, placement.ErrNoSecondary):
+		return fmt.Errorf("%w (%v)", ErrNoHeterogeneous, err)
 	}
-	if best == nil {
-		return nil, ErrNoHost
-	}
-	return best, nil
+	return err
 }
 
-// pickSecondary chooses a healthy host of a different hypervisor kind
-// than the primary — the heterogeneity guarantee. Caller holds m.mu.
-func (m *Manager) pickSecondary(primary hypervisor.Hypervisor) (*hypervisor.Host, error) {
-	var best *hypervisor.Host
-	for _, h := range m.hosts {
-		if h.Health() != hypervisor.Healthy || h == primary {
-			continue
-		}
-		if h.Kind() == primary.Kind() {
-			continue
-		}
-		if best == nil || len(h.VMs()) < len(best.VMs()) {
-			best = h
-		}
+// secondaryNames flattens a chain's hosts to their names, leg order.
+func secondaryNames(secs []*hypervisor.Host) []string {
+	out := make([]string, len(secs))
+	for i, h := range secs {
+		out[i] = h.HostName()
 	}
-	if best == nil {
-		return nil, ErrNoHeterogeneous
+	return out
+}
+
+// firstName is the leg-0 host name ("" for an empty chain) — the
+// legacy single-secondary journal field.
+func firstName(secs []*hypervisor.Host) string {
+	if len(secs) == 0 {
+		return ""
 	}
-	return best, nil
+	return secs[0].HostName()
+}
+
+// chainDetail renders a chain for event logs: "k1 (QEMU-KVM 7.2)" or
+// "k1 (QEMU-KVM 7.2) + c2 (cloud-hypervisor 34)".
+func chainDetail(secs []*hypervisor.Host) string {
+	parts := make([]string, len(secs))
+	for i, s := range secs {
+		parts[i] = fmt.Sprintf("%s (%s)", s.HostName(), s.Product())
+	}
+	return strings.Join(parts, " + ")
 }
 
 // linkBetween returns (creating on first use) the replication link for
@@ -520,8 +590,10 @@ func (m *Manager) LastEventSeq() uint64 {
 	return m.nextSeq
 }
 
-// Protect boots spec on the best primary, pairs it with a
-// heterogeneous secondary, seeds replication and registers the
+// Protect boots spec on the planner's primary, pairs it with
+// Secondaries replica hosts chosen to minimize shared-CVE exposure
+// (heterogeneity is a hard gate: a replica never lands on the
+// primary's hypervisor flavor), seeds replication and registers the
 // protection.
 func (m *Manager) Protect(spec VMSpec) (*Protection, error) {
 	m.mu.Lock()
@@ -532,6 +604,13 @@ func (m *Manager) Protect(spec VMSpec) (*Protection, error) {
 	if _, ok := m.prots[spec.Name]; ok {
 		return nil, fmt.Errorf("%w: %q", ErrAlreadyExists, spec.Name)
 	}
+	want := spec.Secondaries
+	if want <= 0 {
+		want = 1
+	}
+	if m.cfg.DialTransport != nil && want > 1 {
+		return nil, fmt.Errorf("orchestrator: a dialed network transport replicates to a single secondary (requested %d)", want)
+	}
 	wl := spec.Workload
 	if wl == nil {
 		built, err := spec.WorkloadSpec.Build()
@@ -540,19 +619,23 @@ func (m *Manager) Protect(spec VMSpec) (*Protection, error) {
 		}
 		wl = built
 	}
-	primary, err := m.pickPrimary()
+	asn, err := m.planner.Plan(placement.Spec{
+		Name: spec.Name, Secondaries: want,
+	}, m.hosts)
 	if err != nil {
-		return nil, err
+		return nil, mapPlanErr(err)
 	}
-	secondary, err := m.pickSecondary(primary)
-	if err != nil {
-		return nil, err
+	primary := asn.Primary
+	chain := make([]hypervisor.Hypervisor, 0, len(asn.Secondaries)+1)
+	chain = append(chain, primary)
+	for _, s := range asn.Secondaries {
+		chain = append(chain, s)
 	}
 	vm, err := primary.CreateVM(hypervisor.VMConfig{
 		Name:     spec.Name,
 		MemBytes: spec.MemoryBytes,
 		VCPUs:    spec.VCPUs,
-		Features: translate.CompatibleFeatures(primary, secondary),
+		Features: translate.CompatibleFeaturesAll(chain...),
 		Devices: []hypervisor.DeviceSpec{
 			{Class: arch.DeviceNet, ID: "net0", MAC: "52:54:00:48:45:52"},
 			{Class: arch.DeviceConsole, ID: "con0"},
@@ -562,13 +645,16 @@ func (m *Manager) Protect(spec VMSpec) (*Protection, error) {
 		return nil, err
 	}
 	prot := &Protection{
-		Name:   spec.Name,
-		m:      m,
-		vm:     vm,
-		wl:     wl,
-		wlSpec: spec.WorkloadSpec,
-		budget: m.cfg.DegradationBudget,
-		tmax:   m.cfg.MaxPeriod,
+		Name:     spec.Name,
+		m:        m,
+		vm:       vm,
+		wl:       wl,
+		wlSpec:   spec.WorkloadSpec,
+		want:     want,
+		quorum:   spec.Quorum,
+		decision: asn.Decision,
+		budget:   m.cfg.DegradationBudget,
+		tmax:     m.cfg.MaxPeriod,
 	}
 	if !m.cfg.NoTrace {
 		prot.tr = trace.New(m.cfg.Clock, m.cfg.TraceCapacity)
@@ -576,14 +662,14 @@ func (m *Manager) Protect(spec VMSpec) (*Protection, error) {
 			prot.tr.Instrument(m.cfg.Metrics)
 		}
 	}
-	if err := m.wire(prot, primary, secondary, nil); err != nil {
+	if err := m.wire(prot, primary, asn.Secondaries, nil); err != nil {
 		_ = primary.DestroyVM(spec.Name)
 		return nil, err
 	}
 	m.prots[spec.Name] = prot
 	m.record(EventProtected, spec.Name,
-		fmt.Sprintf("%s (%s) -> %s (%s)", primary.HostName(), primary.Product(),
-			secondary.HostName(), secondary.Product()))
+		fmt.Sprintf("%s (%s) -> %s", primary.HostName(), primary.Product(),
+			chainDetail(asn.Secondaries)))
 	if err := m.journalAppend(journal.Record{
 		Kind: journal.RecProtect, VM: spec.Name,
 		Spec: &journal.ProtectionSpec{
@@ -593,9 +679,12 @@ func (m *Manager) Protect(spec VMSpec) (*Protection, error) {
 			Workload:    spec.WorkloadSpec.Name,
 			LoadPercent: spec.WorkloadSpec.LoadPercent,
 			Seed:        spec.WorkloadSpec.Seed,
+			Secondaries: want,
+			Quorum:      spec.Quorum,
 		},
 		Primary:     primary.HostName(),
-		Secondary:   secondary.HostName(),
+		Secondary:   firstName(asn.Secondaries),
+		Secondaries: secondaryNames(asn.Secondaries),
 		VMName:      spec.Name,
 		Budget:      prot.budget,
 		MaxPeriodMS: prot.tmax.Milliseconds(),
@@ -605,14 +694,22 @@ func (m *Manager) Protect(spec VMSpec) (*Protection, error) {
 	return prot, nil
 }
 
-// wire builds the replicator and monitor for prot on the given pair.
-// With resume nil the replica is seeded by a full migration; with a
-// resume state (replica memory + last acked image surviving on the
-// secondary) the replicator re-attaches in degraded mode and the first
-// healthy cycle ships only a delta resync. Caller holds m.mu.
-func (m *Manager) wire(prot *Protection, primary, secondary *hypervisor.Host, resume *replication.ResumeState) error {
-	var tp replication.Transport
+// wire builds the replication chain and monitor for prot onto the
+// given secondaries (leg order). With resume nil every replica is
+// seeded by a full migration; with a resume state (replica memory +
+// last acked image surviving on a secondary) the replicator
+// re-attaches that single leg in degraded mode and the first healthy
+// cycle ships only a delta resync. Caller holds m.mu.
+func (m *Manager) wire(prot *Protection, primary *hypervisor.Host, secondaries []*hypervisor.Host, resume *replication.ResumeState) error {
+	if len(secondaries) == 0 {
+		return fmt.Errorf("%w: nothing to wire", ErrNoHeterogeneous)
+	}
+	legs := make([]replication.Secondary, 0, len(secondaries))
+	var dialed replication.Transport
 	if m.cfg.DialTransport != nil {
+		if len(secondaries) > 1 {
+			return fmt.Errorf("orchestrator: a dialed network transport replicates to a single secondary, got %d", len(secondaries))
+		}
 		// A re-wiring replaces the protection's dedicated client; close
 		// the old one so its reconnect loop stops.
 		closeTransport(prot)
@@ -620,39 +717,42 @@ func (m *Manager) wire(prot *Protection, primary, secondary *hypervisor.Host, re
 		if err != nil {
 			return fmt.Errorf("orchestrator: dial transport: %w", err)
 		}
-		tp = t
+		dialed = t
+		legs = append(legs, replication.Secondary{Host: secondaries[0], Transport: t})
 	} else {
-		link, err := m.linkBetween(primary, secondary)
-		if err != nil {
-			return err
+		for _, s := range secondaries {
+			link, err := m.linkBetween(primary, s)
+			if err != nil {
+				return err
+			}
+			legs = append(legs, replication.Secondary{Host: s, Transport: link})
 		}
-		tp = link
 	}
 	pm, err := period.New(period.Config{D: prot.budget, Tmax: prot.tmax})
 	if err != nil {
-		closeIfDialed(m, tp)
+		closeIfDialed(m, dialed)
 		return err
 	}
-	rep, err := replication.New(prot.vm, secondary, replication.Config{
+	rep, err := replication.NewChain(prot.vm, legs, replication.Config{
 		Engine:        replication.EngineHERE,
-		Transport:     tp,
 		PeriodManager: pm,
 		Workload:      prot.wl,
 		Tracer:        prot.tr,
 		Metrics:       m.cfg.Metrics,
 		Resume:        resume,
+		Quorum:        prot.quorum,
 		// A dialed network path can drop and come back; ride outages
 		// out in degraded mode and let the reconnect-resync ladder
 		// restore protection. In-process links keep strict semantics.
 		DegradedMode: m.cfg.DialTransport != nil,
 	})
 	if err != nil {
-		closeIfDialed(m, tp)
+		closeIfDialed(m, dialed)
 		return err
 	}
 	if resume == nil {
 		if _, err := rep.Seed(); err != nil {
-			closeIfDialed(m, tp)
+			closeIfDialed(m, dialed)
 			return err
 		}
 	}
@@ -663,17 +763,18 @@ func (m *Manager) wire(prot *Protection, primary, secondary *hypervisor.Host, re
 		Metrics:  m.cfg.Metrics,
 	})
 	if err != nil {
-		closeIfDialed(m, tp)
+		closeIfDialed(m, dialed)
 		return err
 	}
 	prot.rep = rep
 	prot.mon = mon
 	prot.pm = pm
 	prot.primary = primary
-	prot.secondary = secondary
-	prot.transport = tp
+	prot.secondaries = append([]*hypervisor.Host(nil), secondaries...)
+	prot.secondary = secondaries[0]
+	prot.transport = dialed
 	prot.acked = rep.Totals().Checkpoints
-	// Park the replica-side session state on the secondary host so a
+	// Park the replica-side session state on every secondary host so a
 	// restarted control plane can resume with a delta resync instead of
 	// a full re-seed; refreshed after every acknowledged checkpoint.
 	m.depositReplica(prot)
@@ -745,20 +846,31 @@ func (m *Manager) TransportStatus() []transport.PeerStatus {
 	return out
 }
 
-// depositReplica parks prot's replica handoff state on its secondary
-// host. Caller holds m.mu.
+// depositReplica parks prot's per-leg replica handoff state on each
+// replica host. Legs still waiting for their in-checkpoint seed are
+// skipped (they have no consistent state to park yet). Caller holds
+// m.mu.
 func (m *Manager) depositReplica(p *Protection) {
-	host, ok := p.secondary.(*hypervisor.Host)
-	if !ok || p.rep == nil {
+	if p.rep == nil {
 		return
 	}
-	h, err := p.rep.Handoff()
-	if err != nil {
-		return
+	for i := 0; i < p.rep.NumLegs(); i++ {
+		lh, err := p.rep.LegHost(i)
+		if err != nil {
+			continue
+		}
+		host, ok := lh.(*hypervisor.Host)
+		if !ok {
+			continue
+		}
+		h, err := p.rep.HandoffAt(i)
+		if err != nil {
+			continue
+		}
+		_ = host.DepositReplica(p.Name, hypervisor.ReplicaDeposit{
+			Mem: h.Mem, Image: h.Image, Epoch: h.Seq,
+		})
 	}
-	_ = host.DepositReplica(p.Name, hypervisor.ReplicaDeposit{
-		Mem: h.Mem, Image: h.Image, Epoch: h.Seq,
-	})
 }
 
 // Lookup returns a protection by VM name.
@@ -829,6 +941,21 @@ func (m *Manager) statusLocked(p *Protection) Status {
 		info := hostInfo(p.secondary)
 		st.Secondary = &info
 	}
+	for _, s := range p.secondaries {
+		st.Secondaries = append(st.Secondaries, hostInfo(s))
+	}
+	st.Want = p.want
+	if st.Want <= 0 {
+		st.Want = 1
+	}
+	if p.rep != nil {
+		st.Legs = p.rep.Legs()
+		st.Quorum = p.rep.Quorum()
+	}
+	if p.decision.Primary.Host != "" {
+		d := p.decision
+		st.Placement = &d
+	}
 	switch {
 	case p.lost:
 		st.Mode = ModeLost
@@ -876,7 +1003,7 @@ func (m *Manager) Unprotect(name string) error {
 			}
 		}
 	}
-	if host, ok := p.secondary.(*hypervisor.Host); ok {
+	for _, host := range p.secondaries {
 		host.DropReplica(name)
 	}
 	closeTransport(p)
@@ -884,6 +1011,7 @@ func (m *Manager) Unprotect(name string) error {
 	p.mon = nil
 	p.pm = nil
 	p.secondary = nil
+	p.secondaries = nil
 	m.record(EventRemoved, name, detail)
 	return m.journalAppend(journal.Record{Kind: journal.RecUnprotect, VM: name})
 }
@@ -906,9 +1034,21 @@ func (m *Manager) Failover(name string) (failover.Result, error) {
 	if p.rep == nil || p.secondary == nil {
 		return failover.Result{}, fmt.Errorf("%w: %q runs unprotected", ErrNoReplica, name)
 	}
-	if p.secondary.Health() != hypervisor.Healthy {
+	// Activate the freshest replica: the live, seeded leg that
+	// acknowledged a checkpoint most recently, so no committed epoch
+	// regresses even when one secondary was lagging behind the quorum.
+	legIdx, err := p.rep.FreshestLeg()
+	if err != nil {
+		return failover.Result{}, fmt.Errorf("%w: %v", ErrNoReplica, err)
+	}
+	targetH, err := p.rep.LegHost(legIdx)
+	if err != nil {
+		return failover.Result{}, fmt.Errorf("%w: %v", ErrNoReplica, err)
+	}
+	target, ok := targetH.(*hypervisor.Host)
+	if !ok || target.Health() != hypervisor.Healthy {
 		return failover.Result{}, fmt.Errorf("%w: secondary %s is %s",
-			ErrNoReplica, p.secondary.HostName(), p.secondary.Health())
+			ErrNoReplica, targetH.HostName(), targetH.Health())
 	}
 	gen := p.Generation + 1
 	replicaName := fmt.Sprintf("%s-g%d", p.Name, gen)
@@ -918,7 +1058,7 @@ func (m *Manager) Failover(name string) (failover.Result, error) {
 	token := m.guard.Generation() + 1
 	if err := m.journalAppend(journal.Record{
 		Kind: journal.RecFenceIntent, VM: name,
-		Generation: gen, Target: p.secondary.HostName(), Fence: token,
+		Generation: gen, Target: target.HostName(), Fence: token,
 	}); err != nil {
 		return failover.Result{}, err
 	}
@@ -926,7 +1066,7 @@ func (m *Manager) Failover(name string) (failover.Result, error) {
 		return failover.Result{}, err
 	}
 	res, err := failover.ActivateOpts(p.rep, replicaName,
-		failover.Options{Monitor: p.mon, Force: true, Guard: m.guard, Token: token})
+		failover.Options{Monitor: p.mon, Force: true, Guard: m.guard, Token: token, Leg: legIdx})
 	if err != nil {
 		return failover.Result{}, fmt.Errorf("orchestrator: vm %q failover: %w", name, err)
 	}
@@ -940,16 +1080,10 @@ func (m *Manager) Failover(name string) (failover.Result, error) {
 		_ = host.DestroyVM(p.vm.Name())
 	}
 	m.record(EventFailedOver, name,
-		fmt.Sprintf("forced: resumed on %s in %v", p.secondary.HostName(), res.ResumeTime))
+		fmt.Sprintf("forced: resumed on %s in %v", target.HostName(), res.ResumeTime))
 	p.vm = res.VM
-	p.primary = p.secondary
-	p.secondary = nil
-	p.rep = nil
-	p.mon = nil
-	p.acked = 0
-	if host, ok := p.primary.(*hypervisor.Host); ok {
-		host.DropReplica(name) // the deposit is now the live VM
-	}
+	p.primary = target
+	m.retireChain(p)
 	if err := m.journalAppend(journal.Record{
 		Kind: journal.RecFailover, VM: name,
 		Generation: gen, Primary: p.primary.HostName(), VMName: replicaName, Fence: token,
@@ -1025,31 +1159,176 @@ func (m *Manager) tickOne(p *Protection) error {
 	if p.lost {
 		return nil
 	}
-	if p.primary.Health() == hypervisor.Healthy {
-		// A dead secondary means the replica is gone: drop the stale
-		// replication session and find a new heterogeneous partner.
-		if p.secondary != nil && p.secondary.Health() != hypervisor.Healthy {
-			m.dropSecondary(p)
-		}
-		if p.rep == nil {
-			// Running unprotected (no secondary was available); try to
-			// find one now.
-			return m.tryReprotect(p)
-		}
-		if _, err := p.rep.RunCycle(); err != nil {
-			switch {
-			case errors.Is(err, replication.ErrPrimaryDown):
-				return m.handleFailure(p)
-			case errors.Is(err, replication.ErrSecondaryDown):
-				m.dropSecondary(p)
-				return m.tryReprotect(p)
-			default:
-				return fmt.Errorf("orchestrator: vm %q: %w", p.Name, err)
-			}
-		}
-		return m.ackCheckpoint(p)
+	if p.primary.Health() != hypervisor.Healthy {
+		return m.handleFailure(p)
 	}
-	return m.handleFailure(p)
+	// Retire chain legs whose replica host died or whose transport
+	// fenced itself; losing the last leg drops the whole session.
+	if p.rep != nil {
+		if err := m.pruneLegs(p); err != nil {
+			return err
+		}
+	}
+	if p.rep == nil {
+		// Running unprotected (no secondary was available); try to
+		// find replicas now.
+		return m.tryReprotect(p)
+	}
+	// Restore the chain to its requested width when a replacement host
+	// is available; the new leg seeds inside the next checkpoint pause.
+	if err := m.topUpLegs(p); err != nil {
+		return err
+	}
+	if _, err := p.rep.RunCycle(); err != nil {
+		switch {
+		case errors.Is(err, replication.ErrPrimaryDown):
+			return m.handleFailure(p)
+		case errors.Is(err, replication.ErrSecondaryDown):
+			m.dropSecondaries(p)
+			return m.tryReprotect(p)
+		default:
+			return fmt.Errorf("orchestrator: vm %q: %w", p.Name, err)
+		}
+	}
+	return m.ackCheckpoint(p)
+}
+
+// pruneLegs drops chain legs whose replica host died or whose
+// transport failed permanently (the replicator marked them dead).
+// Surviving legs keep their acknowledged epochs; when no leg survives
+// the whole session is dropped and the caller re-plans from scratch.
+// Caller holds m.mu.
+func (m *Manager) pruneLegs(p *Protection) error {
+	statuses := p.rep.Legs()
+	// High to low so earlier indices stay valid across DropLeg calls.
+	for i := len(statuses) - 1; i >= 0; i-- {
+		st := statuses[i]
+		host := m.hostByName(st.Host)
+		if !st.Dead && host != nil && host.Health() == hypervisor.Healthy {
+			continue
+		}
+		if p.rep.NumLegs() == 1 {
+			m.dropSecondaries(p)
+			return nil
+		}
+		if err := p.rep.DropLeg(st.Index); err != nil {
+			return fmt.Errorf("orchestrator: vm %q: %w", p.Name, err)
+		}
+		if host != nil && host.Health() == hypervisor.Healthy {
+			host.DropReplica(p.Name)
+		}
+		m.forgetSecondary(p, st.Host)
+		detail := st.Host
+		if st.Dead {
+			detail = fmt.Sprintf("%s (%s)", st.Host, st.DeadCause)
+		}
+		m.record(EventSecondaryLost, p.Name, detail)
+		if err := m.journalAppend(journal.Record{
+			Kind: journal.RecReprotect, VM: p.Name,
+			Secondary:   firstName(p.secondaries),
+			Secondaries: secondaryNames(p.secondaries),
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// topUpLegs adds replica legs until the chain is back at its requested
+// width, planning replacements through the placement engine against
+// the hosts not already in the chain. Only simulated-link fleets fan
+// out; a dialed network transport stays pairwise. Caller holds m.mu.
+func (m *Manager) topUpLegs(p *Protection) error {
+	if m.cfg.DialTransport != nil {
+		return nil
+	}
+	primary, ok := p.primary.(*hypervisor.Host)
+	if !ok {
+		return nil
+	}
+	want := p.want
+	if want <= 0 {
+		want = 1
+	}
+	live := 0
+	inChain := make(map[string]bool)
+	for _, st := range p.rep.Legs() {
+		inChain[st.Host] = true
+		if !st.Dead {
+			live++
+		}
+	}
+	missing := want - live
+	if missing <= 0 {
+		return nil
+	}
+	pool := make([]*hypervisor.Host, 0, len(m.hosts))
+	for _, h := range m.hosts {
+		if !inChain[h.HostName()] {
+			pool = append(pool, h)
+		}
+	}
+	asn, err := m.planner.PlanSecondaries(placement.Spec{
+		Name: p.Name, Secondaries: missing, Primary: primary.HostName(),
+	}, primary, pool)
+	if err != nil {
+		// No eligible replacement right now; keep running at reduced
+		// width and retry next round.
+		return nil
+	}
+	p.decision = asn.Decision
+	for _, h := range asn.Secondaries {
+		link, err := m.linkBetween(primary, h)
+		if err != nil {
+			return err
+		}
+		if err := p.rep.AddLeg(replication.Secondary{Host: h, Transport: link}); err != nil {
+			return fmt.Errorf("orchestrator: vm %q: %w", p.Name, err)
+		}
+		p.secondaries = append(p.secondaries, h)
+		m.record(EventReprotected, p.Name,
+			fmt.Sprintf("%s (%s) joins the chain", h.HostName(), h.Product()))
+	}
+	p.secondary = p.secondaries[0]
+	return m.journalAppend(journal.Record{
+		Kind: journal.RecReprotect, VM: p.Name,
+		Secondary:   firstName(p.secondaries),
+		Secondaries: secondaryNames(p.secondaries),
+	})
+}
+
+// forgetSecondary removes one host from the protection's chain-host
+// list after its leg was dropped. Caller holds m.mu.
+func (m *Manager) forgetSecondary(p *Protection, name string) {
+	out := p.secondaries[:0]
+	for _, h := range p.secondaries {
+		if h.HostName() != name {
+			out = append(out, h)
+		}
+	}
+	p.secondaries = out
+	if len(out) > 0 {
+		p.secondary = out[0]
+	} else {
+		p.secondary = nil
+	}
+}
+
+// retireChain clears a protection's replication chain after its
+// replica was activated by a failover: every former secondary's
+// deposit is dropped (the activated copy is the live VM, the rest are
+// stale generations) and the session state is reset. Caller holds
+// m.mu.
+func (m *Manager) retireChain(p *Protection) {
+	for _, h := range p.secondaries {
+		h.DropReplica(p.Name)
+	}
+	closeTransport(p)
+	p.secondary = nil
+	p.secondaries = nil
+	p.rep = nil
+	p.mon = nil
+	p.acked = 0
 }
 
 // ackCheckpoint records checkpoint progress after a successful cycle:
@@ -1073,13 +1352,20 @@ func (m *Manager) ackCheckpoint(p *Protection) error {
 	})
 }
 
-// dropSecondary abandons a replication session whose replica host
-// died; the VM keeps running on the primary, unprotected until
+// dropSecondaries abandons a replication session with no usable leg
+// left; the VM keeps running on the primary, unprotected until
 // re-pairing succeeds. Caller holds m.mu.
-func (m *Manager) dropSecondary(p *Protection) {
-	m.record(EventSecondaryLost, p.Name, p.secondary.HostName())
+func (m *Manager) dropSecondaries(p *Protection) {
+	detail := "all replica hosts"
+	if names := secondaryNames(p.secondaries); len(names) == 1 {
+		detail = names[0]
+	} else if len(names) > 1 {
+		detail = strings.Join(names, ", ")
+	}
+	m.record(EventSecondaryLost, p.Name, detail)
 	closeTransport(p)
 	p.secondary = nil
+	p.secondaries = nil
 	p.rep = nil
 	p.mon = nil
 	p.acked = 0
@@ -1087,10 +1373,23 @@ func (m *Manager) dropSecondary(p *Protection) {
 }
 
 // handleFailure detects the failure via the heartbeat monitor, fails
-// over to the secondary and re-protects. Caller holds m.mu.
+// over to the freshest surviving chain leg and re-protects. Caller
+// holds m.mu.
 func (m *Manager) handleFailure(p *Protection) error {
-	if p.rep == nil || p.secondary == nil ||
-		p.secondary.Health() != hypervisor.Healthy {
+	var (
+		legIdx int
+		target *hypervisor.Host
+	)
+	if p.rep != nil {
+		if i, err := p.rep.FreshestLeg(); err == nil {
+			if h, lerr := p.rep.LegHost(i); lerr == nil {
+				if host, ok := h.(*hypervisor.Host); ok && host.Health() == hypervisor.Healthy {
+					legIdx, target = i, host
+				}
+			}
+		}
+	}
+	if target == nil {
 		p.lost = true
 		m.record(EventServiceLost, p.Name, "no healthy replica host")
 		_ = m.journalAppend(journal.Record{Kind: journal.RecLost, VM: p.Name})
@@ -1109,7 +1408,7 @@ func (m *Manager) handleFailure(p *Protection) error {
 	token := m.guard.Generation() + 1
 	if err := m.journalAppend(journal.Record{
 		Kind: journal.RecFenceIntent, VM: p.Name,
-		Generation: gen, Target: p.secondary.HostName(), Fence: token,
+		Generation: gen, Target: target.HostName(), Fence: token,
 	}); err != nil {
 		return err
 	}
@@ -1117,7 +1416,7 @@ func (m *Manager) handleFailure(p *Protection) error {
 		return err
 	}
 	res, err := failover.ActivateOpts(p.rep, replicaName,
-		failover.Options{Guard: m.guard, Token: token})
+		failover.Options{Guard: m.guard, Token: token, Leg: legIdx})
 	if err != nil {
 		return fmt.Errorf("orchestrator: vm %q failover: %w", p.Name, err)
 	}
@@ -1126,47 +1425,51 @@ func (m *Manager) handleFailure(p *Protection) error {
 	}
 	p.Generation = gen
 	m.record(EventFailedOver, p.Name,
-		fmt.Sprintf("resumed on %s in %v", p.secondary.HostName(), res.ResumeTime))
-	newPrimary := p.secondary
+		fmt.Sprintf("resumed on %s in %v", target.HostName(), res.ResumeTime))
 	p.vm = res.VM
-	p.primary = newPrimary
-	p.secondary = nil
-	p.rep = nil
-	p.mon = nil
-	p.acked = 0
-	if host, ok := newPrimary.(*hypervisor.Host); ok {
-		host.DropReplica(p.Name) // the deposit is now the live VM
-	}
+	p.primary = target
+	m.retireChain(p)
 	if err := m.journalAppend(journal.Record{
 		Kind: journal.RecFailover, VM: p.Name,
-		Generation: gen, Primary: newPrimary.HostName(), VMName: replicaName, Fence: token,
+		Generation: gen, Primary: target.HostName(), VMName: replicaName, Fence: token,
 	}); err != nil {
 		return err
 	}
 	return m.tryReprotect(p)
 }
 
-// tryReprotect pairs an unprotected VM with a fresh heterogeneous
-// secondary and seeds replication again. Caller holds m.mu.
+// tryReprotect pairs an unprotected VM with a freshly planned chain of
+// heterogeneous secondaries and seeds replication again. Caller holds
+// m.mu.
 func (m *Manager) tryReprotect(p *Protection) error {
 	primary, ok := p.primary.(*hypervisor.Host)
 	if !ok {
 		return fmt.Errorf("orchestrator: vm %q: unexpected host type", p.Name)
 	}
-	secondary, err := m.pickSecondary(primary)
+	want := p.want
+	if want <= 0 {
+		want = 1
+	}
+	asn, err := m.planner.PlanSecondaries(placement.Spec{
+		Name: p.Name, Secondaries: want, Primary: primary.HostName(),
+	}, primary, m.hosts)
 	if err != nil {
+		err = mapPlanErr(err)
 		if p.rep == nil {
 			m.record(EventUnprotected, p.Name, err.Error())
 		}
 		return err
 	}
-	if err := m.wire(p, primary, secondary, nil); err != nil {
+	p.decision = asn.Decision
+	if err := m.wire(p, primary, asn.Secondaries, nil); err != nil {
 		return err
 	}
 	m.record(EventReprotected, p.Name,
-		fmt.Sprintf("%s (%s) -> %s (%s)", primary.HostName(), primary.Product(),
-			secondary.HostName(), secondary.Product()))
+		fmt.Sprintf("%s (%s) -> %s", primary.HostName(), primary.Product(),
+			chainDetail(asn.Secondaries)))
 	return m.journalAppend(journal.Record{
-		Kind: journal.RecReprotect, VM: p.Name, Secondary: secondary.HostName(),
+		Kind: journal.RecReprotect, VM: p.Name,
+		Secondary:   firstName(asn.Secondaries),
+		Secondaries: secondaryNames(asn.Secondaries),
 	})
 }

@@ -4,12 +4,14 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 	"time"
 
 	"github.com/here-ft/here/internal/arch"
 	"github.com/here-ft/here/internal/failover"
 	"github.com/here-ft/here/internal/hypervisor"
 	"github.com/here-ft/here/internal/journal"
+	"github.com/here-ft/here/internal/placement"
 	"github.com/here-ft/here/internal/replication"
 	"github.com/here-ft/here/internal/trace"
 	"github.com/here-ft/here/internal/translate"
@@ -150,6 +152,7 @@ func (m *Manager) resolveIntent(name string, jp *journal.Protection) error {
 	jp.Generation = pending.Generation
 	jp.Primary = pending.Target
 	jp.Secondary = ""
+	jp.Secondaries = nil
 	jp.VMName = replicaName
 	jp.AckedEpoch = 0
 	target.DropReplica(name)
@@ -170,11 +173,16 @@ func (m *Manager) recoverOne(name string, jp *journal.Protection, rep *RecoverRe
 		m:          m,
 		budget:     jp.Budget,
 		tmax:       time.Duration(jp.MaxPeriodMS) * time.Millisecond,
+		want:       jp.Spec.Secondaries,
+		quorum:     jp.Spec.Quorum,
 		wlSpec: WorkloadSpec{
 			Name:        jp.Spec.Workload,
 			LoadPercent: jp.Spec.LoadPercent,
 			Seed:        jp.Spec.Seed,
 		},
+	}
+	if prot.want <= 0 {
+		prot.want = 1
 	}
 	if prot.budget == 0 {
 		prot.budget = m.cfg.DegradationBudget
@@ -203,13 +211,17 @@ func (m *Manager) recoverOne(name string, jp *journal.Protection, rep *RecoverRe
 	}
 
 	primary := m.hostByName(jp.Primary)
-	secondary := m.hostByName(jp.Secondary) // nil when unpaired
-	if secondary != nil && secondary.Health() != hypervisor.Healthy {
-		secondary = nil
+	// The journaled chain, filtered down to hosts that survived; empty
+	// when unpaired or every replica host died.
+	var secondaries []*hypervisor.Host
+	for _, sname := range jp.SecondaryList() {
+		if h := m.hostByName(sname); h != nil && h.Health() == hypervisor.Healthy {
+			secondaries = append(secondaries, h)
+		}
 	}
 
 	if primary == nil || primary.Health() != hypervisor.Healthy {
-		return m.recoverFailover(prot, jp, secondary, rep)
+		return m.recoverFailover(prot, jp, secondaries, rep)
 	}
 	prot.primary = primary
 
@@ -217,21 +229,44 @@ func (m *Manager) recoverOne(name string, jp *journal.Protection, rep *RecoverRe
 	if err == nil {
 		// The VM survived the control-plane crash; re-attach.
 		prot.vm = vm
-		return m.recoverAttach(prot, jp, primary, secondary, rep)
+		return m.recoverAttach(prot, jp, primary, secondaries, rep)
 	}
 	// The hosts restarted with the daemon: rebuild the VM from the
 	// journaled spec, preserving its generation.
-	return m.recoverRecreate(prot, jp, primary, secondary, rep)
+	return m.recoverRecreate(prot, jp, primary, secondaries, rep)
+}
+
+// bestDeposit picks the replica host holding the deposit with the
+// highest acknowledged epoch — ties go to chain order. Caller holds
+// m.mu.
+func bestDeposit(name string, secondaries []*hypervisor.Host) (*hypervisor.Host, hypervisor.ReplicaDeposit, bool) {
+	var (
+		bestHost *hypervisor.Host
+		best     hypervisor.ReplicaDeposit
+	)
+	for _, h := range secondaries {
+		dep, ok := h.Replica(name)
+		if !ok || len(dep.Image) == 0 {
+			continue
+		}
+		if bestHost == nil || dep.Epoch > best.Epoch {
+			bestHost, best = h, dep
+		}
+	}
+	return bestHost, best, bestHost != nil
 }
 
 // recoverAttach re-wires replication for a VM that survived on its
-// journaled primary: delta resync from the replica deposit when the
-// secondary still holds one, full re-seed otherwise. Caller holds m.mu.
+// journaled primary: delta resync from the freshest replica deposit
+// when a chain host still holds one, full re-seed onto the surviving
+// chain otherwise. A resumed chain comes back single-leg (the resume
+// protocol re-attaches one replica); subsequent ticks top it back up
+// to the journaled width. Caller holds m.mu.
 func (m *Manager) recoverAttach(prot *Protection, jp *journal.Protection,
-	primary, secondary *hypervisor.Host, rep *RecoverReport) error {
-	if secondary == nil {
-		if jp.Secondary != "" {
-			m.record(EventSecondaryLost, prot.Name, jp.Secondary)
+	primary *hypervisor.Host, secondaries []*hypervisor.Host, rep *RecoverReport) error {
+	if len(secondaries) == 0 {
+		if listed := jp.SecondaryList(); len(listed) > 0 {
+			m.record(EventSecondaryLost, prot.Name, strings.Join(listed, ", "))
 			if err := m.journalAppend(journal.Record{
 				Kind: journal.RecSecondaryLost, VM: prot.Name,
 			}); err != nil {
@@ -243,7 +278,7 @@ func (m *Manager) recoverAttach(prot *Protection, jp *journal.Protection,
 		rep.Unprotected++
 		return nil
 	}
-	if deposit, ok := secondary.Replica(prot.Name); ok && len(deposit.Image) > 0 {
+	if host, deposit, ok := bestDeposit(prot.Name, secondaries); ok {
 		seq := deposit.Epoch
 		if jp.AckedEpoch > seq {
 			// The journal acked further than the deposit claims; trust
@@ -251,43 +286,61 @@ func (m *Manager) recoverAttach(prot *Protection, jp *journal.Protection,
 			seq = jp.AckedEpoch
 		}
 		resume := &replication.ResumeState{Mem: deposit.Mem, Image: deposit.Image, Seq: seq}
-		if err := m.wire(prot, primary, secondary, resume); err != nil {
+		if err := m.wire(prot, primary, []*hypervisor.Host{host}, resume); err != nil {
 			return err
 		}
 		rep.Resumed++
 		m.record(EventRecovered, prot.Name,
 			fmt.Sprintf("resumed on %s -> %s at epoch %d (delta resync pending)",
-				primary.HostName(), secondary.HostName(), seq))
+				primary.HostName(), host.HostName(), seq))
+		if len(secondaries) > 1 || prot.want > 1 {
+			// The chain width is restored by the tick loop's top-up.
+			return m.journalAppend(journal.Record{
+				Kind: journal.RecReprotect, VM: prot.Name,
+				Secondary: host.HostName(), Secondaries: []string{host.HostName()},
+			})
+		}
 		return nil
 	}
-	// No deposit (the secondary rebooted): a full re-seed, journaled
-	// as a re-pairing so the acked-epoch cursor resets.
-	if err := m.wire(prot, primary, secondary, nil); err != nil {
+	// No deposit (the replica hosts rebooted): a full re-seed of the
+	// surviving chain, journaled as a re-pairing so the acked-epoch
+	// cursor resets.
+	if err := m.wire(prot, primary, secondaries, nil); err != nil {
 		return err
 	}
 	rep.Reseeded++
 	m.record(EventRecovered, prot.Name,
 		fmt.Sprintf("re-seeded on %s -> %s (replica deposit lost)",
-			primary.HostName(), secondary.HostName()))
+			primary.HostName(), chainDetail(secondaries)))
 	return m.journalAppend(journal.Record{
-		Kind: journal.RecReprotect, VM: prot.Name, Secondary: secondary.HostName(),
+		Kind: journal.RecReprotect, VM: prot.Name,
+		Secondary:   firstName(secondaries),
+		Secondaries: secondaryNames(secondaries),
 	})
 }
 
 // recoverRecreate rebuilds a protection whose VM is gone (daemon and
 // hosts restarted together) from the journaled spec. Caller holds m.mu.
 func (m *Manager) recoverRecreate(prot *Protection, jp *journal.Protection,
-	primary, secondary *hypervisor.Host, rep *RecoverReport) error {
-	if secondary == nil {
-		// Prefer the journaled partner, but any heterogeneous host
+	primary *hypervisor.Host, secondaries []*hypervisor.Host, rep *RecoverReport) error {
+	if len(secondaries) == 0 {
+		// Prefer the journaled partners, but any planner-approved chain
 		// will do for a rebuild.
-		if s, err := m.pickSecondary(primary); err == nil {
-			secondary = s
+		if asn, err := m.planner.PlanSecondaries(placement.Spec{
+			Name: prot.Name, Secondaries: prot.want, Primary: primary.HostName(),
+		}, primary, m.hosts); err == nil {
+			secondaries = asn.Secondaries
+			prot.decision = asn.Decision
 		}
 	}
 	features := primary.Features()
-	if secondary != nil {
-		features = translate.CompatibleFeatures(primary, secondary)
+	if len(secondaries) > 0 {
+		chain := make([]hypervisor.Hypervisor, 0, len(secondaries)+1)
+		chain = append(chain, primary)
+		for _, s := range secondaries {
+			chain = append(chain, s)
+		}
+		features = translate.CompatibleFeaturesAll(chain...)
 	}
 	vm, err := primary.CreateVM(hypervisor.VMConfig{
 		Name:     jp.VMName,
@@ -303,7 +356,7 @@ func (m *Manager) recoverRecreate(prot *Protection, jp *journal.Protection,
 		return fmt.Errorf("orchestrator: recover %q: %w", prot.Name, err)
 	}
 	prot.vm = vm
-	if secondary == nil {
+	if len(secondaries) == 0 {
 		m.record(EventUnprotected, prot.Name, "recreated without a secondary")
 		if err := m.journalAppend(journal.Record{
 			Kind: journal.RecSecondaryLost, VM: prot.Name,
@@ -314,29 +367,28 @@ func (m *Manager) recoverRecreate(prot *Protection, jp *journal.Protection,
 		rep.Recreated++
 		return nil
 	}
-	if err := m.wire(prot, primary, secondary, nil); err != nil {
+	if err := m.wire(prot, primary, secondaries, nil); err != nil {
 		return err
 	}
 	rep.Recreated++
 	m.record(EventRecovered, prot.Name,
 		fmt.Sprintf("recreated %s on %s -> %s from the journaled spec",
-			jp.VMName, primary.HostName(), secondary.HostName()))
+			jp.VMName, primary.HostName(), chainDetail(secondaries)))
 	return m.journalAppend(journal.Record{
-		Kind: journal.RecReprotect, VM: prot.Name, Secondary: secondary.HostName(),
+		Kind: journal.RecReprotect, VM: prot.Name,
+		Secondary:   firstName(secondaries),
+		Secondaries: secondaryNames(secondaries),
 	})
 }
 
 // recoverFailover handles a primary that died while the control plane
-// was down: activate the replica deposit on the journaled secondary
-// under a fresh fencing token, exactly as a live-detected failure
-// would have. Caller holds m.mu.
+// was down: activate the freshest replica deposit surviving anywhere
+// on the journaled chain under a fresh fencing token, exactly as a
+// live-detected failure would have. Caller holds m.mu.
 func (m *Manager) recoverFailover(prot *Protection, jp *journal.Protection,
-	secondary *hypervisor.Host, rep *RecoverReport) error {
-	deposit, ok := hypervisor.ReplicaDeposit{}, false
-	if secondary != nil {
-		deposit, ok = secondary.Replica(prot.Name)
-	}
-	if !ok || len(deposit.Image) == 0 {
+	secondaries []*hypervisor.Host, rep *RecoverReport) error {
+	secondary, deposit, ok := bestDeposit(prot.Name, secondaries)
+	if !ok {
 		prot.lost = true
 		rep.Lost++
 		m.record(EventServiceLost, prot.Name, "primary died with the control plane; no replica deposit survived")
@@ -362,7 +414,11 @@ func (m *Manager) recoverFailover(prot *Protection, jp *journal.Protection,
 	prot.Generation = gen
 	prot.vm = res.VM
 	prot.primary = secondary
-	secondary.DropReplica(prot.Name)
+	// The activated deposit is the live VM now; the other chain hosts'
+	// deposits are stale generations.
+	for _, h := range secondaries {
+		h.DropReplica(prot.Name)
+	}
 	rep.FailedOver++
 	m.record(EventFailedOver, prot.Name,
 		fmt.Sprintf("recovered from deposit: resumed %s on %s in %v",

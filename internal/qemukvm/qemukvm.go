@@ -15,12 +15,21 @@ import (
 	"github.com/here-ft/here/internal/hypervisor"
 	"github.com/here-ft/here/internal/kvm"
 	"github.com/here-ft/here/internal/vclock"
+	"github.com/here-ft/here/internal/vulns"
 )
 
 // Product is the simulated product string. exploit.ProductOf
 // recognizes the "QEMU" substring and attributes QEMU component
 // vulnerabilities to hosts running it.
 const Product = "QEMU-KVM 6.2"
+
+// Backend is the name this package registers under in the hypervisor
+// backend registry.
+const Backend = "qemukvm"
+
+func init() {
+	hypervisor.Register(Backend, New)
+}
 
 // New returns a host machine running KVM with the QEMU device model.
 func New(hostName string, clock vclock.Clock) (*hypervisor.Host, error) {
@@ -45,6 +54,17 @@ func (f flavor) DeviceModel(class arch.DeviceClass) (string, error) {
 }
 
 func (f flavor) Costs() hypervisor.CostModel { return f.base.Costs() }
+
+// Capabilities mirrors the kvmtool backend mechanically but swaps the
+// device naming and CVE-surface flavor: the QEMU userspace drags the
+// entire QEMU vulnerability history into this deployment, which is
+// exactly what the placement engine scores against.
+func (f flavor) Capabilities() hypervisor.Capabilities {
+	caps := f.base.Capabilities()
+	caps.DeviceNaming = "qemu-virtio"
+	caps.VulnFlavor = vulns.FlavorQEMUKVM
+	return caps
+}
 
 func (f flavor) NewMachineState(cfg hypervisor.VMConfig) (arch.MachineState, error) {
 	return f.base.NewMachineState(cfg)

@@ -1,0 +1,327 @@
+// N-way replication chains: one primary fanning checkpoints out to N
+// secondaries (legs). Each leg keeps its own wire codec (delta
+// baselines match what *that* replica acknowledged), its own replica
+// memory and translated state image, and its own pending-page set so a
+// leg that misses an epoch catches up with an ordinary delta on the
+// next one. An epoch commits — the guest's buffered output releases —
+// when a configurable quorum of legs acknowledges (default: all).
+package replication
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/here-ft/here/internal/hypervisor"
+	"github.com/here-ft/here/internal/memory"
+	"github.com/here-ft/here/internal/translate"
+	"github.com/here-ft/here/internal/wire"
+)
+
+// Secondary describes one replication target of a chain: the host that
+// holds the replica and the transport that carries its checkpoints.
+type Secondary struct {
+	Host      hypervisor.Hypervisor
+	Transport Transport
+}
+
+// ErrLegGone is returned by per-leg accessors for an index that is out
+// of range (the leg was dropped).
+var ErrLegGone = errors.New("replication: no such chain leg")
+
+// leg is the per-secondary state of a chain. All fields are guarded by
+// the owning Replicator's mutex.
+type leg struct {
+	dst hypervisor.Hypervisor
+	tp  Transport
+	// sender is non-nil when tp carries the encoded streams itself —
+	// only permitted on single-leg chains.
+	sender CheckpointSender
+	// enc is this leg's wire codec; its delta baseline tracks what THIS
+	// replica acknowledged, which may trail other legs after a miss.
+	enc *wire.Encoder
+	// mem and lastImage are the replica-side memory and the dst-native
+	// machine-state image of the leg's last acknowledged checkpoint.
+	mem       *memory.GuestMemory
+	lastImage []byte
+	// pending is the dirty-page backlog this leg has not acknowledged
+	// yet. Every checkpoint merges the global dirty snapshot into every
+	// live leg's pending; an acknowledging leg clears it, a missing leg
+	// accumulates it — the natural lagging-leg catch-up.
+	pending map[memory.PageNum]struct{}
+	// ackedSeq is the epoch watermark: checkpoints this replica applied.
+	ackedSeq uint64
+	// ackedAt is the Replicator cycle counter at the leg's last
+	// acknowledgement — the total order failover freshness is judged by
+	// (ackedSeq alone cannot distinguish two acks of a re-attempted
+	// epoch).
+	ackedAt uint64
+	// needsSeed marks a leg added mid-run (AddLeg): it is seeded with a
+	// full copy inside the next checkpoint pause, while the guest state
+	// is consistent.
+	needsSeed bool
+	// dead marks a leg whose transport failed permanently (fenced); it
+	// no longer participates and should be dropped by the control plane.
+	dead      bool
+	deadCause string
+}
+
+// LegStatus is the externally visible state of one chain leg.
+type LegStatus struct {
+	// Index is the leg's current position in the chain (leg 0 carries
+	// the replicated disk stream).
+	Index int `json:"index"`
+	// Host is the replica host's name.
+	Host string `json:"host"`
+	// Product is the replica host's hypervisor product string.
+	Product string `json:"product"`
+	// AckedEpoch is the number of checkpoints this replica has applied.
+	AckedEpoch uint64 `json:"acked_epoch"`
+	// PendingPages is the dirty backlog the leg has not acknowledged.
+	PendingPages int `json:"pending_pages"`
+	// NeedsSeed marks a leg waiting for its in-checkpoint full seed.
+	NeedsSeed bool `json:"needs_seed,omitempty"`
+	// Dead marks a permanently failed leg awaiting removal.
+	Dead bool `json:"dead,omitempty"`
+	// DeadCause is the permanent error that killed the leg.
+	DeadCause string `json:"dead_cause,omitempty"`
+}
+
+// newLeg builds the state for one secondary.
+func newLeg(sec Secondary, memBytes uint64, compression bool) *leg {
+	sender, _ := sec.Transport.(CheckpointSender)
+	return &leg{
+		dst:     sec.Host,
+		tp:      sec.Transport,
+		sender:  sender,
+		enc:     wire.NewEncoder(compression),
+		mem:     memory.NewGuestMemory(memBytes),
+		pending: make(map[memory.PageNum]struct{}),
+	}
+}
+
+// missedEpoch folds an epoch's dirty snapshot into the leg's backlog:
+// the leg failed to acknowledge the checkpoint, so its next delta must
+// carry these pages again on top of whatever it was already owed.
+func (r *Replicator) missedEpoch(l *leg, dirty []memory.PageNum) {
+	r.mu.Lock()
+	for _, p := range dirty {
+		l.pending[p] = struct{}{}
+	}
+	r.mu.Unlock()
+}
+
+// pendingPages returns the leg's backlog as a sorted page list (the
+// codec shards by region, which assumes ordered input).
+func (l *leg) pendingPages() []memory.PageNum {
+	out := make([]memory.PageNum, 0, len(l.pending))
+	for p := range l.pending {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// NewChain prepares replication of vm onto a chain of secondaries
+// (paper §8.2 generalized: 1 primary + N replicas on distinct
+// hypervisor flavors). The protected VM must have been booted with the
+// CPUID feature intersection of the whole chain
+// (translate.CompatibleFeaturesAll). Chains of more than one leg
+// require simulated transports: a CheckpointSender (real TCP peer)
+// reconciles acked epochs pairwise and cannot fan out.
+func NewChain(vm *hypervisor.VM, secondaries []Secondary, cfg Config) (*Replicator, error) {
+	if vm == nil {
+		return nil, errors.New("replication: nil vm")
+	}
+	if len(secondaries) == 0 {
+		return nil, errors.New("replication: chain needs at least one secondary")
+	}
+	for i, sec := range secondaries {
+		if sec.Host == nil || sec.Transport == nil {
+			return nil, fmt.Errorf("replication: chain leg %d: nil host or transport", i)
+		}
+		if feats := vm.MachineState().Features; !feats.IsSubsetOf(sec.Host.Features()) {
+			return nil, fmt.Errorf("%w on %s: boot the VM with translate.CompatibleFeaturesAll",
+				translate.ErrFeatureMismatch, sec.Host.Product())
+		}
+		if _, isSender := sec.Transport.(CheckpointSender); isSender && len(secondaries) > 1 {
+			return nil, errors.New("replication: multi-leg chains require simulated transports (CheckpointSender fan-out unsupported)")
+		}
+	}
+	if cfg.Resume != nil && len(secondaries) > 1 {
+		return nil, errors.New("replication: resume re-attaches a single leg; add further legs with AddLeg")
+	}
+	return newReplicator(vm, secondaries, cfg)
+}
+
+// Quorum reports the effective acknowledgement quorum for n live legs:
+// the configured Config.Quorum clamped to [1, n], with 0 meaning all.
+func (r *Replicator) Quorum() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.quorumFor(r.liveLegCount())
+}
+
+// quorumFor clamps the configured quorum to n live legs. Caller holds
+// r.mu.
+func (r *Replicator) quorumFor(n int) int {
+	q := r.cfg.Quorum
+	if q <= 0 || q > n {
+		q = n
+	}
+	if q < 1 {
+		q = 1
+	}
+	return q
+}
+
+// liveLegCount counts legs still participating. Caller holds r.mu.
+func (r *Replicator) liveLegCount() int {
+	n := 0
+	for _, l := range r.legs {
+		if !l.dead {
+			n++
+		}
+	}
+	return n
+}
+
+// NumLegs reports the chain width (including dead legs not yet
+// dropped).
+func (r *Replicator) NumLegs() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.legs)
+}
+
+// Legs snapshots every leg's status in chain order.
+func (r *Replicator) Legs() []LegStatus {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]LegStatus, len(r.legs))
+	for i, l := range r.legs {
+		out[i] = LegStatus{
+			Index:        i,
+			Host:         l.dst.HostName(),
+			Product:      l.dst.Product(),
+			AckedEpoch:   l.ackedSeq,
+			PendingPages: len(l.pending),
+			NeedsSeed:    l.needsSeed,
+			Dead:         l.dead,
+			DeadCause:    l.deadCause,
+		}
+	}
+	return out
+}
+
+// LegHost returns the replica host of leg i.
+func (r *Replicator) LegHost(i int) (hypervisor.Hypervisor, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if i < 0 || i >= len(r.legs) {
+		return nil, fmt.Errorf("%w: index %d of %d", ErrLegGone, i, len(r.legs))
+	}
+	return r.legs[i].dst, nil
+}
+
+// FreshestLeg picks the failover target: among live, seeded legs on
+// healthy hosts, the one that acknowledged most recently (ties go to
+// the lower index — leg 0 also holds the replica disk). This is the
+// paper's failover rule extended to chains: activate the replica with
+// the freshest acknowledged epoch, so no committed state regresses.
+func (r *Replicator) FreshestLeg() (int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	best := -1
+	for i, l := range r.legs {
+		if l.dead || l.needsSeed || l.dst.Health() != hypervisor.Healthy {
+			continue
+		}
+		if best < 0 || l.ackedAt > r.legs[best].ackedAt {
+			best = i
+		}
+	}
+	if best < 0 {
+		return 0, errors.New("replication: no healthy seeded leg to activate")
+	}
+	return best, nil
+}
+
+// ReplicaImageAt returns leg i's machine-state image and replica
+// memory as of its last acknowledged checkpoint. The memory must be
+// treated as read-only by callers other than failover.
+func (r *Replicator) ReplicaImageAt(i int) (image []byte, mem *memory.GuestMemory, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if i < 0 || i >= len(r.legs) {
+		return nil, nil, fmt.Errorf("%w: index %d of %d", ErrLegGone, i, len(r.legs))
+	}
+	if !r.seeded || r.legs[i].needsSeed {
+		return nil, nil, ErrNotSeeded
+	}
+	return r.legs[i].lastImage, r.legs[i].mem, nil
+}
+
+// HandoffAt exports leg i's resume state (see Handoff).
+func (r *Replicator) HandoffAt(i int) (*ResumeState, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if i < 0 || i >= len(r.legs) {
+		return nil, fmt.Errorf("%w: index %d of %d", ErrLegGone, i, len(r.legs))
+	}
+	l := r.legs[i]
+	if !r.seeded || l.needsSeed {
+		return nil, ErrNotSeeded
+	}
+	return &ResumeState{
+		Mem:   l.mem,
+		Image: append([]byte(nil), l.lastImage...),
+		Seq:   l.ackedSeq,
+	}, nil
+}
+
+// AddLeg appends a new secondary to a running chain. The leg is seeded
+// with a full copy inside the next checkpoint pause — the only moment
+// the guest state is consistent — and participates from then on. The
+// restriction on real network transports is the same as NewChain's.
+func (r *Replicator) AddLeg(sec Secondary) error {
+	if sec.Host == nil || sec.Transport == nil {
+		return errors.New("replication: nil host or transport")
+	}
+	if feats := r.primary.MachineState().Features; !feats.IsSubsetOf(sec.Host.Features()) {
+		return fmt.Errorf("%w on %s: chain feature intersection violated",
+			translate.ErrFeatureMismatch, sec.Host.Product())
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.state == StateFailedOver {
+		return ErrFailedOver
+	}
+	if _, isSender := sec.Transport.(CheckpointSender); isSender || (len(r.legs) > 0 && r.legs[0].sender != nil) {
+		return errors.New("replication: multi-leg chains require simulated transports")
+	}
+	l := newLeg(sec, r.primary.Memory().SizeBytes(), r.cfg.Compression)
+	l.enc.Instrument(r.reg)
+	l.needsSeed = r.seeded
+	r.legs = append(r.legs, l)
+	return nil
+}
+
+// DropLeg removes leg i from the chain (a dead transport, a replica
+// host being drained). The remaining legs keep their acknowledged
+// epochs — no replica regresses — and if the dropped leg was leg 0 the
+// next leg inherits the replicated-disk stream, which is safe because
+// the disk journal re-ships every epoch not yet marked committed. The
+// last leg cannot be dropped; tear the replicator down instead.
+func (r *Replicator) DropLeg(i int) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if i < 0 || i >= len(r.legs) {
+		return fmt.Errorf("%w: index %d of %d", ErrLegGone, i, len(r.legs))
+	}
+	if len(r.legs) == 1 {
+		return errors.New("replication: cannot drop the last leg")
+	}
+	r.legs = append(r.legs[:i], r.legs[i+1:]...)
+	return nil
+}

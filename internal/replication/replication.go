@@ -1,6 +1,6 @@
 // Package replication is the core of HERE: continuous asynchronous
-// state replication (ASR) of a protected VM onto a secondary host
-// running a possibly different hypervisor (paper §3–§5).
+// state replication (ASR) of a protected VM onto one or more secondary
+// hosts running possibly different hypervisors (paper §3–§5).
 //
 // Two engines are provided:
 //
@@ -14,6 +14,12 @@
 // The replication cycle follows Fig 3: pause → copy dirtied memory →
 // send vCPU/device state → wait for the replica's acknowledgement →
 // resume → release the checkpoint's buffered network output.
+//
+// A replicator drives a chain of one or more legs (see chain.go): each
+// checkpoint fans out to every leg, and the epoch commits — releasing
+// the buffered output — once a configurable quorum of legs
+// acknowledges. With a single leg the behavior is exactly the paper's
+// pairwise protocol.
 package replication
 
 import (
@@ -270,8 +276,10 @@ var _ PeriodPolicy = (*period.Manager)(nil)
 
 // Errors reported by the replicator.
 var (
-	ErrNotSeeded     = errors.New("replication: not seeded yet")
-	ErrPrimaryDown   = errors.New("replication: primary host is down")
+	ErrNotSeeded   = errors.New("replication: not seeded yet")
+	ErrPrimaryDown = errors.New("replication: primary host is down")
+	// ErrSecondaryDown means no live leg's host is healthy — with one
+	// leg, exactly "the secondary host is down".
 	ErrSecondaryDown = errors.New("replication: secondary host is down")
 	ErrFailedOver    = errors.New("replication: replica already activated")
 	// ErrDegraded wraps a checkpoint failure that exhausted the retry
@@ -296,6 +304,8 @@ type Config struct {
 	// *transport.Client streaming to a peer daemon over TCP. A
 	// Transport that also implements CheckpointSender ships the encoded
 	// streams themselves and reconciles acked epochs on reconnect.
+	// Chains built with NewChain carry a transport per secondary and
+	// ignore this field.
 	Transport Transport
 	// Threads is the number of transfer threads (EngineHERE only,
 	// DefaultThreads if 0). Remus always uses one.
@@ -315,6 +325,14 @@ type Config struct {
 	// controller (period.Manager), the two-level Adaptive Remus policy
 	// (period.AdaptiveRemus), or any custom PeriodPolicy.
 	PeriodManager PeriodPolicy
+	// Quorum is the number of legs whose acknowledgement commits an
+	// epoch and releases the guest's buffered output. 0 (the default)
+	// means all live legs: every replica can then serve a failover
+	// with no released output lost. Lower values bound the pause by
+	// the fastest Quorum acknowledgements instead, at the cost of the
+	// lagging legs trailing the released output. Clamped to the live
+	// leg count; irrelevant for single-leg chains.
+	Quorum int
 	// Workload is the guest activity executed between checkpoints
 	// (nil = idle guest). It may be replaced with SetWorkload.
 	Workload workload.Workload
@@ -351,6 +369,7 @@ type Config struct {
 	// healthy cycle ships a delta resync of the pages dirtied since —
 	// no full re-seed. The encoder's delta baseline is primed from the
 	// resumed memory. Nil starts unseeded as usual (Seed required).
+	// Resume re-attaches exactly one leg; widen with AddLeg after.
 	Resume *ResumeState
 }
 
@@ -370,9 +389,11 @@ type CheckpointStats struct {
 	Seq uint64
 	// Epoch is the I/O buffering epoch this checkpoint released.
 	Epoch devices.Epoch
-	// DirtyPages is the number of pages transferred.
+	// DirtyPages is the number of pages the primary dirtied this
+	// epoch (per-leg backlogs may be larger after missed epochs).
 	DirtyPages int
-	// Bytes is the traffic placed on the replication link.
+	// Bytes is the traffic placed on the replication links by the
+	// acknowledged legs.
 	Bytes int64
 	// Pause is the measured pause duration t (Fig 3).
 	Pause time.Duration
@@ -393,7 +414,8 @@ type CheckpointStats struct {
 	// the outage, not the full memory.
 	Resync bool
 	// Wire is the checkpoint's measured wire-codec statistics: raw vs
-	// encoded bytes, the per-encoding frame mix, and encode time.
+	// encoded bytes, the per-encoding frame mix, and encode time
+	// (leg 0's stream, which also carries the disk journal).
 	Wire wire.Stats
 }
 
@@ -437,19 +459,15 @@ func (t Totals) MeanDegradation() float64 {
 	return float64(t.TotalPause) / float64(total)
 }
 
-// Replicator continuously replicates one protected VM to a secondary
-// hypervisor. It is safe for concurrent use.
+// Replicator continuously replicates one protected VM onto a chain of
+// one or more secondary hypervisors. It is safe for concurrent use.
 type Replicator struct {
 	cfg     Config
 	primary *hypervisor.VM
 	src     hypervisor.Hypervisor
-	dst     hypervisor.Hypervisor
 	threads int
 	retry   RetryPolicy
-	enc     *wire.Encoder
-	// sender is non-nil when the configured Transport carries the
-	// encoded streams itself (real network transport).
-	sender CheckpointSender
+	reg     *trace.Registry
 
 	tr *trace.Tracer
 
@@ -469,24 +487,29 @@ type Replicator struct {
 	periodHist      *trace.Histogram
 	timeline        *metrics.Timeline
 
-	mu         sync.Mutex
-	rng        *rand.Rand // jitter source for retry backoff
-	state      State
-	seeded     bool
-	seq        uint64
-	dstMem     *memory.GuestMemory
+	mu     sync.Mutex
+	rng    *rand.Rand // jitter source for retry backoff
+	state  State
+	seeded bool
+	seq    uint64
+	// cycles counts checkpoint attempts (committed or not); each leg
+	// stamps it on acknowledgement, giving failover a total freshness
+	// order even across partially acknowledged epochs.
+	cycles     uint64
+	legs       []*leg
 	disk       *blockdev.ReplicatedDisk
 	iob        *devices.IOBuffer
-	lastImage  []byte // dst-native machine state of the last acked checkpoint
 	lastEpoch  devices.Epoch
 	totals     Totals
 	history    []CheckpointStats
 	runStarted time.Time
 }
 
-// New prepares replication of vm onto dst. The protected VM must have
-// been booted with CPUID features the destination supports — boot it
-// with translate.CompatibleFeatures for heterogeneous pairs.
+// New prepares replication of vm onto the single secondary dst over
+// cfg.Transport — the paper's pairwise setup. The protected VM must
+// have been booted with CPUID features the destination supports — boot
+// it with translate.CompatibleFeatures for heterogeneous pairs. For
+// 1+N chains use NewChain.
 func New(vm *hypervisor.VM, dst hypervisor.Hypervisor, cfg Config) (*Replicator, error) {
 	if vm == nil || dst == nil {
 		return nil, errors.New("replication: nil vm or destination")
@@ -494,15 +517,16 @@ func New(vm *hypervisor.VM, dst hypervisor.Hypervisor, cfg Config) (*Replicator,
 	if cfg.Transport == nil {
 		return nil, errors.New("replication: nil transport")
 	}
+	return NewChain(vm, []Secondary{{Host: dst, Transport: cfg.Transport}}, cfg)
+}
+
+// newReplicator is the shared constructor behind New and NewChain.
+func newReplicator(vm *hypervisor.VM, secondaries []Secondary, cfg Config) (*Replicator, error) {
 	if cfg.Engine != EngineRemus && cfg.Engine != EngineHERE {
 		return nil, fmt.Errorf("replication: unknown engine %d", int(cfg.Engine))
 	}
 	if cfg.PeriodManager == nil && cfg.Period <= 0 {
 		return nil, errors.New("replication: need a fixed Period or a PeriodManager")
-	}
-	if feats := vm.MachineState().Features; !feats.IsSubsetOf(dst.Features()) {
-		return nil, fmt.Errorf("%w: boot the VM with translate.CompatibleFeatures",
-			translate.ErrFeatureMismatch)
 	}
 	threads := 1
 	if cfg.Engine == EngineHERE {
@@ -516,8 +540,12 @@ func New(vm *hypervisor.VM, dst hypervisor.Hypervisor, cfg Config) (*Replicator,
 	if reg == nil {
 		reg = trace.NewRegistry()
 	}
-	enc := wire.NewEncoder(cfg.Compression)
-	enc.Instrument(reg)
+	legs := make([]*leg, 0, len(secondaries))
+	for _, sec := range secondaries {
+		l := newLeg(sec, vm.Memory().SizeBytes(), cfg.Compression)
+		l.enc.Instrument(reg)
+		legs = append(legs, l)
+	}
 	cfg.Tracer.Instrument(reg)
 	if cfg.Resume != nil {
 		if cfg.Resume.Mem == nil || len(cfg.Resume.Image) == 0 {
@@ -527,20 +555,17 @@ func New(vm *hypervisor.VM, dst hypervisor.Hypervisor, cfg Config) (*Replicator,
 			return nil, fmt.Errorf("replication: resume memory is %d bytes, vm has %d",
 				cfg.Resume.Mem.SizeBytes(), vm.Memory().SizeBytes())
 		}
-		if err := enc.Prime(cfg.Resume.Mem); err != nil {
+		if err := legs[0].enc.Prime(cfg.Resume.Mem); err != nil {
 			return nil, fmt.Errorf("replication: %w", err)
 		}
 	}
-	sender, _ := cfg.Transport.(CheckpointSender)
 	r := &Replicator{
 		cfg:     cfg,
 		primary: vm,
 		src:     vm.Hypervisor(),
-		dst:     dst,
 		threads: threads,
 		retry:   retry,
-		enc:     enc,
-		sender:  sender,
+		reg:     reg,
 		tr:      cfg.Tracer,
 		retries: reg.Counter("here_replication_retries_total",
 			"transfer attempts beyond the first"),
@@ -567,7 +592,7 @@ func New(vm *hypervisor.VM, dst hypervisor.Hypervisor, cfg Config) (*Replicator,
 		rng:      rand.New(rand.NewSource(retry.Seed)),
 		state:    StateProtected,
 		timeline: metrics.NewTimeline(vm.Hypervisor().Clock().Now(), StateProtected.String()),
-		dstMem:   memory.NewGuestMemory(vm.Memory().SizeBytes()),
+		legs:     legs,
 		iob:      devices.NewIOBuffer(vm.Hypervisor().Clock()),
 	}
 	if res := cfg.Resume; res != nil {
@@ -575,8 +600,9 @@ func New(vm *hypervisor.VM, dst hypervisor.Hypervisor, cfg Config) (*Replicator,
 		// degraded mode, so the first healthy cycle is a delta resync
 		// of whatever was dirtied while unattached.
 		r.seeded = true
-		r.dstMem = res.Mem
-		r.lastImage = append([]byte(nil), res.Image...)
+		r.legs[0].mem = res.Mem
+		r.legs[0].lastImage = append([]byte(nil), res.Image...)
+		r.legs[0].ackedSeq = res.Seq
 		r.seq = res.Seq
 		r.totals.Checkpoints = res.Seq
 		r.state = StateDegraded
@@ -591,18 +617,10 @@ func New(vm *hypervisor.VM, dst hypervisor.Hypervisor, cfg Config) (*Replicator,
 // copy of the last acknowledged state image, and its sequence number.
 // The control plane parks it on the secondary host after each
 // acknowledged checkpoint (see hypervisor.ReplicaDeposit) and feeds it
-// back through Config.Resume after a restart.
+// back through Config.Resume after a restart. Handoff describes leg 0;
+// use HandoffAt for the other legs of a chain.
 func (r *Replicator) Handoff() (*ResumeState, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if !r.seeded {
-		return nil, ErrNotSeeded
-	}
-	return &ResumeState{
-		Mem:   r.dstMem,
-		Image: append([]byte(nil), r.lastImage...),
-		Seq:   r.seq,
-	}, nil
+	return r.HandoffAt(0)
 }
 
 // State reports the current protection mode.
@@ -680,9 +698,10 @@ func (r *Replicator) IOBuffer() *devices.IOBuffer { return r.iob }
 
 // AttachDisk gives the protected VM a replicated PV block device of
 // the given capacity. Guest disk writes go through the returned
-// handle; they are journaled per checkpoint epoch, shipped with the
-// checkpoint, and applied to the replica's disk on acknowledgement,
-// keeping it crash-consistent with the replicated memory.
+// handle; they are journaled per checkpoint epoch, shipped with leg
+// 0's checkpoint stream, and applied to the replica's disk on
+// acknowledgement, keeping it crash-consistent with the replicated
+// memory.
 func (r *Replicator) AttachDisk(capacityBytes uint64) *blockdev.ReplicatedDisk {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -702,8 +721,13 @@ func (r *Replicator) Disk() *blockdev.ReplicatedDisk {
 // Primary returns the protected VM.
 func (r *Replicator) Primary() *hypervisor.VM { return r.primary }
 
-// Destination returns the secondary hypervisor.
-func (r *Replicator) Destination() hypervisor.Hypervisor { return r.dst }
+// Destination returns leg 0's secondary hypervisor — with a single
+// leg, the secondary.
+func (r *Replicator) Destination() hypervisor.Hypervisor {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.legs[0].dst
+}
 
 // Engine reports the configured engine.
 func (r *Replicator) Engine() Engine { return r.cfg.Engine }
@@ -717,58 +741,139 @@ func (r *Replicator) Period() time.Duration {
 }
 
 // Seed performs the initial live migration of the protected VM's
-// memory to the secondary host (Fig 3 "Migration") and resumes the VM
+// memory to leg 0 (Fig 3 "Migration"), full-copies the snapshot onto
+// every further leg while the VM is still paused, and resumes the VM
 // into the continuous replication phase.
 func (r *Replicator) Seed() (migration.Result, error) {
 	mode := migration.ModeXen
 	if r.cfg.Engine == EngineHERE {
 		mode = migration.ModeHERE
 	}
+	r.mu.Lock()
+	legs := append([]*leg(nil), r.legs...)
+	r.mu.Unlock()
+	first := legs[0]
 	mcfg := r.cfg.Seeding
-	mcfg.Transport = r.cfg.Transport
+	mcfg.Transport = first.tp
 	mcfg.Mode = mode
-	// Seed through the replicator's own codec so the baseline cache is
+	// Seed through the leg's own codec so the baseline cache is
 	// primed: the first checkpoint's deltas diff against seeded content.
-	mcfg.Codec = r.enc
+	mcfg.Codec = first.enc
 	if mcfg.Tracer == nil {
 		mcfg.Tracer = r.tr
 	}
 	if mcfg.Workload == nil {
 		mcfg.Workload = r.cfg.Workload
 	}
-	res, err := migration.Migrate(r.primary, r.dstMem, mcfg)
+	res, err := migration.Migrate(r.primary, first.mem, mcfg)
 	if err != nil {
 		return res, fmt.Errorf("replication: seeding: %w", err)
 	}
-	image, err := r.translateState(res.FinalState)
+	image, err := r.translateState(res.FinalState, first.dst)
 	if err != nil {
 		return res, err
 	}
 	r.mu.Lock()
-	r.seeded = true
-	r.lastImage = image
+	first.lastImage = image
 	r.totals.PagesSent += res.PagesSent
 	r.totals.BytesSent += res.BytesSent
 	r.totals.Wire.Add(res.Wire)
+	r.mu.Unlock()
+	// The migration leaves the VM paused on its final stop-and-copy
+	// round; every further leg full-copies the same consistent snapshot
+	// before the VM resumes, so the chain starts at full width from one
+	// state. A failed extra seed fails the whole Seed.
+	for _, l := range legs[1:] {
+		if err := r.seedLeg(l, res.FinalState); err != nil {
+			return res, err
+		}
+	}
+	r.mu.Lock()
+	r.seeded = true
 	r.runStarted = r.src.Clock().Now()
 	r.mu.Unlock()
 	r.primary.Resume()
 	return res, nil
 }
 
-// translateState converts captured primary state into the
+// seedLeg ships a full snapshot of the paused primary onto one leg:
+// account the transfer, copy every populated page into the leg's
+// replica memory, prime its codec baseline, and store the translated
+// machine-state image. The primary must be paused.
+func (r *Replicator) seedLeg(l *leg, state arch.MachineState) error {
+	image, err := r.translateState(state, l.dst)
+	if err != nil {
+		return err
+	}
+	mem := r.primary.Memory()
+	pages := mem.PopulatedList()
+	bytes := int64(len(pages)) * memory.PageSize
+	if _, err := l.tp.Transfer(bytes, r.threads); err != nil {
+		return fmt.Errorf("replication: seeding %s: %w", l.dst.HostName(), err)
+	}
+	if err := mem.CopyPagesTo(pages, l.mem); err != nil {
+		return fmt.Errorf("replication: seeding %s: %w", l.dst.HostName(), err)
+	}
+	if err := l.enc.Prime(l.mem); err != nil {
+		return fmt.Errorf("replication: seeding %s: %w", l.dst.HostName(), err)
+	}
+	r.mu.Lock()
+	l.lastImage = image
+	l.needsSeed = false
+	clear(l.pending)
+	r.totals.PagesSent += int64(len(pages))
+	r.totals.BytesSent += bytes
+	r.mu.Unlock()
+	return nil
+}
+
+// translateState converts captured primary state into the given
 // destination's native image, crossing hypervisor boundaries when the
 // pair is heterogeneous.
-func (r *Replicator) translateState(st arch.MachineState) ([]byte, error) {
-	translated, err := translate.Translate(st, r.src, r.dst, translate.Options{})
+func (r *Replicator) translateState(st arch.MachineState, dst hypervisor.Hypervisor) ([]byte, error) {
+	translated, err := translate.Translate(st, r.src, dst, translate.Options{})
 	if err != nil {
 		return nil, fmt.Errorf("replication: translate: %w", err)
 	}
-	image, err := r.dst.EncodeState(translated)
+	image, err := dst.EncodeState(translated)
 	if err != nil {
 		return nil, fmt.Errorf("replication: encode: %w", err)
 	}
 	return image, nil
+}
+
+// legsDown reports whether every live leg's host is unhealthy, with
+// the first such host's health as detail.
+func (r *Replicator) legsDown() (bool, string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	detail := "no live legs"
+	for _, l := range r.legs {
+		if l.dead {
+			continue
+		}
+		h := l.dst.Health()
+		if h == hypervisor.Healthy {
+			return false, ""
+		}
+		if detail == "no live legs" {
+			detail = h.String()
+		}
+	}
+	return true, detail
+}
+
+// pathsDown reports whether every live leg's transport is down — the
+// degraded-mode probe.
+func (r *Replicator) pathsDown() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, l := range r.legs {
+		if !l.dead && !l.tp.Down() {
+			return false
+		}
+	}
+	return true
 }
 
 // RunCycle executes one full replication cycle: run the guest for the
@@ -790,8 +895,8 @@ func (r *Replicator) RunCycle() (CheckpointStats, error) {
 	if r.src.Health() != hypervisor.Healthy {
 		return CheckpointStats{}, fmt.Errorf("%w: %s", ErrPrimaryDown, r.src.Health())
 	}
-	if r.dst.Health() != hypervisor.Healthy {
-		return CheckpointStats{}, fmt.Errorf("%w: %s", ErrSecondaryDown, r.dst.Health())
+	if down, detail := r.legsDown(); down {
+		return CheckpointStats{}, fmt.Errorf("%w: %s", ErrSecondaryDown, detail)
 	}
 
 	T := r.Period()
@@ -836,10 +941,10 @@ func (r *Replicator) RunCycle() (CheckpointStats, error) {
 	r.mu.Unlock()
 
 	if r.State() == StateDegraded {
-		// Probe the path before attempting the resync; while the
+		// Probe the paths before attempting the resync; while the
 		// outage lasts the guest just keeps running unprotected, the
 		// dirty bitmap accumulating the delta for the eventual resync.
-		if r.cfg.Transport.Down() {
+		if r.pathsDown() {
 			return r.degradedCycle(T), nil
 		}
 		return r.checkpoint(T, true)
@@ -883,15 +988,16 @@ func (r *Replicator) RunFor(d time.Duration) ([]CheckpointStats, error) {
 	return out, nil
 }
 
-// ship sends bytes over the replication link, retrying transient
-// failures with exponential backoff + jitter per the retry policy.
-// It returns the last transfer error once the budget is exhausted.
-// epoch scopes the retry events to the checkpoint being shipped.
-func (r *Replicator) ship(epoch int64, bytes int64, streams int) error {
+// shipVia sends bytes over one leg's replication link, retrying
+// transient failures with exponential backoff + jitter per the retry
+// policy. It returns the last transfer error once the budget is
+// exhausted. epoch scopes the retry events to the checkpoint being
+// shipped.
+func (r *Replicator) shipVia(tp Transport, epoch int64, bytes int64, streams int) error {
 	clock := r.src.Clock()
 	backoff := r.retry.InitialBackoff
 	for attempt := 1; ; attempt++ {
-		_, err := r.cfg.Transport.Transfer(bytes, streams)
+		_, err := tp.Transfer(bytes, streams)
 		if err == nil {
 			return nil
 		}
@@ -931,12 +1037,14 @@ func dirtyRegions(pages []memory.PageNum) int {
 	return len(seen)
 }
 
-// rollback abandons an in-flight checkpoint whose transfer outlived
-// the retry budget. The replica stays on the last acknowledged epoch;
-// the sealed I/O and disk-journal epochs stay buffered (they release
-// when a later checkpoint is acknowledged); the dirty pages are
-// re-marked in the tracker so the next checkpoint — or the delta
-// resync — ships them. The guest resumes and keeps running.
+// rollback abandons an in-flight checkpoint that missed its ack
+// quorum. The replicas stay on their last acknowledged epochs (legs
+// that did acknowledge are simply ahead, which is safe — their extra
+// state's outputs remain buffered); the sealed I/O and disk-journal
+// epochs stay buffered (they release when a later checkpoint is
+// acknowledged); the dirty pages are re-marked in the tracker so the
+// next checkpoint — or the delta resync — ships them. The guest
+// resumes and keeps running.
 func (r *Replicator) rollback(pauseStart time.Time, runPeriod time.Duration,
 	dirty []memory.PageNum, cause error) (CheckpointStats, error) {
 
@@ -987,18 +1095,26 @@ func (r *Replicator) rollback(pauseStart time.Time, runPeriod time.Duration,
 	return st, nil
 }
 
-// checkpoint performs the pause→copy→ack→resume sequence of Fig 3 and
-// releases the checkpoint's buffered output. With resync it is the
-// delta resync ending a degraded interval: the dirty set is everything
+// checkpoint performs the pause→copy→ack→resume sequence of Fig 3,
+// fanned out to every live leg, and releases the checkpoint's buffered
+// output once the ack quorum is reached. With resync it is the delta
+// resync ending a degraded interval: the dirty set is everything
 // accumulated since protection was lost, sharded into 2 MiB regions
 // handed round-robin to the transfer threads exactly like the seeding
 // path — far cheaper than a full re-seed.
+//
+// Leg transfers are sequential, a conservative pause model: a real
+// implementation would overlap them, so the modeled pause upper-bounds
+// the fan-out cost (DESIGN.md §13).
 func (r *Replicator) checkpoint(runPeriod time.Duration, resync bool) (CheckpointStats, error) {
 	clock := r.src.Clock()
 	costs := r.src.Costs()
 	engine := r.cfg.Engine.String()
 	r.mu.Lock()
 	seq := r.seq
+	r.cycles++
+	cycle := r.cycles
+	legs := append([]*leg(nil), r.legs...)
 	r.mu.Unlock()
 	epochID := int64(seq)
 	pauseStart := clock.Now()
@@ -1008,10 +1124,12 @@ func (r *Replicator) checkpoint(runPeriod time.Duration, resync bool) (Checkpoin
 
 	// With a real network transport, reconcile acked epochs before a
 	// resync: the re-handshake told us which epoch the peer replica
-	// actually holds, and that decides what may be shipped.
+	// actually holds, and that decides what may be shipped. A
+	// CheckpointSender implies a single-leg chain (NewChain enforces
+	// it), so leg 0 is the whole story here.
 	overwrite := false
-	if resync && r.sender != nil {
-		switch acked, ok := r.sender.PeerAcked(); {
+	if sender := legs[0].sender; resync && sender != nil {
+		switch acked, ok := sender.PeerAcked(); {
 		case ok && acked+1 == seq:
 			// In sync: the peer holds the same last-acked epoch the
 			// encoder's baseline describes — plain delta resync.
@@ -1066,136 +1184,258 @@ func (r *Replicator) checkpoint(runPeriod time.Duration, resync bool) (Checkpoin
 	clock.Sleep(scan + mapping + copying)
 	r.tr.Span(trace.SpanScan, epochID, scanStart, trace.Event{Engine: engine, Pages: n})
 
-	// Capture and translate the vCPU/device state record.
+	// Capture the vCPU/device state record once; it is translated into
+	// each leg's native image below.
 	encodeStart := clock.Now()
 	clock.Sleep(costs.StateRecord)
 	state, err := r.primary.CaptureState()
 	if err != nil {
 		return CheckpointStats{}, fmt.Errorf("replication: capture: %w", err)
 	}
-	image, err := r.translateState(state)
-	if err != nil {
-		return CheckpointStats{}, err
-	}
 
-	// Encode the checkpoint stream: dirtied memory + journaled disk
-	// writes + state record, framed and checksummed. The codec measures
-	// what the link actually carries — there is no assumed ratio.
-	var cp *wire.Checkpoint
-	if overwrite {
-		cp, err = r.enc.EncodeOverwrite(r.primary.Memory(), dirty, image, diskWrites, seq)
-	} else {
-		cp, err = r.enc.Encode(r.primary.Memory(), dirty, image, diskWrites, seq, r.threads)
-	}
-	if err != nil {
-		return CheckpointStats{}, fmt.Errorf("replication: encode: %w", err)
-	}
-	bytes := cp.WireSize
-	var compress time.Duration
-	if r.cfg.Compression {
-		// Content-aware encoding burns guest-visible CPU during the
-		// pause (modeled; EncodeTime in the stats is host wall time).
-		compress = time.Duration(int64(costs.CompressPerDirtyPage)*int64(n)) /
-			time.Duration(r.threads)
-		clock.Sleep(compress)
-	}
-	// The aggregate encode span covers the state record, the codec and
-	// the modeled compression cost; the per-shard spans mirror the
-	// codec's round-robin region sharding and run in parallel under it.
-	encDur := r.tr.Span(trace.SpanEncode, epochID, encodeStart,
-		trace.Event{Engine: engine, Pages: n, Bytes: bytes})
-	if r.tr.Enabled() && r.threads > 1 {
-		shardPages := make([]int, r.threads)
-		for _, p := range dirty {
-			shardPages[memory.RegionOf(p)%r.threads]++
+	var (
+		attempted  int           // legs that tried a delta this cycle
+		acks       int           // of those, the ones that acknowledged
+		totalBytes int64         // wire + ack bytes across acked legs
+		pushBytes  int64         // wire bytes across acked legs (CPU model)
+		ackedPages int64         // page deltas applied across acked legs
+		compressed time.Duration // summed modeled compression cost
+		wireAcc    wire.Stats    // codec stats across acked legs
+		statsWire  wire.Stats    // leg 0's codec stats for CheckpointStats
+		haveWire   bool
+		dec0Disk   []wire.DiskWrite // disk writes decoded from leg 0's stream
+		leg0Acked  bool
+		seededNow  []*leg // legs seeded inside this pause
+		shipErr    error  // first transient failure — the rollback cause
+	)
+	for i, l := range legs {
+		if l.dead {
+			continue
 		}
-		for s, count := range shardPages {
-			if count == 0 {
+		if l.needsSeed {
+			// A leg added mid-run seeds here, inside the pause — the only
+			// moment the guest state is consistent. A failed seed leaves
+			// the leg waiting for the next checkpoint; it never blocks the
+			// epoch (seeding legs are outside the ack quorum).
+			if err := r.seedLeg(l, state); err != nil {
+				if shipErr == nil {
+					shipErr = err
+				}
 				continue
 			}
-			r.tr.Record(trace.Event{
-				Kind: trace.SpanEncode, Epoch: epochID, Start: encodeStart,
-				Dur: encDur, Engine: engine, Shard: s + 1, Pages: count,
-			})
+			r.mu.Lock()
+			l.ackedSeq = seq
+			l.ackedAt = cycle
+			r.mu.Unlock()
+			seededNow = append(seededNow, l)
+			continue
 		}
-	}
-	streams := r.threads
-	if regions := dirtyRegions(dirty); regions > 0 && regions < streams {
-		// Region sharding bounds the transfer parallelism: fewer
-		// dirtied 2 MiB regions than threads leaves threads idle.
-		streams = regions
-	}
-	// Ship the encoded stream, then wait for the ack. Transient
-	// failures are retried with backoff; a transfer that outlives the
-	// retry budget rolls the checkpoint back — including the encoder's
-	// staged baseline, so the next deltas still diff against the last
-	// epoch the replica acknowledged.
-	transferStart := clock.Now()
-	if r.sender != nil {
-		// The real transport carries the stream itself and its return is
-		// the remote replica's acknowledgement — no separate ack round.
-		// Stream sends are never retried here: after an ambiguous
-		// failure the peer may or may not have applied the epoch, and
-		// re-sending delta frames onto an already-advanced replica would
-		// corrupt it. The degraded→reconnect→resync ladder reconciles
-		// acked epochs instead.
-		if err := r.sender.SendCheckpoint(seq, cp.Stream); err != nil {
-			r.tr.Span(trace.SpanTransfer, epochID, transferStart,
-				trace.Event{Engine: engine, Bytes: bytes, Outcome: "failed"})
-			r.enc.Rollback()
-			if isPermanentErr(err) {
-				// Fenced or protocol-incompatible: reconnects cannot cure
-				// it and degraded mode would never resync. Re-arm the
-				// dirty set, resume the guest, surface the error.
-				bm := r.primary.Tracker().Bitmap()
-				for _, p := range dirty {
-					bm.Set(p)
-				}
-				r.primary.Resume()
-				return CheckpointStats{}, fmt.Errorf("replication: transport: %w", err)
+		attempted++
+		// A leg that acknowledged the previous epoch has no backlog:
+		// this epoch's dirty snapshot (already sorted) IS its delta, so
+		// the common healthy path skips the backlog merge entirely. A
+		// lagging leg folds the snapshot into its backlog and catches up
+		// with one larger delta.
+		r.mu.Lock()
+		legDirty := dirty
+		if len(l.pending) > 0 {
+			for _, p := range dirty {
+				l.pending[p] = struct{}{}
 			}
-			return r.rollback(pauseStart, runPeriod, dirty, err)
+			legDirty = l.pendingPages()
 		}
-		r.tr.Span(trace.SpanTransfer, epochID, transferStart,
-			trace.Event{Engine: engine, Bytes: bytes})
-	} else {
-		if err := r.ship(epochID, bytes, streams); err != nil {
+		r.mu.Unlock()
+		ln := len(legDirty)
+		image, err := r.translateState(state, l.dst)
+		if err != nil {
+			return CheckpointStats{}, err
+		}
+		var legDisk []wire.DiskWrite
+		if i == 0 {
+			legDisk = diskWrites
+		}
+
+		// Encode the checkpoint stream against this leg's own baseline:
+		// dirtied memory + (on leg 0) journaled disk writes + state
+		// record, framed and checksummed. The codec measures what the
+		// link actually carries — there is no assumed ratio.
+		legEncStart := encodeStart
+		if i > 0 {
+			legEncStart = clock.Now()
+		}
+		var cp *wire.Checkpoint
+		if overwrite {
+			cp, err = l.enc.EncodeOverwrite(r.primary.Memory(), legDirty, image, legDisk, seq)
+		} else {
+			cp, err = l.enc.Encode(r.primary.Memory(), legDirty, image, legDisk, seq, r.threads)
+		}
+		if err != nil {
+			return CheckpointStats{}, fmt.Errorf("replication: encode: %w", err)
+		}
+		bytes := cp.WireSize
+		var compress time.Duration
+		if r.cfg.Compression {
+			// Content-aware encoding burns guest-visible CPU during the
+			// pause (modeled; EncodeTime in the stats is host wall time).
+			compress = time.Duration(int64(costs.CompressPerDirtyPage)*int64(ln)) /
+				time.Duration(r.threads)
+			clock.Sleep(compress)
+			compressed += compress
+		}
+		// The aggregate encode span covers the state record, the codec and
+		// the modeled compression cost; the per-shard spans mirror the
+		// codec's round-robin region sharding and run in parallel under it.
+		encDur := r.tr.Span(trace.SpanEncode, epochID, legEncStart,
+			trace.Event{Engine: engine, Shard: i, Pages: ln, Bytes: bytes})
+		if r.tr.Enabled() && i == 0 && r.threads > 1 {
+			shardPages := make([]int, r.threads)
+			for _, p := range legDirty {
+				shardPages[memory.RegionOf(p)%r.threads]++
+			}
+			for s, count := range shardPages {
+				if count == 0 {
+					continue
+				}
+				r.tr.Record(trace.Event{
+					Kind: trace.SpanEncode, Epoch: epochID, Start: legEncStart,
+					Dur: encDur, Engine: engine, Shard: s + 1, Pages: count,
+				})
+			}
+		}
+
+		// Ship the encoded stream, then wait for the ack. Transient
+		// failures are retried with backoff; a leg whose transfer outlives
+		// the retry budget misses this epoch — its staged baseline rolls
+		// back so its next deltas still diff against the last epoch it
+		// acknowledged — and the quorum check below decides whether the
+		// epoch commits anyway.
+		transferStart := clock.Now()
+		if l.sender != nil {
+			// The real transport carries the stream itself and its return is
+			// the remote replica's acknowledgement — no separate ack round.
+			// Stream sends are never retried here: after an ambiguous
+			// failure the peer may or may not have applied the epoch, and
+			// re-sending delta frames onto an already-advanced replica would
+			// corrupt it. The degraded→reconnect→resync ladder reconciles
+			// acked epochs instead.
+			if err := l.sender.SendCheckpoint(seq, cp.Stream); err != nil {
+				r.tr.Span(trace.SpanTransfer, epochID, transferStart,
+					trace.Event{Engine: engine, Bytes: bytes, Outcome: "failed"})
+				l.enc.Rollback()
+				if isPermanentErr(err) {
+					// Fenced or protocol-incompatible: reconnects cannot cure
+					// it and degraded mode would never resync. Re-arm the
+					// dirty set, resume the guest, surface the error.
+					bm := r.primary.Tracker().Bitmap()
+					for _, p := range dirty {
+						bm.Set(p)
+					}
+					r.primary.Resume()
+					return CheckpointStats{}, fmt.Errorf("replication: transport: %w", err)
+				}
+				return r.rollback(pauseStart, runPeriod, dirty, err)
+			}
 			r.tr.Span(trace.SpanTransfer, epochID, transferStart,
-				trace.Event{Engine: engine, Bytes: bytes, Outcome: "failed"})
-			r.enc.Rollback()
-			return r.rollback(pauseStart, runPeriod, dirty, err)
-		}
-		r.tr.Span(trace.SpanTransfer, epochID, transferStart,
-			trace.Event{Engine: engine, Bytes: bytes})
-		ackStart := clock.Now()
-		if err := r.ship(epochID, ackBytes, 1); err != nil {
-			// The replica may hold the checkpoint data, but without the
-			// acknowledgement the primary must treat it as never applied.
+				trace.Event{Engine: engine, Bytes: bytes})
+		} else {
+			streams := r.threads
+			if regions := dirtyRegions(legDirty); regions > 0 && regions < streams {
+				// Region sharding bounds the transfer parallelism: fewer
+				// dirtied 2 MiB regions than threads leaves threads idle.
+				streams = regions
+			}
+			if err := r.shipVia(l.tp, epochID, bytes, streams); err != nil {
+				r.tr.Span(trace.SpanTransfer, epochID, transferStart,
+					trace.Event{Engine: engine, Shard: i, Bytes: bytes, Outcome: "failed"})
+				l.enc.Rollback()
+				if isPermanentErr(err) && len(legs) > 1 {
+					r.mu.Lock()
+					l.dead = true
+					l.deadCause = err.Error()
+					r.mu.Unlock()
+					continue
+				}
+				r.missedEpoch(l, dirty)
+				if shipErr == nil {
+					shipErr = err
+				}
+				continue
+			}
+			r.tr.Span(trace.SpanTransfer, epochID, transferStart,
+				trace.Event{Engine: engine, Shard: i, Bytes: bytes})
+			ackStart := clock.Now()
+			if err := r.shipVia(l.tp, epochID, ackBytes, 1); err != nil {
+				// The replica may hold the checkpoint data, but without the
+				// acknowledgement the primary must treat it as never applied.
+				r.tr.Span(trace.SpanAck, epochID, ackStart,
+					trace.Event{Engine: engine, Shard: i, Bytes: ackBytes, Outcome: "failed"})
+				l.enc.Rollback()
+				if isPermanentErr(err) && len(legs) > 1 {
+					r.mu.Lock()
+					l.dead = true
+					l.deadCause = err.Error()
+					r.mu.Unlock()
+					continue
+				}
+				r.missedEpoch(l, dirty)
+				if shipErr == nil {
+					shipErr = err
+				}
+				continue
+			}
 			r.tr.Span(trace.SpanAck, epochID, ackStart,
-				trace.Event{Engine: engine, Bytes: ackBytes, Outcome: "failed"})
-			r.enc.Rollback()
-			return r.rollback(pauseStart, runPeriod, dirty, err)
+				trace.Event{Engine: engine, Shard: i, Bytes: ackBytes})
 		}
-		r.tr.Span(trace.SpanAck, epochID, ackStart,
-			trace.Event{Engine: engine, Bytes: ackBytes})
-	}
-	// Decode atomically on the replica only once acknowledged — a
-	// checkpoint that failed mid-flight above leaves the previous
-	// acknowledged checkpoint intact. The decoder re-validates every
-	// frame's checksum before the first page is applied.
-	dec, err := wire.Decode(cp.Stream, r.dstMem)
-	if err != nil {
-		return CheckpointStats{}, fmt.Errorf("replication: apply: %w", err)
-	}
-	if overwrite {
-		// Overwrite streams carry no deltas and never staged a baseline;
-		// rebuild the codec's delta cache from the now-reconciled replica
-		// content so the next checkpoint diffs against it.
-		if err := r.enc.Prime(r.dstMem); err != nil {
-			return CheckpointStats{}, fmt.Errorf("replication: reprime: %w", err)
+
+		// Decode atomically on this leg's replica only once acknowledged —
+		// a leg that failed mid-flight above leaves its previous
+		// acknowledged checkpoint intact. The decoder re-validates every
+		// frame's checksum before the first page is applied.
+		dec, err := wire.Decode(cp.Stream, l.mem)
+		if err != nil {
+			return CheckpointStats{}, fmt.Errorf("replication: apply: %w", err)
 		}
-	} else {
-		r.enc.Commit()
+		if overwrite {
+			// Overwrite streams carry no deltas and never staged a baseline;
+			// rebuild the codec's delta cache from the now-reconciled replica
+			// content so the next checkpoint diffs against it.
+			if err := l.enc.Prime(l.mem); err != nil {
+				return CheckpointStats{}, fmt.Errorf("replication: reprime: %w", err)
+			}
+		} else {
+			l.enc.Commit()
+		}
+		r.mu.Lock()
+		l.lastImage = image
+		clear(l.pending)
+		l.ackedSeq = seq + 1
+		l.ackedAt = cycle
+		r.mu.Unlock()
+		acks++
+		ackedPages += int64(ln)
+		totalBytes += bytes + ackBytes
+		pushBytes += bytes
+		wireAcc.Add(cp.Stats)
+		if i == 0 {
+			dec0Disk = dec.Disk
+			leg0Acked = true
+		}
+		if i == 0 || !haveWire {
+			statsWire = cp.Stats
+			haveWire = true
+		}
+	}
+
+	// Quorum: the epoch commits when enough delta legs acknowledged.
+	// Legs seeded this pause hold the epoch's full content but stay
+	// outside the quorum — a mid-run seed must never decide whether
+	// buffered output escapes.
+	if need := r.quorumFor(attempted); acks < need {
+		cause := shipErr
+		if cause == nil {
+			cause = errors.New("no leg acknowledged the checkpoint")
+		}
+		return r.rollback(pauseStart, runPeriod, dirty, cause)
 	}
 
 	pause := clock.Since(pauseStart)
@@ -1203,11 +1443,13 @@ func (r *Replicator) checkpoint(runPeriod time.Duration, resync bool) (Checkpoin
 	releaseStart := clock.Now()
 
 	// Commit: this checkpoint is now the failover target; apply the
-	// decoded disk writes on the replica and release its buffered
-	// output to the outside world (Fig 3 step 6).
-	if disk != nil {
+	// disk writes decoded from leg 0's stream on the replica disk and
+	// release the buffered output to the outside world (Fig 3 step 6).
+	// If leg 0 missed the epoch the disk journal stays sealed and rides
+	// along in leg 0's next stream.
+	if disk != nil && leg0Acked {
 		replica := disk.Replica()
-		for _, w := range dec.Disk {
+		for _, w := range dec0Disk {
 			if err := replica.WriteSector(w.Sector, w.Data); err != nil {
 				return CheckpointStats{}, fmt.Errorf("replication: disk apply: %w", err)
 			}
@@ -1219,20 +1461,23 @@ func (r *Replicator) checkpoint(runPeriod time.Duration, resync bool) (Checkpoin
 		aware.RecordIO(len(released))
 	}
 	r.mu.Lock()
-	r.lastImage = image
+	for _, l := range seededNow {
+		// The seed carried exactly this committed epoch's content.
+		l.ackedSeq = seq + 1
+	}
 	r.lastEpoch = epoch
 	r.seq++
 	r.totals.Checkpoints++
-	r.totals.PagesSent += int64(n)
-	r.totals.BytesSent += bytes + ackBytes
+	r.totals.PagesSent += ackedPages
+	r.totals.BytesSent += totalBytes
 	r.totals.TotalPause += pause
-	r.totals.Wire.Add(cp.Stats)
+	r.totals.Wire.Add(wireAcc)
 	// Engine CPU: the per-thread work actually burned across cores,
 	// plus the network-stack copy cost of pushing the checkpoint
 	// through the socket layer (~0.3 ns/byte, i.e. ~3 GB/s per core).
 	r.totals.CPUWork += scan*time.Duration(r.threads) + mapping +
-		copying*time.Duration(r.threads) + compress*time.Duration(r.threads) +
-		costs.StateRecord + time.Duration(bytes*3/10)
+		copying*time.Duration(r.threads) + compressed*time.Duration(r.threads) +
+		costs.StateRecord + time.Duration(pushBytes*3/10)
 	sink := r.cfg.Sink
 	r.mu.Unlock()
 	if sink != nil && len(released) > 0 {
@@ -1246,16 +1491,16 @@ func (r *Replicator) checkpoint(runPeriod time.Duration, resync bool) (Checkpoin
 		outcome = "resync"
 		r.resyncs.Inc()
 		r.resyncPages.Add(int64(n))
-		r.resyncBytes.Add(bytes + ackBytes)
+		r.resyncBytes.Add(totalBytes)
 	}
 	r.checkpoints.Inc()
-	r.pagesSent.Add(int64(n))
-	r.bytesSent.Add(bytes + ackBytes)
+	r.pagesSent.Add(ackedPages)
+	r.bytesSent.Add(totalBytes)
 	r.pauseHist.Observe(pause.Seconds())
 	r.periodHist.Observe(runPeriod.Seconds())
 	r.tr.Record(trace.Event{
 		Kind: trace.SpanPause, Epoch: epochID, Start: pauseStart, Dur: pause,
-		Engine: engine, Pages: n, Bytes: bytes + ackBytes, Outcome: outcome,
+		Engine: engine, Pages: n, Bytes: totalBytes, Outcome: outcome,
 	})
 	r.setState(StateProtected)
 
@@ -1263,7 +1508,7 @@ func (r *Replicator) checkpoint(runPeriod time.Duration, resync bool) (Checkpoin
 		Seq:             seq,
 		Epoch:           epoch,
 		DirtyPages:      n,
-		Bytes:           bytes + ackBytes,
+		Bytes:           totalBytes,
 		Pause:           pause,
 		RunPeriod:       runPeriod,
 		Degradation:     period.Degradation(pause, runPeriod),
@@ -1271,7 +1516,7 @@ func (r *Replicator) checkpoint(runPeriod time.Duration, resync bool) (Checkpoin
 		PacketsReleased: len(released),
 		Mode:            StateProtected,
 		Resync:          resync,
-		Wire:            cp.Stats,
+		Wire:            statsWire,
 	}
 	if r.cfg.PeriodManager != nil {
 		_, st.NextPeriod = r.cfg.PeriodManager.Observe(pause)
@@ -1282,16 +1527,11 @@ func (r *Replicator) checkpoint(runPeriod time.Duration, resync bool) (Checkpoin
 	return st, nil
 }
 
-// ReplicaImage returns the destination-native machine state image and
-// memory of the last acknowledged checkpoint. The memory must be
+// ReplicaImage returns leg 0's destination-native machine state image
+// and memory of the last acknowledged checkpoint. The memory must be
 // treated as read-only by callers other than failover.
 func (r *Replicator) ReplicaImage() (image []byte, mem *memory.GuestMemory, err error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if !r.seeded {
-		return nil, nil, ErrNotSeeded
-	}
-	return r.lastImage, r.dstMem, nil
+	return r.ReplicaImageAt(0)
 }
 
 // History returns a copy of all checkpoint statistics so far.
@@ -1303,19 +1543,23 @@ func (r *Replicator) History() []CheckpointStats {
 
 // Totals returns aggregate statistics. The modeled resident set
 // covers the transfer buffers (one 2 MiB region per thread), the
-// dirty bitmap, and the staged state image (§8.7).
+// dirty bitmap, and the staged state images (§8.7).
 func (r *Replicator) Totals() Totals {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	t := r.totals
 	// Modeled resident set: per-thread staging (a 2 MiB transfer
 	// region plus socket and compression buffers), the dirty bitmap,
-	// the staged state image, the wire codec's delta-baseline cache,
-	// and the toolstack baseline (libxc/libxl/kvmtool working memory).
+	// each leg's staged state image and wire-codec delta-baseline
+	// cache, and the toolstack baseline (libxc/libxl/kvmtool working
+	// memory).
+	var legBytes int64
+	for _, l := range r.legs {
+		legBytes += int64(len(l.lastImage)) + l.enc.BaselineBytes()
+	}
 	t.RSSBytes = int64(r.threads)*48<<20 +
 		int64(r.primary.Memory().NumPages()/8) +
-		int64(len(r.lastImage)) +
-		r.enc.BaselineBytes() +
+		legBytes +
 		96<<20
 	return t
 }

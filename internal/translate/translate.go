@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"github.com/here-ft/here/internal/arch"
+	"github.com/here-ft/here/internal/chv"
 	"github.com/here-ft/here/internal/hypervisor"
 	"github.com/here-ft/here/internal/kvm"
 )
@@ -45,6 +46,20 @@ type Options struct {
 // intersection of both hosts' feature sets (paper §7.4).
 func CompatibleFeatures(a, b hypervisor.Hypervisor) arch.FeatureSet {
 	return a.Features().Intersect(b.Features())
+}
+
+// CompatibleFeaturesAll generalizes CompatibleFeatures to replication
+// chains: the intersection across the primary and every secondary, so
+// the guest can resume on whichever replica survives.
+func CompatibleFeaturesAll(hosts ...hypervisor.Hypervisor) arch.FeatureSet {
+	if len(hosts) == 0 {
+		return 0
+	}
+	fs := hosts[0].Features()
+	for _, h := range hosts[1:] {
+		fs = fs.Intersect(h.Features())
+	}
+	return fs
 }
 
 // Translate converts machine state from the src hypervisor's native
@@ -99,6 +114,11 @@ func convertIRQChip(in arch.IRQChipState, dstKind hypervisor.Kind) arch.IRQChipS
 		out.Kind = arch.IRQChipIOAPIC
 		for i := range out.Pending {
 			out.Pending[i].Vector = uint32(kvm.FirstGSI + i)
+		}
+	case hypervisor.KindCHV:
+		out.Kind = arch.IRQChipIOAPIC
+		for i := range out.Pending {
+			out.Pending[i].Vector = uint32(chv.FirstGSI + i)
 		}
 	case hypervisor.KindXen:
 		out.Kind = arch.IRQChipEventChannel

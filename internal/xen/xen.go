@@ -11,11 +11,21 @@ import (
 
 	"github.com/here-ft/here/internal/arch"
 	"github.com/here-ft/here/internal/hypervisor"
+	"github.com/here-ft/here/internal/memory"
 	"github.com/here-ft/here/internal/vclock"
+	"github.com/here-ft/here/internal/vulns"
 )
 
 // Product is the simulated product string.
 const Product = "Xen 4.12"
+
+// Backend is the name this package registers under in the hypervisor
+// backend registry.
+const Backend = "xen"
+
+func init() {
+	hypervisor.Register(Backend, New)
+}
 
 // TSCFrequencyHz is the guest-visible TSC rate (Xeon Gold 6130, Table 3).
 const TSCFrequencyHz = 2_100_000_000
@@ -77,6 +87,24 @@ func (flavor) Costs() hypervisor.CostModel {
 		ResumeWarmup:         50 * time.Millisecond,
 		CompressPerDirtyPage: 2 * time.Microsecond,
 		StateRecord:          700 * time.Microsecond,
+	}
+}
+
+// Capabilities describes the Xen backend: libxc record stream, the
+// hypervisor-maintained log-dirty bitmap, full snapshot/restore, PV
+// device naming, and the Xen+QEMU CVE surface.
+func (flavor) Capabilities() hypervisor.Capabilities {
+	return hypervisor.Capabilities{
+		StateFormat:  "xen-libxc-records",
+		StateVersion: 1,
+		DirtyTracking: hypervisor.DirtyTracking{
+			Mechanism: "log-dirty-bitmap",
+			PageBytes: memory.PageSize,
+		},
+		SnapshotRestore: true,
+		LiveDirtyLog:    true,
+		DeviceNaming:    "xen-pv",
+		VulnFlavor:      vulns.FlavorXen,
 	}
 }
 
