@@ -2,7 +2,7 @@ GO ?= go
 
 RACE_PKGS = ./internal/replication ./internal/failover ./internal/faults ./internal/simnet ./internal/trace ./internal/wire ./internal/journal ./internal/orchestrator ./internal/controlplane ./internal/transport ./internal/placement ./internal/hypervisor
 
-.PHONY: check vet fmt build test race fuzz-smoke bench trace-demo serve-demo transport-demo placement-demo
+.PHONY: check vet fmt build test race fuzz-smoke bench bench-gate trace-demo serve-demo transport-demo placement-demo
 
 check: vet fmt build test race fuzz-smoke
 
@@ -38,6 +38,12 @@ fuzz-smoke:
 # checked-in BENCH_wire.json and BENCH_trace.json baselines.
 bench:
 	$(GO) run ./cmd/here-bench -quick -only wire,trace
+
+# Regression gate: fresh quick bench vs the committed baselines; fails
+# (non-zero exit) when encode ns/page or trace ns/event regresses
+# beyond the tolerance. Never rewrites the baselines.
+bench-gate:
+	$(GO) run ./cmd/here-bench -quick -gate
 
 # Replay the chaos example with tracing and dump the JSONL trace.
 trace-demo:

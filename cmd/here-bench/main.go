@@ -36,12 +36,17 @@ func run() error {
 		csvDir    = flag.String("csv", "", "directory to write fig9/fig10 trace CSVs into")
 		wireJSON  = flag.String("wirejson", "BENCH_wire.json", "path for the wire artifact's machine-readable output (empty = don't write)")
 		traceJSON = flag.String("tracejson", "BENCH_trace.json", "path for the trace artifact's machine-readable output (empty = don't write)")
+		gate      = flag.Bool("gate", false, "regression gate: run a fresh wire+trace bench, compare against the committed baselines, exit non-zero on regression (never overwrites the baselines)")
+		gateTol   = flag.Float64("gate-tol", 0.25, "gate tolerance as a fraction (0.25 = fresh may be up to 25% worse than baseline)")
 	)
 	flag.Parse()
 
 	scale := experiments.FullScale()
 	if *quick {
 		scale = experiments.QuickScale()
+	}
+	if *gate {
+		return runGate(scale, *wireJSON, *traceJSON, *gateTol)
 	}
 	want := map[string]bool{}
 	if *only != "" {
@@ -275,6 +280,49 @@ func run() error {
 	return nil
 }
 
+// runGate is the bench regression gate: run a fresh wire+trace bench
+// at the given scale, load the committed baselines, and fail (non-zero
+// exit) if the fresh figures of merit regressed beyond the tolerance.
+// The committed baseline files are never overwritten.
+func runGate(scale experiments.Scale, wirePath, tracePath string, tol float64) error {
+	baseWire, err := experiments.LoadWireBaseline(wirePath)
+	if err != nil {
+		return fmt.Errorf("gate: wire baseline: %w", err)
+	}
+	baseTrace, err := experiments.LoadTraceBaseline(tracePath)
+	if err != nil {
+		return fmt.Errorf("gate: trace baseline: %w", err)
+	}
+
+	fmt.Printf("gate: fresh wire bench (tolerance %.0f%%)...\n", tol*100)
+	rows, err := experiments.WireBench(scale)
+	if err != nil {
+		return fmt.Errorf("gate: wire bench: %w", err)
+	}
+	fmt.Println("gate: fresh trace bench...")
+	res, err := experiments.TraceBench(scale)
+	if err != nil {
+		return fmt.Errorf("gate: trace bench: %w", err)
+	}
+
+	g := experiments.GateWire(baseWire, experiments.WireRowsJSON(rows), tol)
+	gt := experiments.GateTrace(baseTrace, experiments.TraceResultJSON(res), tol, 3.0)
+	g.Checks = append(g.Checks, gt.Checks...)
+	g.Failures = append(g.Failures, gt.Failures...)
+
+	for _, c := range g.Checks {
+		fmt.Println("  " + c)
+	}
+	if !g.OK() {
+		for _, f := range g.Failures {
+			fmt.Fprintln(os.Stderr, "gate FAIL: "+f)
+		}
+		return fmt.Errorf("bench gate failed: %d regression(s)", len(g.Failures))
+	}
+	fmt.Printf("gate PASS: %d checks\n", len(g.Checks))
+	return nil
+}
+
 // writeWireJSON stores the wire-codec rows machine-readably: raw vs
 // encoded bytes, the frame mix, encode time and pause percentiles per
 // workload × codec mode.
@@ -282,42 +330,7 @@ func writeWireJSON(path string, rows []experiments.WireBenchRow) error {
 	if path == "" {
 		return nil
 	}
-	type jsonRow struct {
-		Workload     string  `json:"workload"`
-		Codec        string  `json:"codec"`
-		Checkpoints  int64   `json:"checkpoints"`
-		RawBytes     int64   `json:"raw_bytes"`
-		EncodedBytes int64   `json:"encoded_bytes"`
-		Ratio        float64 `json:"ratio"`
-		ZeroPages    int64   `json:"zero_pages"`
-		DeltaFrames  int64   `json:"delta_frames"`
-		RawFrames    int64   `json:"raw_frames"`
-		EncodeMillis float64 `json:"encode_ms"`
-		PauseP50ms   float64 `json:"pause_p50_ms"`
-		PauseP99ms   float64 `json:"pause_p99_ms"`
-	}
-	out := make([]jsonRow, 0, len(rows))
-	for _, r := range rows {
-		codec := "raw"
-		if r.ContentAware {
-			codec = "content-aware"
-		}
-		out = append(out, jsonRow{
-			Workload:     r.Workload,
-			Codec:        codec,
-			Checkpoints:  r.Checkpoints,
-			RawBytes:     r.RawBytes,
-			EncodedBytes: r.EncodedBytes,
-			Ratio:        r.Ratio,
-			ZeroPages:    r.ZeroPages,
-			DeltaFrames:  r.DeltaFrames,
-			RawFrames:    r.RawFrames,
-			EncodeMillis: r.EncodeMillis,
-			PauseP50ms:   float64(r.PauseP50.Microseconds()) / 1e3,
-			PauseP99ms:   float64(r.PauseP99.Microseconds()) / 1e3,
-		})
-	}
-	data, err := json.MarshalIndent(out, "", "  ")
+	data, err := json.MarshalIndent(experiments.WireRowsJSON(rows), "", "  ")
 	if err != nil {
 		return err
 	}
@@ -335,30 +348,7 @@ func writeTraceJSON(path string, res experiments.TraceBenchResult) error {
 	if path == "" {
 		return nil
 	}
-	out := struct {
-		Checkpoints    int64   `json:"checkpoints"`
-		Events         int     `json:"events"`
-		Dropped        int64   `json:"dropped"`
-		Epochs         int     `json:"epochs"`
-		NsPerEvent     float64 `json:"ns_per_event"`
-		RecordSamples  int     `json:"record_samples"`
-		TracedMillis   float64 `json:"traced_ms"`
-		UntracedMillis float64 `json:"untraced_ms"`
-		OverheadPct    float64 `json:"overhead_pct"`
-		MaxSpanGapPct  float64 `json:"max_span_gap_pct"`
-	}{
-		Checkpoints:    res.Checkpoints,
-		Events:         res.Events,
-		Dropped:        res.Dropped,
-		Epochs:         res.Epochs,
-		NsPerEvent:     res.NsPerEvent,
-		RecordSamples:  res.RecordSamples,
-		TracedMillis:   res.TracedMillis,
-		UntracedMillis: res.UntracedMillis,
-		OverheadPct:    res.OverheadPct,
-		MaxSpanGapPct:  res.MaxSpanGapPct,
-	}
-	data, err := json.MarshalIndent(out, "", "  ")
+	data, err := json.MarshalIndent(experiments.TraceResultJSON(res), "", "  ")
 	if err != nil {
 		return err
 	}

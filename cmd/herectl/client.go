@@ -44,7 +44,7 @@ func extractAddr(args []string) (addr string, retries int, rest []string) {
 // runClient executes one client-mode verb against the daemon at addr.
 func runClient(addr string, retries int, args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("client mode needs a verb: protect, list, status, unprotect, failover, period, events, hosts, placement, metrics, trace, health")
+		return fmt.Errorf("client mode needs a verb: protect, list, status, unprotect, failover, period, events, hosts, placement, metrics, trace, timeline, fleet, health")
 	}
 	c := controlplane.NewClient(addr)
 	if retries >= 0 {
@@ -76,6 +76,10 @@ func runClient(addr string, retries int, args []string) error {
 		return clientMetrics(c, args)
 	case "trace":
 		return clientTrace(c, args)
+	case "timeline":
+		return clientTimeline(c, args)
+	case "fleet":
+		return clientFleet(c)
 	case "health":
 		return clientHealth(c)
 	default:

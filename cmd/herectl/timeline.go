@@ -1,0 +1,153 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/here-ft/here/internal/controlplane"
+	"github.com/here-ft/here/internal/trace"
+)
+
+// parseJSONL rebuilds trace events from a daemon's JSONL trace dump.
+// Unknown kinds (from a newer daemon) are skipped rather than fatal.
+func parseJSONL(data []byte) ([]trace.Event, error) {
+	var events []trace.Event
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	start := time.Unix(0, 0)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var je trace.JSONEvent
+		if err := json.Unmarshal(line, &je); err != nil {
+			return nil, fmt.Errorf("bad trace line %q: %w", line, err)
+		}
+		kind, ok := trace.KindFromString(je.Kind)
+		if !ok {
+			continue
+		}
+		events = append(events, trace.Event{
+			Seq:     je.Seq,
+			Epoch:   je.Epoch,
+			Kind:    kind,
+			Start:   start.Add(time.Duration(je.TUs) * time.Microsecond),
+			Dur:     time.Duration(je.DurUs) * time.Microsecond,
+			Engine:  je.Engine,
+			Shard:   je.Shard,
+			Pages:   je.Pages,
+			Bytes:   je.Bytes,
+			Outcome: je.Outcome,
+			Note:    je.Note,
+		})
+	}
+	return events, sc.Err()
+}
+
+// clientTimeline renders the merged cross-node epoch table: local
+// pause/scan/encode/transfer stages plus the replica-side stage
+// timings the acks carried back, with the wire-transit remainder.
+func clientTimeline(c *controlplane.Client, args []string) error {
+	name, args, err := takeName(args, "timeline <vm> [-n epochs]")
+	if err != nil {
+		return err
+	}
+	fs := flag.NewFlagSet("timeline", flag.ExitOnError)
+	n := fs.Int("n", 20, "number of trailing epochs to show (0 = all)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	data, err := c.Trace(name)
+	if err != nil {
+		return err
+	}
+	events, err := parseJSONL(data)
+	if err != nil {
+		return err
+	}
+	epochs := trace.EpochBreakdown(events)
+	if len(epochs) == 0 {
+		fmt.Println("no epochs in trace")
+		return nil
+	}
+	if *n > 0 && len(epochs) > *n {
+		epochs = epochs[len(epochs)-*n:]
+	}
+
+	remote := false
+	for _, s := range epochs {
+		if s.HasRemote() {
+			remote = true
+			break
+		}
+	}
+	w := bufio.NewWriter(os.Stdout)
+	if remote {
+		fmt.Fprintf(w, "%6s %9s %9s %9s %9s %9s %9s %9s %9s %9s %7s %9s %s\n",
+			"EPOCH", "PAUSE", "SCAN", "ENCODE", "TRANSFER", "WIRE",
+			"R-RECV", "R-DECODE", "R-APPLY", "R-ACK", "PAGES", "BYTES", "OUTCOME")
+	} else {
+		fmt.Fprintf(w, "%6s %9s %9s %9s %9s %9s %7s %9s %s\n",
+			"EPOCH", "PAUSE", "SCAN", "ENCODE", "TRANSFER", "ACK",
+			"PAGES", "BYTES", "OUTCOME")
+	}
+	ms := func(d time.Duration) string {
+		return fmt.Sprintf("%.2fms", float64(d.Microseconds())/1000)
+	}
+	for _, s := range epochs {
+		outcome := s.Outcome
+		if outcome == "" {
+			outcome = "ok"
+		}
+		if s.Rollback {
+			outcome += " (rollback)"
+		}
+		if remote {
+			fmt.Fprintf(w, "%6d %9s %9s %9s %9s %9s %9s %9s %9s %9s %7d %9d %s\n",
+				s.Epoch, ms(s.Pause), ms(s.Scan), ms(s.Encode), ms(s.Transfer),
+				ms(s.WireTransit()), ms(s.RemoteRecv), ms(s.RemoteDecode),
+				ms(s.RemoteApply), ms(s.RemoteAck), s.Pages, s.Bytes, outcome)
+		} else {
+			fmt.Fprintf(w, "%6d %9s %9s %9s %9s %9s %7d %9d %s\n",
+				s.Epoch, ms(s.Pause), ms(s.Scan), ms(s.Encode), ms(s.Transfer),
+				ms(s.Ack), s.Pages, s.Bytes, outcome)
+		}
+	}
+	return w.Flush()
+}
+
+// clientFleet prints the fleet health rollup.
+func clientFleet(c *controlplane.Client) error {
+	fl, err := c.Fleet()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("fleet   : %s (score %.1f), %d/%d hosts healthy\n",
+		fl.Status, fl.Score, fl.HealthyHosts, fl.Hosts)
+	for mode, n := range fl.Modes {
+		fmt.Printf("          %d %s\n", n, mode)
+	}
+	if len(fl.VMs) == 0 {
+		fmt.Println("no protected VMs")
+		return nil
+	}
+	w := bufio.NewWriter(os.Stdout)
+	fmt.Fprintf(w, "%-12s %-12s %-4s %8s %5s %5s %5s %7s %s\n",
+		"NAME", "MODE", "GEN", "EPOCH", "LEGS", "DEAD", "LAG", "SCORE", "LAST-FAILOVER")
+	for _, vm := range fl.VMs {
+		last := "-"
+		if vm.LastFailover != nil {
+			last = vm.LastFailover.Format("15:04:05.000")
+		}
+		fmt.Fprintf(w, "%-12s %-12s %-4d %8d %5d %5d %5d %7.1f %s\n",
+			vm.Name, vm.Mode, vm.Generation, vm.Epoch, vm.Legs, vm.DeadLegs,
+			vm.LagEpochs, vm.Score, last)
+	}
+	return w.Flush()
+}

@@ -14,16 +14,21 @@
 // The fleet is simulated (the same Xen-like and KVM/kvmtool-like
 // hypervisors the library builds on) but the serving layer is real:
 // admission control, request timeouts, structured errors, graceful
-// shutdown.
+// shutdown, leveled structured logs, and an opt-in pprof/runtime
+// debug listener.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime/metrics"
 	"syscall"
 	"time"
 
@@ -41,11 +46,52 @@ import (
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("hered: ")
 	if err := run(os.Args[1:]); err != nil {
-		log.Fatal(err)
+		slog.Error("hered failed", "err", err)
+		os.Exit(1)
 	}
+}
+
+// logfFor bridges the library's printf-style Logf hooks onto a
+// component-scoped slog logger at INFO level.
+func logfFor(lg *slog.Logger) func(string, ...any) {
+	return func(format string, args ...any) {
+		lg.Info(fmt.Sprintf(format, args...))
+	}
+}
+
+// debugHandler mounts the pprof profile family plus a Go runtime
+// metrics dump on a mux of its own, so profiling stays off the API
+// listener and off by default.
+func debugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug/runtime", func(w http.ResponseWriter, r *http.Request) {
+		descs := metrics.All()
+		samples := make([]metrics.Sample, len(descs))
+		for i, d := range descs {
+			samples[i].Name = d.Name
+		}
+		metrics.Read(samples)
+		out := make(map[string]any, len(samples))
+		for _, s := range samples {
+			switch s.Value.Kind() {
+			case metrics.KindUint64:
+				out[s.Name] = s.Value.Uint64()
+			case metrics.KindFloat64:
+				out[s.Name] = s.Value.Float64()
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(out)
+	})
+	return mux
 }
 
 func run(args []string) error {
@@ -68,6 +114,8 @@ func run(args []string) error {
 		peerListen  = fs.String("peer-listen", "", "secondary-side replication transport listen address (e.g. 127.0.0.1:7071); empty = disabled")
 		peer        = fs.String("peer", "", "peer daemon's replication transport address: stream checkpoints there over TCP instead of the in-process link")
 		quiet       = fs.Bool("quiet", false, "suppress the access log")
+		logLevel    = fs.String("log-level", "info", "log level: debug, info, warn, error")
+		pprofAddr   = fs.String("pprof", "", "debug listen address for pprof profiles and Go runtime metrics (e.g. 127.0.0.1:6060); empty = disabled")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -76,11 +124,19 @@ func run(args []string) error {
 		return fmt.Errorf("need at least one host of each kind for heterogeneous pairs (got -xen %d -kvm %d)", *xenHosts, *kvmHosts)
 	}
 
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		return fmt.Errorf("log-level: %w", err)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+	slog.SetDefault(logger)
+
 	clock := vclock.NewSim()
 	registry := trace.NewRegistry()
 
 	var store *journal.Store
 	if *stateDir != "" {
+		jl := logger.With("component", "journal", "dir", *stateDir)
 		var report journal.Report
 		var err error
 		store, report, err = journal.Open(*stateDir, journal.Options{})
@@ -90,12 +146,12 @@ func run(args []string) error {
 		defer store.Close()
 		switch {
 		case report.Clean:
-			log.Printf("journal: clean shutdown snapshot at lsn %d, no replay needed", report.SnapshotLSN)
+			jl.Info("clean shutdown snapshot, no replay needed", "snapshot_lsn", report.SnapshotLSN)
 		case report.TornBytes > 0:
-			log.Printf("journal: replayed %d records (snapshot lsn %d), truncated %d torn tail bytes",
-				report.Replayed, report.SnapshotLSN, report.TornBytes)
+			jl.Warn("replayed journal, truncated torn tail",
+				"replayed", report.Replayed, "snapshot_lsn", report.SnapshotLSN, "torn_bytes", report.TornBytes)
 		default:
-			log.Printf("journal: replayed %d records (snapshot lsn %d)", report.Replayed, report.SnapshotLSN)
+			jl.Info("replayed journal", "replayed", report.Replayed, "snapshot_lsn", report.SnapshotLSN)
 		}
 	}
 
@@ -115,13 +171,15 @@ func run(args []string) error {
 		// ladder restores it.
 		peerAddr := *peer
 		mcfg.DialTransport = func(name string, memBytes, generation uint64) (replication.Transport, error) {
+			tl := logger.With("component", "transport-client",
+				"protection", name, "peer", peerAddr, "generation", generation)
 			return transport.Dial(transport.ClientConfig{
 				Addr:       peerAddr,
 				Protection: name,
 				MemBytes:   memBytes,
 				Generation: generation,
 				Metrics:    registry,
-				Logf:       log.Printf,
+				Logf:       logfFor(tl),
 			})
 		}
 	}
@@ -136,14 +194,14 @@ func run(args []string) error {
 		ps := transport.NewServer(transport.ServerConfig{
 			Fence:   mgr.Guard(),
 			Metrics: registry,
-			Logf:    log.Printf,
+			Logf:    logfFor(logger.With("component", "transport-server")),
 		})
 		if err := ps.Listen(*peerListen); err != nil {
 			return fmt.Errorf("peer-listen: %w", err)
 		}
 		defer ps.Close()
 		mgr.AttachPeerServer(ps)
-		log.Printf("peer transport listening on %s", ps.Addr())
+		logger.Info("peer transport listening", "component", "transport-server", "addr", ps.Addr())
 	}
 	for i := 0; i < *xenHosts; i++ {
 		h, err := xen.New(fmt.Sprintf("xen%d", i), clock)
@@ -187,13 +245,15 @@ func run(args []string) error {
 		if err != nil {
 			return fmt.Errorf("recover: %w", err)
 		}
-		log.Printf("recovered under fence %d: %d resumed (delta resync), %d reseeded, %d recreated, %d failed over, %d unprotected, %d lost",
-			rec.Fence, rec.Resumed, rec.Reseeded, rec.Recreated, rec.FailedOver, rec.Unprotected, rec.Lost)
+		logger.Info("recovered from journal", "component", "orchestrator",
+			"fence", rec.Fence, "resumed", rec.Resumed, "reseeded", rec.Reseeded,
+			"recreated", rec.Recreated, "failed_over", rec.FailedOver,
+			"unprotected", rec.Unprotected, "lost", rec.Lost)
 	}
 
-	logf := log.Printf
-	if *quiet {
-		logf = nil
+	var apiLogf func(string, ...any)
+	if !*quiet {
+		apiLogf = logfFor(logger.With("component", "api"))
 	}
 	srv, err := controlplane.New(controlplane.Config{
 		Manager:            mgr,
@@ -201,24 +261,36 @@ func run(args []string) error {
 		RequestTimeout:     *reqTimeout,
 		MaxInflightProtect: *maxInflight,
 		Journal:            store,
-		Logf:               logf,
+		Logf:               apiLogf,
 	})
 	if err != nil {
 		return err
+	}
+
+	if *pprofAddr != "" {
+		dbg := &http.Server{Addr: *pprofAddr, Handler: debugHandler()}
+		go func() {
+			logger.Info("debug listener up", "component", "debug", "addr", *pprofAddr)
+			if err := dbg.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				logger.Error("debug listener failed", "component", "debug", "err", err)
+			}
+		}()
+		defer dbg.Close()
 	}
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe(*addr) }()
-	log.Printf("fleet: %d xen + %d kvm + %d qemukvm + %d chv hosts, pump every %v, api on http://%s",
-		*xenHosts, *kvmHosts, *qemuHosts, *chvHosts, *pump, *addr)
+	logger.Info("fleet up",
+		"xen", *xenHosts, "kvm", *kvmHosts, "qemukvm", *qemuHosts, "chv", *chvHosts,
+		"pump", *pump, "api", "http://"+*addr)
 
 	select {
 	case err := <-errc:
 		return err
 	case sig := <-sigc:
-		log.Printf("received %v, draining (budget %v)", sig, *drain)
+		logger.Info("draining", "signal", sig.String(), "budget", *drain)
 		ctx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {

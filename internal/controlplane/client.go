@@ -332,6 +332,13 @@ func (c *Client) Hosts() ([]HostDTO, error) {
 	return out.Hosts, nil
 }
 
+// Fleet fetches the fleet health rollup.
+func (c *Client) Fleet() (FleetResponse, error) {
+	var out FleetResponse
+	err := c.do(http.MethodGet, "/v1/fleet", nil, &out)
+	return out, err
+}
+
 // Metrics fetches the Prometheus text exposition.
 func (c *Client) Metrics() ([]byte, error) {
 	return c.raw("/metrics")

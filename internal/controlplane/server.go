@@ -138,11 +138,13 @@ func (s *Server) buildHandler() http.Handler {
 	mux.HandleFunc("GET /v1/hosts", s.handleHosts)
 	mux.HandleFunc("GET /v1/placement", s.handlePlacement)
 	mux.HandleFunc("GET /v1/transport", s.handleTransport)
+	mux.HandleFunc("GET /v1/fleet", s.handleFleet)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 
 	var h http.Handler = mux
+	h = s.red(h)
 	h = s.logged(h)
 	// Request-scoped timeout: the handler body is buffered, slow
 	// requests get 503 with a JSON envelope.

@@ -1,0 +1,60 @@
+package controlplane
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"github.com/here-ft/here/internal/trace"
+)
+
+// statusRecorder captures the response code written by the wrapped
+// handler so the RED middleware can label its counters with it.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// red wraps the route mux with RED (rate / errors / duration)
+// metrics: a request counter per {route, method, code}, an error
+// counter per {route, method}, and a latency histogram per {route}.
+// The route label is the ServeMux pattern that matched (the mux
+// stores it on the request before the handler runs, so reading it
+// after ServeHTTP returns is race-free), which keeps cardinality
+// bounded regardless of path parameters.
+func (s *Server) red(h http.Handler) http.Handler {
+	reg := s.m.Metrics()
+	if reg == nil {
+		return h
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		h.ServeHTTP(rec, r)
+		route := r.Pattern
+		if route == "" {
+			route = "unmatched"
+		}
+		reg.Counter(
+			trace.Labeled("here_http_requests_total",
+				"route", route, "method", r.Method, "code", strconv.Itoa(rec.code)),
+			"control-plane HTTP requests by route, method, and status code",
+		).Inc()
+		if rec.code >= 500 {
+			reg.Counter(
+				trace.Labeled("here_http_errors_total", "route", route, "method", r.Method),
+				"control-plane HTTP responses with a 5xx status",
+			).Inc()
+		}
+		reg.Histogram(
+			trace.Labeled("here_http_request_seconds", "route", route),
+			"control-plane HTTP request latency by route",
+			trace.DurationBuckets(),
+		).Observe(time.Since(start).Seconds())
+	})
+}

@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func wireRow(workload, codec string, rawBytes int64, encodeMS float64) WireJSONRow {
+	return WireJSONRow{Workload: workload, Codec: codec, RawBytes: rawBytes, EncodeMillis: encodeMS}
+}
+
+func TestGateWirePassesWithinTolerance(t *testing.T) {
+	base := []WireJSONRow{
+		wireRow("idle", "raw", 1<<30, 100),
+		wireRow("idle", "content-aware", 1<<30, 150),
+	}
+	// Fresh run 20% slower: inside the 25% tolerance.
+	fresh := []WireJSONRow{
+		wireRow("idle", "raw", 1<<30, 120),
+		wireRow("idle", "content-aware", 1<<30, 180),
+	}
+	g := GateWire(base, fresh, 0.25)
+	if !g.OK() {
+		t.Fatalf("gate failed inside tolerance: %v", g.Failures)
+	}
+	if len(g.Checks) != 2 {
+		t.Fatalf("expected 2 checks, got %v", g.Checks)
+	}
+}
+
+func TestGateWireFailsOnDoubledNsPerPage(t *testing.T) {
+	base := []WireJSONRow{wireRow("membench", "content-aware", 1<<30, 100)}
+	// Injected regression: 2x the encode time per page.
+	fresh := []WireJSONRow{wireRow("membench", "content-aware", 1<<30, 200)}
+	g := GateWire(base, fresh, 0.25)
+	if g.OK() {
+		t.Fatal("gate passed a 2x ns/page regression")
+	}
+	if !strings.Contains(g.Failures[0], "membench/content-aware") {
+		t.Fatalf("failure does not name the row: %v", g.Failures)
+	}
+}
+
+func TestGateWireNormalisesByPages(t *testing.T) {
+	// Same per-page cost at half the scanned volume must pass: the
+	// gate compares ns/page, not absolute encode time.
+	base := []WireJSONRow{wireRow("ycsb-a", "raw", 1<<30, 100)}
+	fresh := []WireJSONRow{wireRow("ycsb-a", "raw", 1<<29, 50)}
+	g := GateWire(base, fresh, 0.25)
+	if !g.OK() {
+		t.Fatalf("gate failed on scale-only change: %v", g.Failures)
+	}
+}
+
+func TestGateWireSkipsNoiseDominatedRows(t *testing.T) {
+	// The idle workload scans ~a dozen pages per run; a 10x ns/page
+	// swing there is timer noise, not a regression.
+	base := []WireJSONRow{wireRow("idle", "raw", 12*4096, 0.04)}
+	fresh := []WireJSONRow{wireRow("idle", "raw", 12*4096, 0.4)}
+	g := GateWire(base, fresh, 0.25)
+	if !g.OK() {
+		t.Fatalf("noise-dominated row gated: %v", g.Failures)
+	}
+	if !strings.Contains(g.Checks[0], "noise-dominated") {
+		t.Fatalf("skip not reported: %v", g.Checks)
+	}
+}
+
+func TestGateWireSkipsUnknownRows(t *testing.T) {
+	base := []WireJSONRow{wireRow("idle", "raw", 1<<30, 100)}
+	fresh := []WireJSONRow{wireRow("new-workload", "raw", 1<<30, 9999)}
+	g := GateWire(base, fresh, 0.25)
+	if !g.OK() {
+		t.Fatalf("unmatched row treated as regression: %v", g.Failures)
+	}
+}
+
+func TestGateTrace(t *testing.T) {
+	base := TraceJSONDoc{NsPerEvent: 100, OverheadPct: 1.0}
+
+	ok := GateTrace(base, TraceJSONDoc{NsPerEvent: 110, OverheadPct: 1.2}, 0.25, 3.0)
+	if !ok.OK() {
+		t.Fatalf("gate failed inside tolerance: %v", ok.Failures)
+	}
+
+	// 2x ns/event regression.
+	slow := GateTrace(base, TraceJSONDoc{NsPerEvent: 200, OverheadPct: 1.2}, 0.25, 3.0)
+	if slow.OK() {
+		t.Fatal("gate passed a 2x ns/event regression")
+	}
+
+	// Overhead beyond the bound with a steady ns/event is wall-clock
+	// noise, not a tracing regression — reported, not gated.
+	noisy := GateTrace(base, TraceJSONDoc{NsPerEvent: 100, OverheadPct: 8.0}, 0.25, 3.0)
+	if !noisy.OK() {
+		t.Fatalf("uncorroborated overhead noise gated: %v", noisy.Failures)
+	}
+
+	// Overhead beyond the bound AND a regressed ns/event is a real
+	// tracing tax.
+	heavy := GateTrace(base, TraceJSONDoc{NsPerEvent: 250, OverheadPct: 4.5}, 0.25, 3.0)
+	if heavy.OK() || len(heavy.Failures) != 2 {
+		t.Fatalf("corroborated overhead regression not gated: %+v", heavy)
+	}
+
+	// A committed baseline that itself violates the paper's bound must
+	// fail until it is re-measured.
+	badBase := GateTrace(TraceJSONDoc{NsPerEvent: 100, OverheadPct: 5.0},
+		TraceJSONDoc{NsPerEvent: 100, OverheadPct: 1.0}, 0.25, 3.0)
+	if badBase.OK() {
+		t.Fatal("gate passed a baseline violating the overhead bound")
+	}
+}

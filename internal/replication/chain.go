@@ -11,9 +11,11 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 
 	"github.com/here-ft/here/internal/hypervisor"
 	"github.com/here-ft/here/internal/memory"
+	"github.com/here-ft/here/internal/trace"
 	"github.com/here-ft/here/internal/translate"
 	"github.com/here-ft/here/internal/wire"
 )
@@ -109,6 +111,56 @@ func (r *Replicator) missedEpoch(l *leg, dirty []memory.PageNum) {
 		l.pending[p] = struct{}{}
 	}
 	r.mu.Unlock()
+}
+
+// markLegDead takes a leg out of the chain after a permanent transport
+// failure, recording the cause for the control plane (LegStatus) and
+// telemetry (here_chain_dead_legs_total plus a leg-dead trace event).
+func (r *Replicator) markLegDead(l *leg, index int, epochID int64, cause error) {
+	r.mu.Lock()
+	l.dead = true
+	l.deadCause = cause.Error()
+	r.mu.Unlock()
+	r.deadLegs.Inc()
+	r.tr.Event(trace.EventTransport, epochID, trace.Event{
+		Outcome: "leg-dead",
+		Shard:   index,
+		Note:    cause.Error(),
+	})
+}
+
+// updateLegTelemetry refreshes the per-leg chain gauges after a
+// checkpoint attempt: how many epochs each replica trails the
+// primary's next epoch, and the dirty-page backlog it is owed. One
+// series per (leg index, host) label set.
+func (r *Replicator) updateLegTelemetry() {
+	if r.reg == nil {
+		return
+	}
+	type legSample struct {
+		idx     int
+		host    string
+		lag     uint64
+		pending int
+	}
+	r.mu.Lock()
+	next := r.seq
+	samples := make([]legSample, 0, len(r.legs))
+	for i, l := range r.legs {
+		var lag uint64
+		if next > l.ackedSeq {
+			lag = next - l.ackedSeq
+		}
+		samples = append(samples, legSample{i, l.dst.HostName(), lag, len(l.pending)})
+	}
+	r.mu.Unlock()
+	for _, s := range samples {
+		idx := strconv.Itoa(s.idx)
+		r.reg.Gauge(trace.Labeled("here_chain_leg_lag_epochs", "leg", idx, "host", s.host),
+			"epochs the leg's replica trails the primary's next epoch").Set(float64(s.lag))
+		r.reg.Gauge(trace.Labeled("here_chain_leg_pending_pages", "leg", idx, "host", s.host),
+			"dirty-page backlog the leg has not acknowledged").Set(float64(s.pending))
+	}
 }
 
 // pendingPages returns the leg's backlog as a sorted page list (the

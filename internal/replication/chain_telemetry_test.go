@@ -1,0 +1,115 @@
+package replication_test
+
+import (
+	"testing"
+
+	"github.com/here-ft/here/internal/memory"
+	"github.com/here-ft/here/internal/replication"
+	"github.com/here-ft/here/internal/trace"
+)
+
+// TestChainBreakdownAndTelemetryLaggingLeg is the cross-node
+// accounting proof for N-way chains: with quorum 1 and one link dark,
+// the trace's per-epoch breakdown stays consistent (stages partition
+// the pause, pages attributed per epoch), the per-leg gauges expose
+// the dark leg's epoch lag and page backlog, and both return to zero
+// once the healed leg catches up via its accumulated delta.
+func TestChainBreakdownAndTelemetryLaggingLeg(t *testing.T) {
+	r := newChainRig(t, 512*memory.PageSize)
+	reg := trace.NewRegistry()
+	tr := trace.New(r.clk, 4096)
+	rep := r.chain(t, replication.Config{Quorum: 1, Tracer: tr, Metrics: reg})
+	seedChain(t, rep)
+
+	lagGauge := func(leg, host string) float64 {
+		return reg.Gauge(trace.Labeled("here_chain_leg_lag_epochs", "leg", leg, "host", host), "").Value()
+	}
+	pendingGauge := func(leg, host string) float64 {
+		return reg.Gauge(trace.Labeled("here_chain_leg_pending_pages", "leg", leg, "host", host), "").Value()
+	}
+
+	// Two healthy epochs, then three with leg 1 dark.
+	writePage(t, r.vm, 3, "healthy epoch payload")
+	for i := 0; i < 2; i++ {
+		if _, err := rep.RunCycle(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if lag := lagGauge("1", "c2"); lag != 0 {
+		t.Fatalf("healthy leg shows lag %v", lag)
+	}
+
+	r.linkB.SetDown(true)
+	for i := 0; i < 3; i++ {
+		writePage(t, r.vm, uint64(10+i), "written while leg 1 was dark")
+		if _, err := rep.RunCycle(); err != nil {
+			t.Fatalf("quorum-1 cycle %d: %v", i, err)
+		}
+	}
+	if lag := lagGauge("1", "c2"); lag < 3 {
+		t.Fatalf("dark leg lag gauge = %v, want >= 3", lag)
+	}
+	if p := pendingGauge("1", "c2"); p == 0 {
+		t.Fatal("dark leg backlog gauge is zero")
+	}
+	if lag := lagGauge("0", "k1"); lag != 0 {
+		t.Fatalf("live leg shows lag %v", lag)
+	}
+
+	// Heal; the backlog ships as one delta and the gauges collapse.
+	r.linkB.SetDown(false)
+	if _, err := rep.RunCycle(); err != nil {
+		t.Fatal(err)
+	}
+	if lag := lagGauge("1", "c2"); lag != 0 {
+		t.Fatalf("caught-up leg still lags %v epochs", lag)
+	}
+	if p := pendingGauge("1", "c2"); p != 0 {
+		t.Fatalf("caught-up leg still owes %v pages", p)
+	}
+	legs := rep.Legs()
+	if legs[0].AckedEpoch != legs[1].AckedEpoch {
+		t.Fatalf("legs did not reconverge: %+v", legs)
+	}
+
+	// The breakdown over the whole run: in a chain the pause covers the
+	// summed per-leg stages plus each leg's replica decode/apply (which
+	// carries no stage span), so the stages bound the pause from below
+	// and must never exceed it. Epochs the dark leg missed are still
+	// fully attributed — the live leg's transfer kept them committed.
+	epochs := trace.EpochBreakdown(tr.Events())
+	committed := 0
+	for _, ep := range epochs {
+		if ep.Pause <= 0 || ep.Rollback {
+			continue
+		}
+		committed++
+		if sum := ep.StageSum(); sum > ep.Pause || sum <= 0 {
+			t.Fatalf("epoch %d stages %v outside (0, pause %v]", ep.Epoch, sum, ep.Pause)
+		}
+		if ep.Transfer <= 0 {
+			t.Fatalf("epoch %d committed without a transfer span: %+v", ep.Epoch, ep)
+		}
+		// Simnet epochs carry no replica-reported stages: wire transit
+		// must read zero, not a misattributed remainder.
+		if ep.HasRemote() || ep.WireTransit() != 0 {
+			t.Fatalf("simnet epoch %d grew remote stages: %+v", ep.Epoch, ep)
+		}
+	}
+	if committed < 6 {
+		t.Fatalf("breakdown covers %d committed epochs, want >= 6", committed)
+	}
+
+	// Quorum misses: with every link dark even quorum 1 cannot commit;
+	// the checkpoint rolls back (and, without degraded mode, the cycle
+	// surfaces the path error) — either way the miss is counted.
+	r.linkA.SetDown(true)
+	r.linkB.SetDown(true)
+	writePage(t, r.vm, 20, "doomed epoch")
+	if _, err := rep.RunCycle(); err == nil {
+		t.Fatal("all-links-down cycle committed")
+	}
+	if v := reg.Counter("here_chain_quorum_misses_total", "").Value(); v < 1 {
+		t.Fatalf("quorum miss not counted: %v", v)
+	}
+}

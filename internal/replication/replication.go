@@ -248,6 +248,42 @@ type CheckpointSender interface {
 	PeerAcked() (seq uint64, ok bool)
 }
 
+// remoteStageSource is the optional CheckpointSender extension a
+// transport implements when its acks carry the secondary-side stage
+// timings (transport.Client does). Structural, so replication stays
+// decoupled from the transport package.
+type remoteStageSource interface {
+	LastRemoteStages() (recv, decode, apply, ack time.Duration, ok bool)
+}
+
+// recordRemoteStages merges the secondary-side stage timings reported
+// in the last acknowledgement into the epoch's trace as remote-* spans,
+// giving EpochBreakdown its cross-node view: wire transit falls out as
+// the transfer span minus these stages.
+func (r *Replicator) recordRemoteStages(sender CheckpointSender, epochID int64, start time.Time, engine string) {
+	src, ok := sender.(remoteStageSource)
+	if !ok || !r.tr.Enabled() {
+		return
+	}
+	recv, dec, app, ack, ok := src.LastRemoteStages()
+	if !ok {
+		return
+	}
+	for _, s := range [...]struct {
+		kind trace.Kind
+		dur  time.Duration
+	}{
+		{trace.SpanRemoteRecv, recv},
+		{trace.SpanRemoteDecode, dec},
+		{trace.SpanRemoteApply, app},
+		{trace.SpanRemoteAck, ack},
+	} {
+		r.tr.Record(trace.Event{
+			Kind: s.kind, Epoch: epochID, Start: start, Dur: s.dur, Engine: engine,
+		})
+	}
+}
+
 // isPermanentErr reports whether err declares itself unrecoverable
 // (e.g. the transport was fenced): retries, reconnects and degraded
 // mode cannot help.
@@ -483,6 +519,8 @@ type Replicator struct {
 	checkpoints     *trace.Counter
 	pagesSent       *trace.Counter
 	bytesSent       *trace.Counter
+	quorumMisses    *trace.Counter
+	deadLegs        *trace.Counter
 	pauseHist       *trace.Histogram
 	periodHist      *trace.Histogram
 	timeline        *metrics.Timeline
@@ -585,6 +623,10 @@ func newReplicator(vm *hypervisor.VM, secondaries []Secondary, cfg Config) (*Rep
 			"dirty pages shipped in checkpoints"),
 		bytesSent: reg.Counter("here_replication_bytes_total",
 			"bytes placed on the replication link by checkpoints"),
+		quorumMisses: reg.Counter("here_chain_quorum_misses_total",
+			"checkpoints rolled back because the ack quorum was missed"),
+		deadLegs: reg.Counter("here_chain_dead_legs_total",
+			"chain legs removed after a permanent transport failure"),
 		pauseHist: reg.Histogram("here_replication_pause_seconds",
 			"checkpoint pause t (Fig 3)", trace.DurationBuckets()),
 		periodHist: reg.Histogram("here_replication_period_seconds",
@@ -1092,6 +1134,7 @@ func (r *Replicator) rollback(pauseStart time.Time, runPeriod time.Duration,
 	}
 	r.history = append(r.history, st)
 	r.mu.Unlock()
+	r.updateLegTelemetry()
 	return st, nil
 }
 
@@ -1318,9 +1361,17 @@ func (r *Replicator) checkpoint(runPeriod time.Duration, resync bool) (Checkpoin
 			// re-sending delta frames onto an already-advanced replica would
 			// corrupt it. The degraded→reconnect→resync ladder reconciles
 			// acked epochs instead.
+			//
+			// The transfer span is measured on the wall clock: real TCP
+			// waits do not advance the virtual clock, and the secondary's
+			// stage timings merged below are wall-clock too, so the whole
+			// cross-node breakdown lives in one time base.
+			wallStart := time.Now()
 			if err := l.sender.SendCheckpoint(seq, cp.Stream); err != nil {
-				r.tr.Span(trace.SpanTransfer, epochID, transferStart,
-					trace.Event{Engine: engine, Bytes: bytes, Outcome: "failed"})
+				r.tr.Record(trace.Event{
+					Kind: trace.SpanTransfer, Epoch: epochID, Start: transferStart,
+					Dur: time.Since(wallStart), Engine: engine, Bytes: bytes, Outcome: "failed",
+				})
 				l.enc.Rollback()
 				if isPermanentErr(err) {
 					// Fenced or protocol-incompatible: reconnects cannot cure
@@ -1335,8 +1386,11 @@ func (r *Replicator) checkpoint(runPeriod time.Duration, resync bool) (Checkpoin
 				}
 				return r.rollback(pauseStart, runPeriod, dirty, err)
 			}
-			r.tr.Span(trace.SpanTransfer, epochID, transferStart,
-				trace.Event{Engine: engine, Bytes: bytes})
+			r.tr.Record(trace.Event{
+				Kind: trace.SpanTransfer, Epoch: epochID, Start: transferStart,
+				Dur: time.Since(wallStart), Engine: engine, Bytes: bytes,
+			})
+			r.recordRemoteStages(l.sender, epochID, transferStart, engine)
 		} else {
 			streams := r.threads
 			if regions := dirtyRegions(legDirty); regions > 0 && regions < streams {
@@ -1349,10 +1403,7 @@ func (r *Replicator) checkpoint(runPeriod time.Duration, resync bool) (Checkpoin
 					trace.Event{Engine: engine, Shard: i, Bytes: bytes, Outcome: "failed"})
 				l.enc.Rollback()
 				if isPermanentErr(err) && len(legs) > 1 {
-					r.mu.Lock()
-					l.dead = true
-					l.deadCause = err.Error()
-					r.mu.Unlock()
+					r.markLegDead(l, i, epochID, err)
 					continue
 				}
 				r.missedEpoch(l, dirty)
@@ -1371,10 +1422,7 @@ func (r *Replicator) checkpoint(runPeriod time.Duration, resync bool) (Checkpoin
 					trace.Event{Engine: engine, Shard: i, Bytes: ackBytes, Outcome: "failed"})
 				l.enc.Rollback()
 				if isPermanentErr(err) && len(legs) > 1 {
-					r.mu.Lock()
-					l.dead = true
-					l.deadCause = err.Error()
-					r.mu.Unlock()
+					r.markLegDead(l, i, epochID, err)
 					continue
 				}
 				r.missedEpoch(l, dirty)
@@ -1431,6 +1479,7 @@ func (r *Replicator) checkpoint(runPeriod time.Duration, resync bool) (Checkpoin
 	// outside the quorum — a mid-run seed must never decide whether
 	// buffered output escapes.
 	if need := r.quorumFor(attempted); acks < need {
+		r.quorumMisses.Inc()
 		cause := shipErr
 		if cause == nil {
 			cause = errors.New("no leg acknowledged the checkpoint")
@@ -1524,6 +1573,7 @@ func (r *Replicator) checkpoint(runPeriod time.Duration, resync bool) (Checkpoin
 	r.mu.Lock()
 	r.history = append(r.history, st)
 	r.mu.Unlock()
+	r.updateLegTelemetry()
 	return st, nil
 }
 

@@ -1,0 +1,120 @@
+package trace_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/here-ft/here/internal/trace"
+)
+
+// TestPrometheusExpositionConformance scrapes a registry holding
+// plain, labelled, and histogram series — including label values that
+// need escaping — and checks the structural rules of the text
+// exposition format: exactly one # HELP/# TYPE pair per metric
+// family, emitted before its samples; all samples of a family
+// contiguous; label values escaped; histogram labels folded into each
+// _bucket/_sum/_count sample.
+func TestPrometheusExpositionConformance(t *testing.T) {
+	reg := trace.NewRegistry()
+	reg.Counter("here_plain_total", "a plain counter").Inc()
+	reg.Counter(trace.Labeled("here_labeled_total", "route", "GET /v1/vms/{name}", "code", "200"),
+		"a labelled counter").Inc()
+	reg.Counter(trace.Labeled("here_labeled_total", "route", "POST /v1/vms", "code", "201"), "").Inc()
+	reg.Counter(trace.Labeled("here_escape_total", "note", "quote\" slash\\ nl\nend"),
+		"escaping\nneeded\\here").Inc()
+	reg.Gauge(trace.Labeled("here_lag_epochs", "leg", "0", "host", "k1"), "per-leg lag").Set(4)
+	reg.Histogram(trace.Labeled("here_latency_seconds", "route", "GET /v1/fleet"),
+		"latency", trace.DurationBuckets()).Observe(0.002)
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+
+	// sampleFamily maps a sample line back to its metric family,
+	// folding the histogram's _bucket/_sum/_count suffixes.
+	sampleFamily := func(line string) string {
+		name := line
+		if i := strings.IndexAny(name, "{ "); i >= 0 {
+			name = name[:i]
+		}
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if strings.HasSuffix(name, suf) {
+				return strings.TrimSuffix(name, suf)
+			}
+		}
+		return name
+	}
+
+	type famState struct{ help, typ, closed bool }
+	fams := map[string]*famState{}
+	var current string
+	for _, line := range lines {
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			fam := strings.Fields(line)[2]
+			if fams[fam] != nil {
+				t.Fatalf("family %s announced twice", fam)
+			}
+			fams[fam] = &famState{help: true}
+			if current != "" {
+				fams[current].closed = true
+			}
+			current = fam
+		case strings.HasPrefix(line, "# TYPE "):
+			fam := strings.Fields(line)[2]
+			if st := fams[fam]; st != nil && st.typ {
+				t.Fatalf("family %s typed twice", fam)
+			}
+			if fams[fam] == nil {
+				if current != "" {
+					fams[current].closed = true
+				}
+				fams[fam] = &famState{}
+			}
+			fams[fam].typ = true
+			current = fam
+		default:
+			fam := sampleFamily(line)
+			st := fams[fam]
+			if st == nil || !st.typ {
+				t.Fatalf("sample before # TYPE: %q", line)
+			}
+			if st.closed {
+				t.Fatalf("family %s not contiguous: %q after another family started", fam, line)
+			}
+			if fam != current {
+				t.Fatalf("sample %q inside family %s's block", line, current)
+			}
+		}
+	}
+
+	for _, want := range []string{
+		"# TYPE here_labeled_total counter",
+		"# TYPE here_lag_epochs gauge",
+		"# TYPE here_latency_seconds histogram",
+		`here_labeled_total{route="GET /v1/vms/{name}",code="200"} 1`,
+		`here_escape_total{note="quote\" slash\\ nl\nend"} 1`,
+		`# HELP here_escape_total escaping\nneeded\\here`,
+		`here_latency_seconds_bucket{route="GET /v1/fleet",le="0.01"} 1`,
+		`here_latency_seconds_count{route="GET /v1/fleet"} 1`,
+		`here_lag_epochs{leg="0",host="k1"} 4`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+
+	// One HELP/TYPE pair covers both labelled counter series.
+	if n := strings.Count(out, "# TYPE here_labeled_total"); n != 1 {
+		t.Fatalf("here_labeled_total typed %d times", n)
+	}
+	// No raw (unescaped) newline may survive inside any single line.
+	for _, line := range lines {
+		if strings.Contains(line, "quote\" slash") && !strings.HasSuffix(line, "1") {
+			t.Fatalf("escaped sample split across lines: %q", line)
+		}
+	}
+}

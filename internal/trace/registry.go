@@ -21,11 +21,61 @@ import (
 // Naming scheme: here_<subsystem>_<metric>[_<unit>], Prometheus style
 // (counters end in _total, histograms carry a base unit such as
 // _seconds). WritePrometheus emits the text exposition format.
+//
+// Labelled series are supported through Labeled: the full series name
+// ("base{k=\"v\"}") is the registration key, so each label set is its
+// own instrument, while WritePrometheus groups all series of one base
+// under a single # HELP/# TYPE pair. All series of a base must be the
+// same metric type — register panics otherwise.
 type Registry struct {
-	mu     sync.Mutex
-	order  []string
-	byName map[string]metric
-	helps  map[string]string
+	mu       sync.Mutex
+	order    []string
+	byName   map[string]metric
+	helps    map[string]string
+	baseKind map[string]string
+}
+
+// Labeled builds a series name "base{k=\"v\",…}" from key/value pairs,
+// escaping label values per the Prometheus text exposition format
+// (backslash, double quote and newline). Pass the result to Counter,
+// Gauge or Histogram to get the per-label-set instrument.
+func Labeled(base string, kv ...string) string {
+	if len(kv) == 0 {
+		return base
+	}
+	if len(kv)%2 != 0 {
+		panic("trace: Labeled requires key/value pairs")
+	}
+	var b strings.Builder
+	b.WriteString(base)
+	b.WriteByte('{')
+	for i := 0; i < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[i])
+		b.WriteString(`="`)
+		b.WriteString(labelEscaper.Replace(kv[i+1]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// labelEscaper escapes label values; helpEscaper escapes HELP text
+// (where a bare double quote is legal).
+var (
+	labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	helpEscaper  = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+)
+
+// seriesBase returns the metric family name: the series name without
+// its {labels} suffix.
+func seriesBase(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
 }
 
 // metric is anything the registry can expose.
@@ -37,8 +87,9 @@ type metric interface {
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		byName: make(map[string]metric),
-		helps:  make(map[string]string),
+		byName:   make(map[string]metric),
+		helps:    make(map[string]string),
+		baseKind: make(map[string]string),
 	}
 }
 
@@ -53,6 +104,12 @@ func (r *Registry) register(name, help string, fresh metric) metric {
 		}
 		return m
 	}
+	base := seriesBase(name)
+	if k, ok := r.baseKind[base]; ok && k != fresh.kind() {
+		panic(fmt.Sprintf("trace: metric family %q re-registered as %s (was %s)",
+			base, fresh.kind(), k))
+	}
+	r.baseKind[base] = fresh.kind()
 	r.byName[name] = fresh
 	r.order = append(r.order, name)
 	r.helps[name] = help
@@ -87,7 +144,9 @@ func (r *Registry) Names() []string {
 }
 
 // WritePrometheus writes every registered metric in the Prometheus
-// text exposition format, in sorted name order.
+// text exposition format, metric families in sorted name order. All
+// series of one family (base name) are emitted contiguously under a
+// single # HELP/# TYPE pair, as the format requires.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	r.mu.Lock()
 	names := append([]string(nil), r.order...)
@@ -99,18 +158,37 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	}
 	r.mu.Unlock()
 	sort.Strings(names)
+	groups := make(map[string][]string)
+	var bases []string
 	for _, n := range names {
-		m := metrics[n]
-		if help := helps[n]; help != "" {
-			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", n, help); err != nil {
+		b := seriesBase(n)
+		if _, ok := groups[b]; !ok {
+			bases = append(bases, b)
+		}
+		groups[b] = append(groups[b], n)
+	}
+	sort.Strings(bases)
+	for _, b := range bases {
+		series := groups[b]
+		help := ""
+		for _, n := range series {
+			if helps[n] != "" {
+				help = helps[n]
+				break
+			}
+		}
+		if help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", b, helpEscaper.Replace(help)); err != nil {
 				return err
 			}
 		}
-		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", n, m.kind()); err != nil {
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", b, metrics[series[0]].kind()); err != nil {
 			return err
 		}
-		if err := m.expose(w, n, helps[n]); err != nil {
-			return err
+		for _, n := range series {
+			if err := metrics[n].expose(w, n, ""); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
@@ -278,22 +356,30 @@ func (h *Histogram) expose(w io.Writer, name, _ string) error {
 	counts := append([]uint64(nil), h.counts...)
 	sum, count := h.sum, h.count
 	h.mu.Unlock()
+	// A labelled histogram series folds its labels into each sample
+	// line: base_bucket{<labels>,le="…"}, base_sum{<labels>}, ….
+	base, labels, suffix := name, "", ""
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		base = name[:i]
+		labels = name[i+1:len(name)-1] + ","
+		suffix = name[i:]
+	}
 	var cum uint64
 	for i, bound := range h.bounds {
 		cum += counts[i]
-		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n",
-			name, formatValue(bound), cum); err != nil {
+		if _, err := fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n",
+			base, labels, formatValue(bound), cum); err != nil {
 			return err
 		}
 	}
 	cum += counts[len(counts)-1]
-	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum); err != nil {
+	if _, err := fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", base, labels, cum); err != nil {
 		return err
 	}
-	if _, err := fmt.Fprintf(w, "%s_sum %s\n", name, formatValue(sum)); err != nil {
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", base, suffix, formatValue(sum)); err != nil {
 		return err
 	}
-	_, err := fmt.Fprintf(w, "%s_count %d\n", name, count)
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", base, suffix, count)
 	return err
 }
 

@@ -60,6 +60,17 @@ const (
 	// SpanFailover is one phase of replica activation (Note names the
 	// phase: discard, decode, restore, replug, resume).
 	SpanFailover
+	// SpanRemoteRecv is the secondary-side read of a checkpoint or seed
+	// stream off the wire (Epoch is the checkpoint sequence number).
+	SpanRemoteRecv
+	// SpanRemoteDecode is the secondary-side wire decode of the stream.
+	SpanRemoteDecode
+	// SpanRemoteApply is the secondary-side install of decoded pages and
+	// device state into the replica image.
+	SpanRemoteApply
+	// SpanRemoteAck is the secondary-side acknowledgement: stage-timing
+	// encode plus the ack write back to the primary.
+	SpanRemoteAck
 
 	// EventRetry is one transfer attempt beyond the first.
 	EventRetry
@@ -98,6 +109,14 @@ func (k Kind) String() string {
 		return "seed-round"
 	case SpanFailover:
 		return "failover"
+	case SpanRemoteRecv:
+		return "remote-recv"
+	case SpanRemoteDecode:
+		return "remote-decode"
+	case SpanRemoteApply:
+		return "remote-apply"
+	case SpanRemoteAck:
+		return "remote-ack"
 	case EventRetry:
 		return "retry"
 	case EventRollback:
@@ -116,7 +135,7 @@ func (k Kind) String() string {
 }
 
 // IsSpan reports whether the kind carries a duration.
-func (k Kind) IsSpan() bool { return k >= SpanPause && k <= SpanFailover }
+func (k Kind) IsSpan() bool { return k >= SpanPause && k <= SpanRemoteAck }
 
 // NoEpoch marks an event that is not scoped to a checkpoint epoch
 // (fault injections, heartbeat misses).
@@ -338,12 +357,46 @@ type EpochStages struct {
 	Retries  int
 	Rollback bool
 	Outcome  string
+
+	// Remote* are the secondary-side stages reported back in the ack
+	// when the epoch travelled over the real transport: wire read,
+	// decode, replica apply, and ack write. All zero means the epoch was
+	// local (simnet) or the peer predates stage reporting.
+	RemoteRecv   time.Duration
+	RemoteDecode time.Duration
+	RemoteApply  time.Duration
+	RemoteAck    time.Duration
 }
 
 // StageSum reports scan+encode+transfer+ack — the stages that
 // partition the pause.
 func (s EpochStages) StageSum() time.Duration {
 	return s.Scan + s.Encode + s.Transfer + s.Ack
+}
+
+// RemoteSum reports the secondary-side time attributed to the epoch:
+// recv+decode+apply+ack.
+func (s EpochStages) RemoteSum() time.Duration {
+	return s.RemoteRecv + s.RemoteDecode + s.RemoteApply + s.RemoteAck
+}
+
+// HasRemote reports whether the epoch carries secondary-side stage
+// timings (i.e. it crossed the real transport and the peer reported
+// its stages back in the ack).
+func (s EpochStages) HasRemote() bool { return s.RemoteSum() > 0 }
+
+// WireTransit estimates the time the epoch's bytes spent purely on the
+// wire (plus peer scheduling): the primary's transfer span minus the
+// secondary-side stages it encloses. Clamped at zero — clock domains
+// differ across nodes, so tiny negatives can occur on fast links.
+func (s EpochStages) WireTransit() time.Duration {
+	if !s.HasRemote() {
+		return 0
+	}
+	if w := s.Transfer - s.RemoteSum(); w > 0 {
+		return w
+	}
+	return 0
 }
 
 // EpochBreakdown groups a trace's checkpoint spans by epoch, summing
@@ -388,6 +441,14 @@ func EpochBreakdown(events []Event) []EpochStages {
 			get(ev.Epoch).Ack += ev.Dur
 		case SpanRelease:
 			get(ev.Epoch).Release += ev.Dur
+		case SpanRemoteRecv:
+			get(ev.Epoch).RemoteRecv += ev.Dur
+		case SpanRemoteDecode:
+			get(ev.Epoch).RemoteDecode += ev.Dur
+		case SpanRemoteApply:
+			get(ev.Epoch).RemoteApply += ev.Dur
+		case SpanRemoteAck:
+			get(ev.Epoch).RemoteAck += ev.Dur
 		case EventRetry:
 			get(ev.Epoch).Retries++
 		case EventRollback:

@@ -75,12 +75,21 @@ func (c *ClientConfig) withDefaults() {
 	}
 }
 
+// ackFrame is one decoded acknowledgement: the acked epoch plus the
+// secondary-side stage timings (when the peer reported them).
+type ackFrame struct {
+	seq    uint64
+	spanID uint64
+	st     ackStages
+	has    bool
+}
+
 // session is one live connection: its socket, the channel acks arrive
 // on, and the keepalive bookkeeping. A session dies exactly once
 // (kill), which closes done.
 type session struct {
 	conn net.Conn
-	acks chan uint64
+	acks chan ackFrame
 
 	writeMu sync.Mutex // serializes Send writes against keepalive pings
 
@@ -123,6 +132,8 @@ func (s *session) kill(reason string) bool {
 type Client struct {
 	cfg ClientConfig
 
+	traceID uint64 // client-chosen, sent in every hello
+
 	mu          sync.Mutex
 	sess        *session
 	state       string // "connected", "disconnected", "fenced", "closed"
@@ -131,6 +142,8 @@ type Client struct {
 	serverAcked uint64
 	ackedOK     bool
 	rtt         time.Duration
+	lastStages  ackStages // remote stage timings from the last ack
+	lastStageOK bool
 	connects    int64
 	disconnects int64
 	checkpoints int64
@@ -166,9 +179,10 @@ func Dial(cfg ClientConfig) (*Client, error) {
 		return nil, fmt.Errorf("transport: zero replica memory size")
 	}
 	c := &Client{
-		cfg:    cfg,
-		state:  "disconnected",
-		closed: make(chan struct{}),
+		cfg:     cfg,
+		traceID: rand.Uint64(),
+		state:   "disconnected",
+		closed:  make(chan struct{}),
 	}
 	if reg := cfg.Metrics; reg != nil {
 		c.mConnects = reg.Counter("here_transport_connects_total",
@@ -219,6 +233,7 @@ func (c *Client) connect() error {
 		WireVersion: wireVersion,
 		Generation:  c.cfg.Generation,
 		MemBytes:    c.cfg.MemBytes,
+		TraceID:     c.traceID,
 		Protection:  c.cfg.Protection,
 	}
 	if ackedOK {
@@ -256,7 +271,7 @@ func (c *Client) connect() error {
 
 	sess := &session{
 		conn: conn,
-		acks: make(chan uint64, 1),
+		acks: make(chan ackFrame, 1),
 		done: make(chan struct{}),
 	}
 	c.mu.Lock()
@@ -312,13 +327,13 @@ func (c *Client) readLoop(sess *session) {
 			}
 			sess.mu.Unlock()
 		case msgAck:
-			seq, err := decodeU64(payload)
+			seq, spanID, st, has, err := decodeAck(payload)
 			if err != nil {
 				c.sessionDied(sess, "bad ack: "+err.Error())
 				return
 			}
 			select {
-			case sess.acks <- seq:
+			case sess.acks <- ackFrame{seq: seq, spanID: spanID, st: st, has: has}:
 			default:
 				// No sender waiting (timed out); drop.
 			}
@@ -508,20 +523,22 @@ func (c *Client) send(typ byte, seq uint64, stream []byte) error {
 	default:
 	}
 
+	ctx := streamCtx{Seq: seq, Gen: c.cfg.Generation, SpanID: c.traceID ^ seq}
 	sess.writeMu.Lock()
-	err := writeMsg(sess.conn, typ, encodeStream(seq, stream))
+	err := writeMsg(sess.conn, typ, encodeStream(ctx, stream))
 	sess.writeMu.Unlock()
 	if err != nil {
 		c.sessionDied(sess, "write: "+err.Error())
 		return fmt.Errorf("%w: %v", ErrDisconnected, err)
 	}
 
+	var frame ackFrame
 	timer := time.NewTimer(c.cfg.AckTimeout)
 	defer timer.Stop()
 	select {
-	case got := <-sess.acks:
-		if got != seq {
-			c.sessionDied(sess, fmt.Sprintf("ack for epoch %d, want %d", got, seq))
+	case frame = <-sess.acks:
+		if frame.seq != seq {
+			c.sessionDied(sess, fmt.Sprintf("ack for epoch %d, want %d", frame.seq, seq))
 			return fmt.Errorf("%w: ack desync", ErrDisconnected)
 		}
 	case <-sess.done:
@@ -538,6 +555,8 @@ func (c *Client) send(typ byte, seq uint64, stream []byte) error {
 	c.mSentBytes.Add(int64(len(stream)))
 	c.mu.Lock()
 	c.sentBytes += int64(len(stream))
+	c.lastStages = frame.st
+	c.lastStageOK = frame.has
 	if typ == msgCheckpoint {
 		c.serverAcked = seq
 		c.ackedOK = true
@@ -563,6 +582,19 @@ func (c *Client) SendCheckpoint(seq uint64, stream []byte) error {
 // until the first post-seed checkpoint.
 func (c *Client) SendSeed(round uint64, stream []byte) error {
 	return c.send(msgSeed, round, stream)
+}
+
+// LastRemoteStages reports the secondary-side stage timings (wire
+// read, decode, apply, ack) carried back in the most recent stream
+// acknowledgement. ok is false when no ack has arrived yet or the peer
+// did not report stages. The replicator reads this right after a
+// successful SendCheckpoint to merge the remote stages into the
+// epoch's cross-node breakdown.
+func (c *Client) LastRemoteStages() (recv, decode, apply, ack time.Duration, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.lastStages
+	return st.Recv, st.Decode, st.Apply, st.Ack, c.lastStageOK
 }
 
 // PeerAcked reports the last checkpoint epoch the peer acknowledged,

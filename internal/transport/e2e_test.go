@@ -34,7 +34,8 @@ type e2eRig struct {
 	srv   *transport.Server
 	proxy *faults.Proxy
 	cli   *transport.Client
-	tr    *trace.Tracer
+	tr    *trace.Tracer // primary-side tracer
+	str   *trace.Tracer // secondary-side (transport server) tracer
 	reg   *trace.Registry
 	rep   *replication.Replicator
 }
@@ -68,7 +69,8 @@ func newE2ERig(t *testing.T, fence transport.FenceSource, gen uint64) *e2eRig {
 	}
 
 	reg := trace.NewRegistry()
-	srv := transport.NewServer(transport.ServerConfig{Fence: fence, Metrics: reg})
+	str := trace.New(clk, 8192)
+	srv := transport.NewServer(transport.ServerConfig{Fence: fence, Metrics: reg, Tracer: str})
 	if err := srv.Listen("127.0.0.1:0"); err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +125,7 @@ func newE2ERig(t *testing.T, fence transport.FenceSource, gen uint64) *e2eRig {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return &e2eRig{clk: clk, vm: vm, kh: kh, srv: srv, proxy: proxy, cli: cli, tr: tr, reg: reg, rep: rep}
+	return &e2eRig{clk: clk, vm: vm, kh: kh, srv: srv, proxy: proxy, cli: cli, tr: tr, str: str, reg: reg, rep: rep}
 }
 
 func countSpans(tr *trace.Tracer, kind trace.Kind) int {
@@ -244,6 +246,72 @@ func TestE2EDisconnectDeltaResync(t *testing.T) {
 	}
 	if r.reg.Counter("here_transport_reconnects_total", "").Value() == 0 {
 		t.Fatal("reconnect was not counted in here_transport_reconnects_total")
+	}
+}
+
+// TestE2ECrossNodeBreakdown proves the observability path end to end:
+// checkpoints over real TCP carry span context out and replica-side
+// stage timings back, so the primary's trace alone reassembles a
+// cross-node epoch breakdown — local scan/encode/transfer plus the
+// secondary's decode/apply/ack and the wire-transit remainder — while
+// the secondary's own tracer holds the matching remote spans.
+func TestE2ECrossNodeBreakdown(t *testing.T) {
+	r := newE2ERig(t, transport.StaticFence(1), 1)
+
+	if _, err := r.rep.Seed(); err != nil {
+		t.Fatalf("Seed: %v", err)
+	}
+	for i := 0; i < 4; i++ {
+		st, err := r.rep.RunCycle()
+		if err != nil || st.Mode != replication.StateProtected {
+			t.Fatalf("cycle %d: %+v, %v", i, st, err)
+		}
+	}
+
+	// Primary side: the merged breakdown. At least one epoch must carry
+	// the replica-reported stages the acks brought back.
+	var merged *trace.EpochStages
+	for _, ep := range trace.EpochBreakdown(r.tr.Events()) {
+		if ep.HasRemote() {
+			ep := ep
+			merged = &ep
+			break
+		}
+	}
+	if merged == nil {
+		t.Fatal("no epoch in the primary trace carries remote stages")
+	}
+	if merged.Transfer <= 0 {
+		t.Fatalf("merged epoch %d has no transfer span: %+v", merged.Epoch, merged)
+	}
+	if merged.RemoteDecode <= 0 || merged.RemoteApply <= 0 {
+		t.Fatalf("merged epoch %d missing secondary decode/apply: %+v", merged.Epoch, merged)
+	}
+	if merged.RemoteAck <= 0 {
+		t.Fatalf("merged epoch %d missing secondary ack stage: %+v", merged.Epoch, merged)
+	}
+	// Wire transit is the transfer span minus the secondary's work,
+	// clamped at zero (the two nodes run different clock domains).
+	if wt := merged.WireTransit(); wt < 0 {
+		t.Fatalf("negative wire transit %v", wt)
+	} else if rem := merged.RemoteSum(); merged.Transfer > rem && wt != merged.Transfer-rem {
+		t.Fatalf("wire transit %v != transfer %v - remote %v", wt, merged.Transfer, rem)
+	}
+
+	// Secondary side: its own tracer recorded the receive-side spans.
+	for _, kind := range []trace.Kind{
+		trace.SpanRemoteRecv, trace.SpanRemoteDecode, trace.SpanRemoteApply, trace.SpanRemoteAck,
+	} {
+		if countSpans(r.str, kind) == 0 {
+			t.Fatalf("secondary tracer recorded no %v spans", kind)
+		}
+	}
+	// The spans carry the protection name so a shared secondary can be
+	// filtered per-VM.
+	for _, ev := range r.str.Events() {
+		if ev.Kind == trace.SpanRemoteApply && ev.Note != "protected" {
+			t.Fatalf("remote span not attributed to the protection: %+v", ev)
+		}
 	}
 }
 

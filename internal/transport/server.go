@@ -6,6 +6,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"github.com/here-ft/here/internal/memory"
 	"github.com/here-ft/here/internal/trace"
@@ -20,7 +21,10 @@ type ServerConfig struct {
 	// means generation 0 (accept everyone until a replica has seen a
 	// higher generation).
 	Fence FenceSource
-	// Tracer receives connect/disconnect/fence events (nil disables).
+	// Tracer receives connect/disconnect/fence events plus the
+	// secondary-side remote-recv/decode/apply/ack spans for every
+	// applied stream (nil disables). Span durations are wall-clock —
+	// they measure real work on this node.
 	Tracer *trace.Tracer
 	// Metrics receives the here_transport_* counters (nil disables).
 	Metrics *trace.Registry
@@ -70,6 +74,7 @@ type Server struct {
 	mCheckpoints *trace.Counter
 	mSeedRounds  *trace.Counter
 	mAcks        *trace.Counter
+	mApplySec    *trace.Histogram
 }
 
 // NewServer returns a server ready to Listen.
@@ -96,6 +101,9 @@ func NewServer(cfg ServerConfig) *Server {
 			"seeding-round streams applied and acknowledged")
 		s.mAcks = reg.Counter("here_transport_acks_total",
 			"epoch acknowledgements exchanged")
+		s.mApplySec = reg.Histogram("here_transport_apply_seconds",
+			"secondary-side decode+apply time per received stream",
+			trace.DurationBuckets())
 	}
 	return s
 }
@@ -381,7 +389,7 @@ func (s *Server) dropConn(r *replica, conn net.Conn, reason string) {
 // serveConn runs the post-handshake message loop.
 func (s *Server) serveConn(r *replica, conn net.Conn, protection string) {
 	for {
-		typ, payload, err := readMsg(conn)
+		typ, payload, recvDur, err := readMsgTimed(conn)
 		if err != nil {
 			reason := err.Error()
 			if errors.Is(err, io.EOF) {
@@ -397,19 +405,26 @@ func (s *Server) serveConn(r *replica, conn net.Conn, protection string) {
 				return
 			}
 		case msgCheckpoint, msgSeed:
-			seq, stream, err := decodeStream(payload)
+			ctx, stream, err := decodeStream(payload)
 			if err != nil {
 				s.fail(r, conn, protection, err)
 				return
 			}
-			if err := s.apply(r, typ, seq, stream); err != nil {
+			decodeDur, applyDur, err := s.apply(r, typ, protection, ctx.Seq, stream)
+			if err != nil {
 				s.fail(r, conn, protection, err)
 				return
 			}
-			if err := writeMsg(conn, msgAck, u64payload(seq)); err != nil {
+			ackStart := time.Now()
+			s.span(trace.SpanRemoteRecv, ctx.Seq, recvDur, protection, int64(len(payload)))
+			s.span(trace.SpanRemoteDecode, ctx.Seq, decodeDur, protection, int64(len(stream)))
+			s.span(trace.SpanRemoteApply, ctx.Seq, applyDur, protection, 0)
+			st := ackStages{Recv: recvDur, Decode: decodeDur, Apply: applyDur, Ack: time.Since(ackStart)}
+			if err := writeMsg(conn, msgAck, encodeAck(ctx.Seq, ctx.SpanID, st)); err != nil {
 				s.dropConn(r, conn, protection+": writing ack: "+err.Error())
 				return
 			}
+			s.span(trace.SpanRemoteAck, ctx.Seq, time.Since(ackStart), protection, 0)
 			s.mAcks.Inc()
 		case msgError:
 			s.dropConn(r, conn, protection+": peer error: "+string(payload))
@@ -421,6 +436,25 @@ func (s *Server) serveConn(r *replica, conn net.Conn, protection string) {
 	}
 }
 
+// span records one secondary-side stage span into the server's tracer.
+// Durations are wall-clock measurements of real work on this node; the
+// start instant is taken from the tracer's own clock so export offsets
+// stay consistent with the rest of the trace.
+func (s *Server) span(kind trace.Kind, seq uint64, dur time.Duration, protection string, bytes int64) {
+	tr := s.cfg.Tracer
+	if tr == nil {
+		return
+	}
+	tr.Record(trace.Event{
+		Kind:  kind,
+		Epoch: int64(seq),
+		Start: tr.Clock().Now(),
+		Dur:   dur,
+		Bytes: bytes,
+		Note:  protection,
+	})
+}
+
 // fail reports a protocol or decode error to the peer and drops the
 // connection. wire.Decode validates before applying, so replica memory
 // is untouched by the rejected stream.
@@ -429,18 +463,22 @@ func (s *Server) fail(r *replica, conn net.Conn, protection string, err error) {
 	s.dropConn(r, conn, protection+": "+err.Error())
 }
 
-// apply decodes one stream into the replica. A checkpoint advances the
+// apply decodes one stream into the replica, reporting the wire-decode
+// and state-install durations separately. A checkpoint advances the
 // acknowledged epoch; a seeding round resets it — the seed image is a
 // fresh baseline and prior checkpoint acks no longer describe it.
-func (s *Server) apply(r *replica, typ byte, seq uint64, stream []byte) error {
+func (s *Server) apply(r *replica, typ byte, protection string, seq uint64, stream []byte) (decodeDur, applyDur time.Duration, err error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	decodeStart := time.Now()
 	res, err := wire.Decode(stream, r.mem)
+	decodeDur = time.Since(decodeStart)
 	if err != nil {
-		return err
+		return decodeDur, 0, err
 	}
+	applyStart := time.Now()
 	if res.Seq != seq {
-		return fmt.Errorf("transport: stream seq %d, message says %d", res.Seq, seq)
+		return decodeDur, 0, fmt.Errorf("transport: stream seq %d, message says %d", res.Seq, seq)
 	}
 	if res.State != nil {
 		r.state = res.State
@@ -452,11 +490,19 @@ func (s *Server) apply(r *replica, typ byte, seq uint64, stream []byte) error {
 		r.acked = true
 		r.checkpoints++
 		s.mCheckpoints.Inc()
+		if reg := s.cfg.Metrics; reg != nil {
+			reg.Gauge(trace.Labeled("here_transport_replica_acked_epoch", "protection", protection),
+				"last checkpoint epoch applied and acknowledged, per protection").Set(float64(seq))
+		}
 	} else {
 		r.ackedSeq = 0
 		r.acked = false
 		r.seedRounds++
 		s.mSeedRounds.Inc()
 	}
-	return nil
+	applyDur = time.Since(applyStart)
+	if s.mApplySec != nil {
+		s.mApplySec.Observe((decodeDur + applyDur).Seconds())
+	}
+	return decodeDur, applyDur, nil
 }

@@ -47,13 +47,21 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"time"
 
 	"github.com/here-ft/here/internal/wire"
 )
 
 // ProtocolVersion is the transport protocol version exchanged in the
 // handshake. Peers with a different version are rejected.
-const ProtocolVersion uint16 = 1
+//
+// Version history:
+//
+//	1 — initial protocol (PR 6).
+//	2 — cross-node trace context: hello carries a trace ID, stream
+//	    payloads carry (generation, span ID), acks carry the
+//	    secondary-side stage timings (recv/decode/apply/ack).
+const ProtocolVersion uint16 = 2
 
 // helloMagic opens every connection.
 var helloMagic = [8]byte{'H', 'E', 'R', 'E', 'T', 'R', 'N', 'S'}
@@ -143,6 +151,7 @@ type hello struct {
 	Generation  uint64 // client's fencing generation
 	MemBytes    uint64 // replica guest-memory size
 	AckedSeq    uint64 // last acked checkpoint epoch + 1; 0 = none
+	TraceID     uint64 // client-chosen trace ID for this connection
 	Protection  string // protection (VM) name
 }
 
@@ -215,15 +224,37 @@ func readMsg(r io.Reader) (typ byte, payload []byte, err error) {
 	return hdr[0], payload, nil
 }
 
+// readMsgTimed reads one length-prefixed message and reports how long
+// the payload spent being read off the wire. The clock starts after
+// the header arrives, so idle time waiting for the next message is not
+// charged to the receive stage.
+func readMsgTimed(r io.Reader) (typ byte, payload []byte, recv time.Duration, err error) {
+	var hdr [msgOverhead]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, 0, err
+	}
+	start := time.Now()
+	n := binary.LittleEndian.Uint32(hdr[1:])
+	if n > maxMessage {
+		return 0, nil, 0, fmt.Errorf("transport: %d-byte message exceeds limit", n)
+	}
+	payload = make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, 0, err
+	}
+	return hdr[0], payload, time.Since(start), nil
+}
+
 // encodeHello serializes a hello payload.
 func encodeHello(h hello) []byte {
-	b := make([]byte, 0, 8+2+2+8+8+8+2+len(h.Protection))
+	b := make([]byte, 0, 8+2+2+8+8+8+8+2+len(h.Protection))
 	b = append(b, helloMagic[:]...)
 	b = binary.LittleEndian.AppendUint16(b, h.Version)
 	b = binary.LittleEndian.AppendUint16(b, h.WireVersion)
 	b = binary.LittleEndian.AppendUint64(b, h.Generation)
 	b = binary.LittleEndian.AppendUint64(b, h.MemBytes)
 	b = binary.LittleEndian.AppendUint64(b, h.AckedSeq)
+	b = binary.LittleEndian.AppendUint64(b, h.TraceID)
 	b = binary.LittleEndian.AppendUint16(b, uint16(len(h.Protection)))
 	return append(b, h.Protection...)
 }
@@ -231,7 +262,7 @@ func encodeHello(h hello) []byte {
 // decodeHello parses a hello payload.
 func decodeHello(b []byte) (hello, error) {
 	var h hello
-	if len(b) < 8+2+2+8+8+8+2 {
+	if len(b) < 8+2+2+8+8+8+8+2 {
 		return h, fmt.Errorf("transport: short hello (%d bytes)", len(b))
 	}
 	if string(b[:8]) != string(helloMagic[:]) {
@@ -243,11 +274,12 @@ func decodeHello(b []byte) (hello, error) {
 	h.Generation = binary.LittleEndian.Uint64(b[4:12])
 	h.MemBytes = binary.LittleEndian.Uint64(b[12:20])
 	h.AckedSeq = binary.LittleEndian.Uint64(b[20:28])
-	nameLen := int(binary.LittleEndian.Uint16(b[28:30]))
-	if len(b[30:]) != nameLen {
-		return h, fmt.Errorf("transport: hello name length %d, have %d bytes", nameLen, len(b[30:]))
+	h.TraceID = binary.LittleEndian.Uint64(b[28:36])
+	nameLen := int(binary.LittleEndian.Uint16(b[36:38]))
+	if len(b[38:]) != nameLen {
+		return h, fmt.Errorf("transport: hello name length %d, have %d bytes", nameLen, len(b[38:]))
 	}
-	h.Protection = string(b[30:])
+	h.Protection = string(b[38:])
 	if h.Protection == "" {
 		return h, errors.New("transport: empty protection name")
 	}
@@ -298,20 +330,79 @@ func rejectError(b []byte) error {
 	}
 }
 
-// encodeStream serializes a checkpoint/seed payload: the epoch followed
-// by the framed wire stream.
-func encodeStream(seq uint64, stream []byte) []byte {
-	b := make([]byte, 0, 8+len(stream))
-	b = binary.LittleEndian.AppendUint64(b, seq)
+// streamCtx is the compact trace context that rides ahead of every
+// checkpoint/seed stream: the epoch, the sender's fencing generation
+// and the span ID of the sender's transfer span, so spans recorded on
+// both nodes name the same hop.
+type streamCtx struct {
+	Seq    uint64 // checkpoint epoch (seed round during seeding)
+	Gen    uint64 // sender's fencing generation
+	SpanID uint64 // sender-side transfer span ID, echoed in the ack
+}
+
+// encodeStream serializes a checkpoint/seed payload: the trace context
+// followed by the framed wire stream.
+func encodeStream(ctx streamCtx, stream []byte) []byte {
+	b := make([]byte, 0, 24+len(stream))
+	b = binary.LittleEndian.AppendUint64(b, ctx.Seq)
+	b = binary.LittleEndian.AppendUint64(b, ctx.Gen)
+	b = binary.LittleEndian.AppendUint64(b, ctx.SpanID)
 	return append(b, stream...)
 }
 
 // decodeStream splits a checkpoint/seed payload.
-func decodeStream(b []byte) (seq uint64, stream []byte, err error) {
-	if len(b) < 8 {
-		return 0, nil, fmt.Errorf("transport: short stream payload (%d bytes)", len(b))
+func decodeStream(b []byte) (ctx streamCtx, stream []byte, err error) {
+	if len(b) < 24 {
+		return streamCtx{}, nil, fmt.Errorf("transport: short stream payload (%d bytes)", len(b))
 	}
-	return binary.LittleEndian.Uint64(b[:8]), b[8:], nil
+	ctx.Seq = binary.LittleEndian.Uint64(b[0:8])
+	ctx.Gen = binary.LittleEndian.Uint64(b[8:16])
+	ctx.SpanID = binary.LittleEndian.Uint64(b[16:24])
+	return ctx, b[24:], nil
+}
+
+// ackStages are the secondary-side stage timings carried back in a
+// checkpoint/seed ack, measured on the secondary's monotonic clock:
+// wire read, decode, replica apply, and the ack encode+write itself
+// (the last is the previous ack's cost lower-bounded at measurement
+// time — the write that carries it cannot time itself).
+type ackStages struct {
+	Recv   time.Duration
+	Decode time.Duration
+	Apply  time.Duration
+	Ack    time.Duration
+}
+
+// encodeAck serializes an ack: the acked epoch, the echoed span ID and
+// the stage timings.
+func encodeAck(seq, spanID uint64, st ackStages) []byte {
+	b := make([]byte, 0, 8*6)
+	b = binary.LittleEndian.AppendUint64(b, seq)
+	b = binary.LittleEndian.AppendUint64(b, spanID)
+	b = binary.LittleEndian.AppendUint64(b, uint64(st.Recv))
+	b = binary.LittleEndian.AppendUint64(b, uint64(st.Decode))
+	b = binary.LittleEndian.AppendUint64(b, uint64(st.Apply))
+	b = binary.LittleEndian.AppendUint64(b, uint64(st.Ack))
+	return b
+}
+
+// decodeAck parses an ack payload. A bare 8-byte epoch (a v1-style
+// minimal ack) is accepted with ok=false and zero stages.
+func decodeAck(b []byte) (seq, spanID uint64, st ackStages, ok bool, err error) {
+	switch len(b) {
+	case 8:
+		return binary.LittleEndian.Uint64(b), 0, ackStages{}, false, nil
+	case 48:
+		seq = binary.LittleEndian.Uint64(b[0:8])
+		spanID = binary.LittleEndian.Uint64(b[8:16])
+		st.Recv = time.Duration(binary.LittleEndian.Uint64(b[16:24]))
+		st.Decode = time.Duration(binary.LittleEndian.Uint64(b[24:32]))
+		st.Apply = time.Duration(binary.LittleEndian.Uint64(b[32:40]))
+		st.Ack = time.Duration(binary.LittleEndian.Uint64(b[40:48]))
+		return seq, spanID, st, true, nil
+	default:
+		return 0, 0, ackStages{}, false, fmt.Errorf("transport: %d-byte ack payload, want 8 or 48", len(b))
+	}
 }
 
 // u64payload serializes a bare uint64 (acks, pings, pongs).
