@@ -1,8 +1,8 @@
 GO ?= go
 
-RACE_PKGS = ./internal/replication ./internal/failover ./internal/faults ./internal/simnet ./internal/trace ./internal/wire ./internal/journal ./internal/orchestrator ./internal/controlplane ./internal/transport ./internal/placement ./internal/hypervisor
+RACE_PKGS = ./internal/replication ./internal/failover ./internal/faults ./internal/simnet ./internal/trace ./internal/wire ./internal/journal ./internal/orchestrator ./internal/controlplane ./internal/transport ./internal/placement ./internal/hypervisor ./internal/fleet
 
-.PHONY: check vet fmt build test race fuzz-smoke bench bench-gate trace-demo serve-demo transport-demo placement-demo
+.PHONY: check vet fmt build test race fuzz-smoke bench bench-fleet bench-gate trace-demo serve-demo transport-demo placement-demo
 
 check: vet fmt build test race fuzz-smoke
 
@@ -39,9 +39,16 @@ fuzz-smoke:
 bench:
 	$(GO) run ./cmd/here-bench -quick -only wire,trace
 
+# Full-scale fleet scaling sweep (100 → 10k protections); refreshes
+# the checked-in BENCH_fleet.json baseline. Full scale on purpose: the
+# committed evidence must cover the 10k point.
+bench-fleet:
+	$(GO) run ./cmd/here-bench -only fleet
+
 # Regression gate: fresh quick bench vs the committed baselines; fails
-# (non-zero exit) when encode ns/page or trace ns/event regresses
-# beyond the tolerance. Never rewrites the baselines.
+# (non-zero exit) when encode ns/page, trace ns/event, fleet tick
+# ns/protection or fleet status-read latency regresses beyond the
+# tolerance. Never rewrites the baselines.
 bench-gate:
 	$(GO) run ./cmd/here-bench -quick -gate
 

@@ -32,11 +32,12 @@ func main() {
 func run() error {
 	var (
 		quick     = flag.Bool("quick", false, "reduced-scale run")
-		only      = flag.String("only", "", "comma-separated artifact list (table1,table2,table5,fig5..fig17,sec87,tenants,colo,adaptive,ablation,wire,trace)")
+		only      = flag.String("only", "", "comma-separated artifact list (table1,table2,table5,fig5..fig17,sec87,tenants,colo,adaptive,ablation,wire,trace,fleet)")
 		csvDir    = flag.String("csv", "", "directory to write fig9/fig10 trace CSVs into")
 		wireJSON  = flag.String("wirejson", "BENCH_wire.json", "path for the wire artifact's machine-readable output (empty = don't write)")
 		traceJSON = flag.String("tracejson", "BENCH_trace.json", "path for the trace artifact's machine-readable output (empty = don't write)")
-		gate      = flag.Bool("gate", false, "regression gate: run a fresh wire+trace bench, compare against the committed baselines, exit non-zero on regression (never overwrites the baselines)")
+		fleetJSON = flag.String("fleetjson", "BENCH_fleet.json", "path for the fleet artifact's machine-readable output (empty = don't write)")
+		gate      = flag.Bool("gate", false, "regression gate: run a fresh wire+trace+fleet bench, compare against the committed baselines, exit non-zero on regression (never overwrites the baselines)")
 		gateTol   = flag.Float64("gate-tol", 0.25, "gate tolerance as a fraction (0.25 = fresh may be up to 25% worse than baseline)")
 	)
 	flag.Parse()
@@ -46,7 +47,7 @@ func run() error {
 		scale = experiments.QuickScale()
 	}
 	if *gate {
-		return runGate(scale, *wireJSON, *traceJSON, *gateTol)
+		return runGate(scale, *wireJSON, *traceJSON, *fleetJSON, *gateTol)
 	}
 	want := map[string]bool{}
 	if *only != "" {
@@ -242,6 +243,14 @@ func run() error {
 			fmt.Println(experiments.RenderTraceBench(res))
 			return writeTraceJSON(*traceJSON, res)
 		}},
+		{"fleet", func() error {
+			rows, err := experiments.FleetBench(scale)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.RenderFleetBench(rows))
+			return writeFleetJSON(*fleetJSON, rows)
+		}},
 		{"ablation", func() error {
 			threads, err := experiments.ThreadAblation(scale, nil)
 			if err != nil {
@@ -280,11 +289,11 @@ func run() error {
 	return nil
 }
 
-// runGate is the bench regression gate: run a fresh wire+trace bench
-// at the given scale, load the committed baselines, and fail (non-zero
-// exit) if the fresh figures of merit regressed beyond the tolerance.
-// The committed baseline files are never overwritten.
-func runGate(scale experiments.Scale, wirePath, tracePath string, tol float64) error {
+// runGate is the bench regression gate: run a fresh wire+trace+fleet
+// bench at the given scale, load the committed baselines, and fail
+// (non-zero exit) if the fresh figures of merit regressed beyond the
+// tolerance. The committed baseline files are never overwritten.
+func runGate(scale experiments.Scale, wirePath, tracePath, fleetPath string, tol float64) error {
 	baseWire, err := experiments.LoadWireBaseline(wirePath)
 	if err != nil {
 		return fmt.Errorf("gate: wire baseline: %w", err)
@@ -292,6 +301,10 @@ func runGate(scale experiments.Scale, wirePath, tracePath string, tol float64) e
 	baseTrace, err := experiments.LoadTraceBaseline(tracePath)
 	if err != nil {
 		return fmt.Errorf("gate: trace baseline: %w", err)
+	}
+	baseFleet, err := experiments.LoadFleetBaseline(fleetPath)
+	if err != nil {
+		return fmt.Errorf("gate: fleet baseline: %w", err)
 	}
 
 	fmt.Printf("gate: fresh wire bench (tolerance %.0f%%)...\n", tol*100)
@@ -304,11 +317,19 @@ func runGate(scale experiments.Scale, wirePath, tracePath string, tol float64) e
 	if err != nil {
 		return fmt.Errorf("gate: trace bench: %w", err)
 	}
+	fmt.Println("gate: fresh fleet bench...")
+	fleetRows, err := experiments.FleetBench(scale)
+	if err != nil {
+		return fmt.Errorf("gate: fleet bench: %w", err)
+	}
 
 	g := experiments.GateWire(baseWire, experiments.WireRowsJSON(rows), tol)
 	gt := experiments.GateTrace(baseTrace, experiments.TraceResultJSON(res), tol, 3.0)
 	g.Checks = append(g.Checks, gt.Checks...)
 	g.Failures = append(g.Failures, gt.Failures...)
+	gf := experiments.GateFleet(baseFleet, experiments.FleetRowsJSON(fleetRows), tol)
+	g.Checks = append(g.Checks, gf.Checks...)
+	g.Failures = append(g.Failures, gf.Failures...)
 
 	for _, c := range g.Checks {
 		fmt.Println("  " + c)
@@ -349,6 +370,23 @@ func writeTraceJSON(path string, res experiments.TraceBenchResult) error {
 		return nil
 	}
 	data, err := json.MarshalIndent(experiments.TraceResultJSON(res), "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("[wrote %s]\n", path)
+	return nil
+}
+
+// writeFleetJSON stores the fleet scaling sweep machine-readably:
+// tick and API read latency percentiles per protection count.
+func writeFleetJSON(path string, rows []experiments.FleetBenchRow) error {
+	if path == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(experiments.FleetRowsJSON(rows), "", "  ")
 	if err != nil {
 		return err
 	}

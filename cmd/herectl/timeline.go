@@ -7,6 +7,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"time"
 
 	"github.com/here-ft/here/internal/controlplane"
@@ -132,6 +133,19 @@ func clientFleet(c *controlplane.Client) error {
 		fl.Status, fl.Score, fl.HealthyHosts, fl.Hosts)
 	for mode, n := range fl.Modes {
 		fmt.Printf("          %d %s\n", n, mode)
+	}
+	if len(fl.Groups) > 0 {
+		groups := append([]controlplane.FleetGroup(nil), fl.Groups...)
+		sort.Slice(groups, func(i, j int) bool { return groups[i].Group < groups[j].Group })
+		gw := bufio.NewWriter(os.Stdout)
+		fmt.Fprintf(gw, "%-6s %11s %8s %10s\n", "GROUP", "PROTECTIONS", "TICKS", "LAST-TICK")
+		for _, g := range groups {
+			fmt.Fprintf(gw, "%-6d %11d %8d %9.2fms\n",
+				g.Group, g.Protections, g.Ticks, g.LastTickMS)
+		}
+		if err := gw.Flush(); err != nil {
+			return err
+		}
 	}
 	if len(fl.VMs) == 0 {
 		fmt.Println("no protected VMs")

@@ -34,6 +34,9 @@ import (
 
 	"github.com/here-ft/here/internal/chv"
 	"github.com/here-ft/here/internal/controlplane"
+	"github.com/here-ft/here/internal/failover"
+	"github.com/here-ft/here/internal/fleet"
+	"github.com/here-ft/here/internal/hypervisor"
 	"github.com/here-ft/here/internal/journal"
 	"github.com/here-ft/here/internal/kvm"
 	"github.com/here-ft/here/internal/orchestrator"
@@ -50,6 +53,18 @@ func main() {
 		slog.Error("hered failed", "err", err)
 		os.Exit(1)
 	}
+}
+
+// daemonFleet is the union surface hered needs from the fleet it
+// runs: the control-plane API plus host wiring, fencing, and journal
+// recovery. The single-group *orchestrator.Manager (the default) and
+// the sharded *fleet.Scheduler (-fleet-groups > 1) both satisfy it.
+type daemonFleet interface {
+	controlplane.Orchestrator
+	AddHost(h *hypervisor.Host) error
+	AttachPeerServer(srv *transport.Server)
+	Guard() *failover.Guard
+	Recover() (orchestrator.RecoverReport, error)
 }
 
 // logfFor bridges the library's printf-style Logf hooks onto a
@@ -111,6 +126,7 @@ func run(args []string) error {
 		reqTimeout  = fs.Duration("req-timeout", controlplane.DefaultRequestTimeout, "per-request handling timeout")
 		drain       = fs.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
 		stateDir    = fs.String("state-dir", "", "control-plane state directory (write-ahead journal + snapshots); empty = in-memory only")
+		fleetGroups = fs.Int("fleet-groups", 1, "shard the fleet into this many placement groups, each with its own lock and pump (1 = single group)")
 		peerListen  = fs.String("peer-listen", "", "secondary-side replication transport listen address (e.g. 127.0.0.1:7071); empty = disabled")
 		peer        = fs.String("peer", "", "peer daemon's replication transport address: stream checkpoints there over TCP instead of the in-process link")
 		quiet       = fs.Bool("quiet", false, "suppress the access log")
@@ -122,6 +138,9 @@ func run(args []string) error {
 	}
 	if *xenHosts < 1 || *kvmHosts < 1 {
 		return fmt.Errorf("need at least one host of each kind for heterogeneous pairs (got -xen %d -kvm %d)", *xenHosts, *kvmHosts)
+	}
+	if *fleetGroups < 1 {
+		return fmt.Errorf("-fleet-groups must be at least 1 (got %d)", *fleetGroups)
 	}
 
 	var level slog.Level
@@ -139,7 +158,9 @@ func run(args []string) error {
 		jl := logger.With("component", "journal", "dir", *stateDir)
 		var report journal.Report
 		var err error
-		store, report, err = journal.Open(*stateDir, journal.Options{})
+		// A sharded fleet funnels many groups' appends through one
+		// store, so batch their fsyncs with group commit.
+		store, report, err = journal.Open(*stateDir, journal.Options{GroupCommit: *fleetGroups > 1})
 		if err != nil {
 			return fmt.Errorf("state-dir: %w", err)
 		}
@@ -183,9 +204,19 @@ func run(args []string) error {
 			})
 		}
 	}
-	mgr, err := orchestrator.New(mcfg)
-	if err != nil {
-		return err
+	var mgr daemonFleet
+	if *fleetGroups > 1 {
+		sched, err := fleet.New(fleet.Config{Groups: *fleetGroups, Orchestrator: mcfg})
+		if err != nil {
+			return err
+		}
+		mgr = sched
+	} else {
+		m, err := orchestrator.New(mcfg)
+		if err != nil {
+			return err
+		}
+		mgr = m
 	}
 	if *peerListen != "" {
 		// Secondary side: accept checkpoint streams from a peer daemon.
@@ -284,7 +315,7 @@ func run(args []string) error {
 	go func() { errc <- srv.ListenAndServe(*addr) }()
 	logger.Info("fleet up",
 		"xen", *xenHosts, "kvm", *kvmHosts, "qemukvm", *qemuHosts, "chv", *chvHosts,
-		"pump", *pump, "api", "http://"+*addr)
+		"groups", *fleetGroups, "pump", *pump, "api", "http://"+*addr)
 
 	select {
 	case err := <-errc:

@@ -41,6 +41,17 @@ type FleetResponse struct {
 	Modes        map[string]int `json:"modes"`
 	Hosts        int            `json:"hosts"`
 	HealthyHosts int            `json:"healthy_hosts"`
+	// Groups carries per-placement-group rollups when the daemon runs
+	// a sharded fleet (hered -fleet-groups > 1); empty otherwise.
+	Groups []FleetGroup `json:"groups,omitempty"`
+}
+
+// FleetGroup is one placement group's rollup row.
+type FleetGroup struct {
+	Group       int     `json:"group"`
+	Protections int     `json:"protections"`
+	Ticks       uint64  `json:"ticks"`
+	LastTickMS  float64 `json:"last_tick_ms"`
 }
 
 // protectionScore grades one protection 0-100: a base from the mode,
@@ -128,6 +139,17 @@ func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
 		resp.Hosts++
 		if h.Health == "healthy" {
 			resp.HealthyHosts++
+		}
+	}
+
+	if gr, ok := s.m.(groupReporter); ok {
+		for _, g := range gr.GroupStatus() {
+			resp.Groups = append(resp.Groups, FleetGroup{
+				Group:       g.Group,
+				Protections: g.Protections,
+				Ticks:       g.Ticks,
+				LastTickMS:  float64(g.LastTick) / float64(time.Millisecond),
+			})
 		}
 	}
 

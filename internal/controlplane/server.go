@@ -11,8 +11,14 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/here-ft/here/internal/failover"
+	"github.com/here-ft/here/internal/fleet"
 	"github.com/here-ft/here/internal/journal"
 	"github.com/here-ft/here/internal/orchestrator"
+	"github.com/here-ft/here/internal/placement"
+	"github.com/here-ft/here/internal/trace"
+	"github.com/here-ft/here/internal/transport"
+	"github.com/here-ft/here/internal/vclock"
 )
 
 // Defaults for Config's zero values.
@@ -23,12 +29,50 @@ const (
 	DefaultRetryAfter     = 1 * time.Second
 )
 
+// Orchestrator is the fleet surface the control-plane API serves.
+// *orchestrator.Manager (a single group, the default) and
+// *fleet.Scheduler (sharded placement groups, hered -fleet-groups)
+// both satisfy it.
+type Orchestrator interface {
+	Protect(spec orchestrator.VMSpec) (*orchestrator.Protection, error)
+	Unprotect(name string) error
+	Failover(name string) (failover.Result, error)
+	SetPeriod(name string, d float64, tmax time.Duration) (time.Duration, error)
+	Status(name string) (orchestrator.Status, error)
+	StatusAll() []orchestrator.Status
+	Lookup(name string) (*orchestrator.Protection, error)
+	EventsSince(seq uint64) []orchestrator.Event
+	LastEventSeq() uint64
+	HostsStatus() []orchestrator.HostInfo
+	TransportStatus() []transport.PeerStatus
+	PlacementMatrix() []placement.MatrixEntry
+	Metrics() *trace.Registry
+	Clock() vclock.Clock
+	Tick() error
+}
+
+// groupPumper is the optional sharded-fleet surface: when the
+// configured Orchestrator provides its own per-group pump goroutines
+// (jittered phases) the server delegates to them instead of running
+// the single Tick loop.
+type groupPumper interface {
+	StartPump(interval time.Duration, logf func(string, ...any))
+	StopPump()
+	Ticks() uint64
+}
+
+// groupReporter exposes per-placement-group rollups for /v1/fleet.
+type groupReporter interface {
+	GroupStatus() []fleet.GroupStatus
+}
+
 // Config parameterizes a control-plane server.
 type Config struct {
 	// Manager is the orchestrated fleet the API serves; required.
 	// The server drives its Tick pump; hosts may be added before or
-	// while serving.
-	Manager *orchestrator.Manager
+	// while serving. A *fleet.Scheduler here shards the fleet into
+	// placement groups with their own jittered pumps.
+	Manager Orchestrator
 	// PumpInterval is the real-time interval between orchestration
 	// rounds (default 50 ms). Each round advances the fleet's virtual
 	// clock by whatever the protections' checkpoint cycles consume.
@@ -60,7 +104,7 @@ type Config struct {
 // call StartPump), stop with Shutdown.
 type Server struct {
 	cfg     Config
-	m       *orchestrator.Manager
+	m       Orchestrator
 	handler http.Handler
 	httpSrv *http.Server
 
@@ -69,9 +113,10 @@ type Server struct {
 	ticks atomic.Uint64
 	ready atomic.Bool
 
-	pumpMu   sync.Mutex
-	pumpStop chan struct{}
-	pumpDone chan struct{}
+	pumpMu    sync.Mutex
+	pumpStop  chan struct{}
+	pumpDone  chan struct{}
+	fleetPump groupPumper // non-nil while a sharded fleet's pumps run
 }
 
 // New validates cfg, applies defaults and builds the server. The pump
@@ -103,14 +148,23 @@ func New(cfg Config) (*Server, error) {
 }
 
 // Manager returns the fleet the server drives.
-func (s *Server) Manager() *orchestrator.Manager { return s.m }
+func (s *Server) Manager() Orchestrator { return s.m }
 
 // Handler returns the fully wrapped HTTP handler (routing, admission,
 // timeouts) — what httptest servers should mount.
 func (s *Server) Handler() http.Handler { return s.handler }
 
-// Ticks reports completed pump rounds.
-func (s *Server) Ticks() uint64 { return s.ticks.Load() }
+// Ticks reports completed pump rounds (per-group rounds when a
+// sharded fleet's pumps are delegated).
+func (s *Server) Ticks() uint64 {
+	s.pumpMu.Lock()
+	fp := s.fleetPump
+	s.pumpMu.Unlock()
+	if fp != nil {
+		return fp.Ticks()
+	}
+	return s.ticks.Load()
+}
 
 // Ready reports whether the server admits traffic (pump running, not
 // draining).
@@ -189,11 +243,19 @@ func (s *Server) logged(h http.Handler) http.Handler {
 
 // StartPump launches the orchestration pump: a real-time ticker that
 // runs one Manager.Tick per interval, advancing the fleet's virtual
-// clock. Idempotent while running.
+// clock. A sharded fleet (an Orchestrator providing its own pumps)
+// gets them delegated instead — one jitter-phased goroutine per
+// placement group. Idempotent while running.
 func (s *Server) StartPump() {
 	s.pumpMu.Lock()
 	defer s.pumpMu.Unlock()
-	if s.pumpStop != nil {
+	if s.pumpStop != nil || s.fleetPump != nil {
+		return
+	}
+	if fp, ok := s.m.(groupPumper); ok {
+		s.fleetPump = fp
+		fp.StartPump(s.cfg.PumpInterval, s.cfg.Logf)
+		s.ready.Store(true)
 		return
 	}
 	s.pumpStop = make(chan struct{})
@@ -224,8 +286,13 @@ func (s *Server) pump(stop <-chan struct{}, done chan<- struct{}) {
 func (s *Server) stopPump() {
 	s.pumpMu.Lock()
 	stop, done := s.pumpStop, s.pumpDone
-	s.pumpStop, s.pumpDone = nil, nil
+	fp := s.fleetPump
+	s.pumpStop, s.pumpDone, s.fleetPump = nil, nil, nil
 	s.pumpMu.Unlock()
+	if fp != nil {
+		fp.StopPump()
+		return
+	}
 	if stop == nil {
 		return
 	}

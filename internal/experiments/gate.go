@@ -40,6 +40,20 @@ type TraceJSONDoc struct {
 	MaxSpanGapPct  float64 `json:"max_span_gap_pct"`
 }
 
+// FleetJSONRow is the machine-readable form of one FleetBenchRow —
+// the schema of BENCH_fleet.json.
+type FleetJSONRow struct {
+	Protections int     `json:"protections"`
+	Groups      int     `json:"groups"`
+	TickP50ms   float64 `json:"tick_p50_ms"`
+	TickP99ms   float64 `json:"tick_p99_ms"`
+	StatusP50us float64 `json:"status_p50_us"`
+	StatusP99us float64 `json:"status_p99_us"`
+	ListP50ms   float64 `json:"list_p50_ms"`
+	ListP99ms   float64 `json:"list_p99_ms"`
+	ProtectMs   float64 `json:"protect_ms"`
+}
+
 // WireRowsJSON converts bench rows to their exported JSON schema.
 func WireRowsJSON(rows []WireBenchRow) []WireJSONRow {
 	out := make([]WireJSONRow, 0, len(rows))
@@ -90,6 +104,39 @@ func LoadWireBaseline(path string) ([]WireJSONRow, error) {
 		return nil, err
 	}
 	var rows []WireJSONRow
+	if err := json.Unmarshal(data, &rows); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rows, nil
+}
+
+// FleetRowsJSON converts fleet-bench rows to their exported JSON
+// schema.
+func FleetRowsJSON(rows []FleetBenchRow) []FleetJSONRow {
+	out := make([]FleetJSONRow, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, FleetJSONRow{
+			Protections: r.Protections,
+			Groups:      r.Groups,
+			TickP50ms:   float64(r.TickP50.Microseconds()) / 1e3,
+			TickP99ms:   float64(r.TickP99.Microseconds()) / 1e3,
+			StatusP50us: float64(r.StatusP50.Nanoseconds()) / 1e3,
+			StatusP99us: float64(r.StatusP99.Nanoseconds()) / 1e3,
+			ListP50ms:   float64(r.ListP50.Microseconds()) / 1e3,
+			ListP99ms:   float64(r.ListP99.Microseconds()) / 1e3,
+			ProtectMs:   r.ProtectMs,
+		})
+	}
+	return out
+}
+
+// LoadFleetBaseline reads a committed BENCH_fleet.json.
+func LoadFleetBaseline(path string) ([]FleetJSONRow, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rows []FleetJSONRow
 	if err := json.Unmarshal(data, &rows); err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
@@ -178,6 +225,42 @@ func GateWire(baseline, fresh []WireJSONRow, tol float64) GateResult {
 			continue
 		}
 		g.check("wire "+key+" ns/page", b.NsPerPage(), f.NsPerPage(), tol)
+	}
+	return g
+}
+
+// TickNsPerProtection is the gate's fleet figure of merit: median
+// round nanoseconds per protection. Normalising by fleet size makes
+// the quick sweep's points comparable with the full one's.
+func (r FleetJSONRow) TickNsPerProtection() float64 {
+	if r.Protections <= 0 {
+		return 0
+	}
+	return r.TickP50ms * 1e6 / float64(r.Protections)
+}
+
+// GateFleet compares a fresh fleet-bench sweep against the committed
+// baseline: per (protections, groups) point, median tick ns per
+// protection and median status-read latency must stay within tol.
+// Medians, not p99s, anchor the gate — the committed p99 columns are
+// the scaling evidence, but a shared CI box's tail is too noisy to
+// fail builds on. Points present on only one side are skipped (sweep
+// drift is not a perf regression).
+func GateFleet(baseline, fresh []FleetJSONRow, tol float64) GateResult {
+	var g GateResult
+	base := make(map[string]FleetJSONRow, len(baseline))
+	for _, r := range baseline {
+		base[fmt.Sprintf("%d/%d", r.Protections, r.Groups)] = r
+	}
+	for _, f := range fresh {
+		key := fmt.Sprintf("%d/%d", f.Protections, f.Groups)
+		b, ok := base[key]
+		if !ok {
+			g.Checks = append(g.Checks, fmt.Sprintf("fleet %s: skipped (no baseline row)", key))
+			continue
+		}
+		g.check("fleet "+key+" tick ns/protection", b.TickNsPerProtection(), f.TickNsPerProtection(), tol)
+		g.check("fleet "+key+" status p50 µs", b.StatusP50us, f.StatusP50us, tol)
 	}
 	return g
 }

@@ -55,8 +55,9 @@ var (
 // makes a pre-crash primary that raced a failover impossible to
 // re-activate after the control plane comes back.
 type Guard struct {
-	mu  sync.Mutex
-	gen uint64
+	mu   sync.Mutex
+	gen  uint64
+	next uint64 // highest token handed out by Mint (>= gen)
 }
 
 // NewGuard returns a guard at the given generation (typically the
@@ -87,6 +88,24 @@ func (g *Guard) Advance(gen uint64) {
 	if gen > g.gen {
 		g.gen = gen
 	}
+}
+
+// Mint reserves a fresh fencing token strictly above both the current
+// generation and every previously minted token. Concurrent minters
+// (sharded placement groups failing over in parallel) therefore never
+// collide; an earlier-minted token admitted after a later one is still
+// refused by Admit — that activation simply retries on the next round.
+func (g *Guard) Mint() uint64 {
+	if g == nil {
+		return 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.next < g.gen {
+		g.next = g.gen
+	}
+	g.next++
+	return g.next
 }
 
 // Admit consumes a fencing token: the token must strictly exceed the

@@ -1,0 +1,157 @@
+package fleet_test
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/here-ft/here/internal/controlplane"
+	"github.com/here-ft/here/internal/hypervisor"
+	"github.com/here-ft/here/internal/workload"
+)
+
+// blockingWorkload steps as an idle guest until armed; once armed its
+// next Step signals entered and then parks on release — freezing the
+// owning group's round (and group lock) mid-checkpoint.
+type blockingWorkload struct {
+	armed   atomic.Bool
+	once    sync.Once
+	entered chan struct{}
+	release chan struct{}
+}
+
+func newBlockingWorkload() *blockingWorkload {
+	return &blockingWorkload{
+		entered: make(chan struct{}),
+		release: make(chan struct{}),
+	}
+}
+
+func (b *blockingWorkload) Name() string { return "blocking" }
+
+func (b *blockingWorkload) Step(vm *hypervisor.VM, d time.Duration) (workload.StepStats, error) {
+	if b.armed.Load() {
+		b.once.Do(func() { close(b.entered) })
+		<-b.release
+	}
+	return workload.StepStats{}, nil
+}
+
+// TestStatusReadsWhileTickBlocked is the lock-free snapshot acceptance
+// check: with one group's tick frozen mid-checkpoint (its group lock
+// held), every control-plane read — library and HTTP — must still
+// complete promptly, and the other groups must still make rounds.
+func TestStatusReadsWhileTickBlocked(t *testing.T) {
+	s, _, _ := sched(t, 2, "xxkk")
+	names := namesAcrossGroups(t, s, 1)
+	blockedVM, healthyVM := names[0], names[1]
+	blockedGroup := s.Owner(blockedVM)
+	healthyGroup := s.Owner(healthyVM)
+	if blockedGroup == healthyGroup {
+		t.Fatalf("test names landed in one group (%d)", blockedGroup)
+	}
+
+	bw := newBlockingWorkload()
+	bspec := spec(blockedVM)
+	bspec.Workload = bw
+	if _, err := s.Protect(bspec); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Protect(spec(healthyVM)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Tick(); err != nil {
+		t.Fatalf("healthy round: %v", err)
+	}
+
+	srv, err := controlplane.New(controlplane.Config{Manager: s})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Freeze the blocked VM's group mid-checkpoint.
+	bw.armed.Store(true)
+	tickDone := make(chan error, 1)
+	go func() { tickDone <- s.Tick() }()
+	select {
+	case <-bw.entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("blocking workload never entered its checkpoint")
+	}
+	defer func() {
+		close(bw.release)
+		if err := <-tickDone; err != nil {
+			t.Errorf("blocked round finished with error: %v", err)
+		}
+	}()
+
+	// Every read below must return while the group lock is held.
+	readsDone := make(chan struct{})
+	go func() {
+		defer close(readsDone)
+
+		if st, err := s.Status(blockedVM); err != nil || st.Name != blockedVM {
+			t.Errorf("Status(blocked) = %+v, %v", st, err)
+		}
+		if st, err := s.Status(healthyVM); err != nil || st.Name != healthyVM {
+			t.Errorf("Status(healthy) = %+v, %v", st, err)
+		}
+		if got := len(s.StatusAll()); got != 2 {
+			t.Errorf("StatusAll rows = %d, want 2", got)
+		}
+		if got := len(s.HostsStatus()); got != 4 {
+			t.Errorf("HostsStatus rows = %d, want 4", got)
+		}
+		if got := s.ProtectionCount(); got != 2 {
+			t.Errorf("ProtectionCount = %d, want 2", got)
+		}
+		if got := len(s.EventsSince(0)); got == 0 {
+			t.Error("EventsSince(0) empty while blocked")
+		}
+		if rows := s.GroupStatus(); len(rows) != 2 {
+			t.Errorf("GroupStatus rows = %d, want 2", len(rows))
+		}
+
+		h := srv.Handler()
+		for _, path := range []string{
+			"/v1/vms",
+			"/v1/vms/" + healthyVM,
+			"/v1/vms/" + blockedVM,
+			"/v1/hosts",
+			"/v1/events",
+			"/v1/fleet",
+		} {
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+			if rec.Code != http.StatusOK {
+				t.Errorf("GET %s = %d while a group tick is blocked", path, rec.Code)
+			}
+		}
+
+		// /v1/fleet must include per-group rollups for the sharded fleet.
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/fleet", nil))
+		var fl controlplane.FleetResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &fl); err != nil {
+			t.Errorf("fleet response: %v", err)
+		} else if len(fl.Groups) != 2 {
+			t.Errorf("fleet response groups = %d, want 2", len(fl.Groups))
+		}
+
+		// The healthy group's own lock is free: it can run extra rounds
+		// while its sibling is frozen.
+		if err := s.Group(healthyGroup).Tick(); err != nil {
+			t.Errorf("healthy group tick while sibling blocked: %v", err)
+		}
+	}()
+
+	select {
+	case <-readsDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("control-plane reads hung behind a blocked group tick")
+	}
+}

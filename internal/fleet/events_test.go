@@ -1,0 +1,84 @@
+package fleet_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestEventsSinceContiguousUnderConcurrentAppenders: with every group
+// appending events concurrently, a poller advancing its cursor through
+// EventsSince must see the global sequence with no gap and no
+// duplicate — each batch exactly continues the cursor. This is the
+// property the sequencer frontier buys: group A can draw seq N while
+// group B publishes N+1 first, and the merge must hold N+1 back until
+// N is visible.
+func TestEventsSinceContiguousUnderConcurrentAppenders(t *testing.T) {
+	s, _, _ := sched(t, 4, "xxkk")
+
+	const writers = 8
+	const opsPerWriter = 25
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < opsPerWriter; i++ {
+				name := fmt.Sprintf("w%d-vm%d", w, i)
+				if _, err := s.Protect(spec(name)); err != nil {
+					t.Errorf("protect %s: %v", name, err)
+					return
+				}
+				if err := s.Unprotect(name); err != nil {
+					t.Errorf("unprotect %s: %v", name, err)
+					return
+				}
+			}
+		}(w)
+	}
+	writersDone := make(chan struct{})
+	go func() { wg.Wait(); close(writersDone) }()
+
+	var cursor uint64
+	var seen int
+	drain := func() {
+		for {
+			batch := s.EventsSince(cursor)
+			if len(batch) == 0 {
+				return
+			}
+			for _, ev := range batch {
+				if ev.Seq != cursor+1 {
+					t.Fatalf("cursor %d followed by seq %d (batch of %d): gap or duplicate in merged stream",
+						cursor, ev.Seq, len(batch))
+				}
+				cursor = ev.Seq
+				seen++
+			}
+		}
+	}
+
+	deadline := time.After(30 * time.Second)
+	for {
+		drain()
+		select {
+		case <-writersDone:
+			drain() // final pass now that every draw is published
+			if last := s.LastEventSeq(); cursor != last {
+				t.Fatalf("cursor stopped at %d, frontier is %d", cursor, last)
+			}
+			if uint64(seen) != cursor {
+				t.Fatalf("saw %d events over %d sequence numbers", seen, cursor)
+			}
+			if seen < writers*opsPerWriter*2 {
+				t.Fatalf("saw %d events, want at least %d", seen, writers*opsPerWriter*2)
+			}
+			return
+		case <-deadline:
+			t.Fatalf("writers still running after 30s (cursor %d)", cursor)
+		default:
+		}
+	}
+}

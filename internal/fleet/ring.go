@@ -1,0 +1,79 @@
+package fleet
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// vnodesPerGroup is how many virtual points each placement group
+// projects onto the hash circle. 64 keeps the per-group keyspace share
+// within a few percent of uniform while the ring stays small enough
+// that building it is negligible.
+const vnodesPerGroup = 64
+
+// ring is a consistent-hash ring mapping protection names to placement
+// groups: each group owns vnodesPerGroup points on a 64-bit circle and
+// a name belongs to the first point at or clockwise of its own hash.
+// Changing the group count therefore moves only the names the added
+// (or removed) group's points capture — roughly 1/G of the keyspace —
+// instead of reshuffling nearly everything the way hash-mod-G would,
+// which matters when a journaled fleet is recovered under a different
+// -fleet-groups setting.
+type ring struct {
+	points []ringPoint
+}
+
+type ringPoint struct {
+	hash  uint64
+	group int
+}
+
+func newRing(groups int) *ring {
+	r := &ring{points: make([]ringPoint, 0, groups*vnodesPerGroup)}
+	for g := 0; g < groups; g++ {
+		for v := 0; v < vnodesPerGroup; v++ {
+			r.points = append(r.points, ringPoint{
+				hash:  hash64(fmt.Sprintf("group-%d#%d", g, v)),
+				group: g,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].group < r.points[j].group
+	})
+	return r
+}
+
+// owner maps a protection name to its placement group.
+func (r *ring) owner(name string) int {
+	h := hash64(name)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap: the circle's first point
+	}
+	return r.points[i].group
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return mix64(h.Sum64())
+}
+
+// mix64 is the splitmix64 finalizer. Raw FNV-1a keeps strings that
+// differ only near their tail adjacent on the circle — sequential
+// names (vm-1, vm-2, ...), the common case, would pile onto a single
+// group's arc. The finalizer avalanches every input bit across the
+// word so neighbors land uniformly.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -1,0 +1,10 @@
+//go:build !race
+
+package fleet_test
+
+// Chaos scale without the race detector: the full 10k-protection run
+// the issue's acceptance criteria call for.
+const (
+	chaosProtections = 10000
+	chaosRounds      = 3
+)

@@ -1,0 +1,10 @@
+//go:build race
+
+package fleet_test
+
+// Chaos scale under the race detector: same schedule, scaled down so
+// the instrumented run finishes in CI time.
+const (
+	chaosProtections = 300
+	chaosRounds      = 3
+)

@@ -1,0 +1,67 @@
+package fleet
+
+import "sync"
+
+// Sequencer issues globally monotone event sequence numbers to every
+// placement group and tracks which draws have become visible in their
+// group's published log. It implements orchestrator.EventSequencer.
+//
+// The merge problem it solves: group A draws seq 7, group B draws seq
+// 8 and publishes first. A reader merging the per-group logs at that
+// instant must NOT hand out 8 — a later poll would then see 7 below
+// its cursor and either drop it (gap) or replay 8 (duplicate). The
+// Frontier is the highest sequence S with every draw ≤ S published;
+// merged reads truncate there, so cursors advance over a gapless,
+// duplicate-free stream.
+type Sequencer struct {
+	mu       sync.Mutex
+	last     uint64              // highest number handed out
+	inflight map[uint64]struct{} // drawn but not yet published
+}
+
+// NewSequencer returns an empty sequencer.
+func NewSequencer() *Sequencer {
+	return &Sequencer{inflight: make(map[uint64]struct{})}
+}
+
+// Next draws a fresh sequence number; the caller must Publish it once
+// the event is visible in its group's log.
+func (s *Sequencer) Next() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.last++
+	s.inflight[s.last] = struct{}{}
+	return s.last
+}
+
+// Publish marks a drawn number's event as visible.
+func (s *Sequencer) Publish(seq uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.inflight, seq)
+}
+
+// Advance raises the counter to at least seq (recovery adopting the
+// journaled event watermark; the skipped numbers count as published —
+// their events predate this lifetime's logs).
+func (s *Sequencer) Advance(seq uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if seq > s.last {
+		s.last = seq
+	}
+}
+
+// Frontier reports the highest sequence number S such that every
+// number ≤ S has been published: the stable merge cursor.
+func (s *Sequencer) Frontier() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	frontier := s.last
+	for seq := range s.inflight {
+		if seq-1 < frontier {
+			frontier = seq - 1
+		}
+	}
+	return frontier
+}

@@ -3,6 +3,7 @@ package journal
 import (
 	"encoding/binary"
 	"errors"
+	"fmt"
 	"hash/crc32"
 	"os"
 	"path/filepath"
@@ -39,6 +40,20 @@ func FuzzJournalReplay(f *testing.F) {
 	two := append(append([]byte(nil), valid...),
 		frame([]byte(`{"lsn":2,"kind":"ack","vm":"svc","epoch":3}`))...)
 	f.Add(two)
+	// A group-commit batch: several frames written back-to-back with a
+	// single covering fsync, exactly as Options{GroupCommit} lays them
+	// out on disk — plus crash points inside the batch (a power cut
+	// between the batched writes and the fsync persists an arbitrary
+	// byte prefix, which must replay as a clean record prefix).
+	batch := append([]byte(nil), valid...)
+	for i := 2; i <= 6; i++ {
+		batch = append(batch, frame([]byte(fmt.Sprintf(
+			`{"lsn":%d,"kind":"retune","vm":"svc","budget":0.3,"max_period_ms":%d}`, i, 1000+i)))...)
+	}
+	f.Add(batch)
+	f.Add(batch[:len(batch)-7])                // torn inside the last frame
+	f.Add(batch[:len(valid)+2*frameHeader+40]) // torn mid-batch
+	f.Add(batch[:len(batch)-len(batch)/3])     // torn across a frame boundary region
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		dir := t.TempDir()

@@ -20,6 +20,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/here-ft/here/internal/arch"
@@ -115,6 +116,57 @@ type Config struct {
 	// the journaled state after a restart. Nil keeps everything
 	// in-memory (library use).
 	Journal *journal.Store
+	// Guard, when set, is a shared fencing gate: the fleet scheduler
+	// hands the same guard to every placement group so activation
+	// tokens stay globally monotone across groups. Nil gives the
+	// manager a private guard.
+	Guard *failover.Guard
+	// Events, when set, is a shared event sequencer: every recorded
+	// event draws its sequence number here, so the merged per-group
+	// logs of a sharded fleet stay globally monotone with no
+	// duplicates. Nil gives the manager a private counter.
+	Events EventSequencer
+	// Owns, when set, filters journal recovery (and guards Protect
+	// against misrouting) to the protections this manager's placement
+	// group is responsible for. Nil owns every name.
+	Owns func(name string) bool
+}
+
+// EventSequencer hands out fleet-event sequence numbers. Next draws a
+// fresh number; Publish marks that number's event as visible in its
+// group's published log (merged readers use it to compute a stable
+// frontier); Advance raises the counter to at least seq (restart
+// recovery adopting the journaled watermark). Implementations must be
+// safe for concurrent use.
+type EventSequencer interface {
+	Next() uint64
+	Publish(seq uint64)
+	Advance(seq uint64)
+}
+
+// localSequencer is the single-manager default: a plain counter whose
+// events are visible the instant they are appended, so Publish has
+// nothing to track.
+type localSequencer struct {
+	mu sync.Mutex
+	n  uint64
+}
+
+func (s *localSequencer) Next() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n++
+	return s.n
+}
+
+func (s *localSequencer) Publish(uint64) {}
+
+func (s *localSequencer) Advance(seq uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if seq > s.n {
+		s.n = seq
+	}
 }
 
 // WorkloadSpec is the journalable description of a guest workload —
@@ -354,7 +406,24 @@ type Manager struct {
 	prots   map[string]*Protection
 	peerSrv *transport.Server // secondary-side listener, when attached
 	events  []Event
-	nextSeq uint64
+
+	// seq issues event sequence numbers (shared across groups in a
+	// sharded fleet); lastSeq is the newest number this manager drew —
+	// the watermark journal records are stamped with.
+	seq     EventSequencer
+	lastSeq atomic.Uint64
+
+	// eventsPub is the lock-free published view of the event log: a
+	// copy of the slice header stored after every append. Appends only
+	// ever write indices at or beyond a published header's length, so
+	// readers iterate their header without taking m.mu — even while a
+	// Tick round holds the lock through a checkpoint.
+	eventsPub atomic.Pointer[[]Event]
+
+	// statusPub is the RCU-style copy-on-write fleet snapshot: every
+	// mutating operation republishes it before releasing m.mu, and
+	// Status/StatusAll/HostsStatus serve reads from it lock-free.
+	statusPub atomic.Pointer[statusSnap]
 }
 
 // New returns an empty fleet manager.
@@ -371,13 +440,30 @@ func New(cfg Config) (*Manager, error) {
 	if cfg.MaxPeriod == 0 {
 		cfg.MaxPeriod = 25 * time.Second
 	}
-	return &Manager{
+	guard := cfg.Guard
+	if guard == nil {
+		guard = failover.NewGuard(0)
+	}
+	seq := cfg.Events
+	if seq == nil {
+		seq = &localSequencer{}
+	}
+	m := &Manager{
 		cfg:     cfg,
-		guard:   failover.NewGuard(0),
+		guard:   guard,
+		seq:     seq,
 		planner: placement.New(placement.Config{Metrics: cfg.Metrics}),
 		links:   make(map[string]*simnet.Link),
 		prots:   make(map[string]*Protection),
-	}, nil
+	}
+	m.publishAll()
+	return m, nil
+}
+
+// owns reports whether this manager's placement group is responsible
+// for the named protection.
+func (m *Manager) owns(name string) bool {
+	return m.cfg.Owns == nil || m.cfg.Owns(name)
 }
 
 // Planner exposes the placement engine (the control plane serves its
@@ -386,11 +472,11 @@ func (m *Manager) Planner() *placement.Engine { return m.planner }
 
 // PlacementMatrix snapshots the pairwise placement scores of the
 // current fleet — every (primary, secondary) host pair with its CVE
-// overlap, load and combined score.
+// overlap, load and combined score. It reads the published host list,
+// so it never blocks behind a ticking group.
 func (m *Manager) PlacementMatrix() []placement.MatrixEntry {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.planner.ScoreMatrix(m.hosts)
+	snap := m.statusPub.Load()
+	return m.planner.ScoreMatrix(snap.hosts)
 }
 
 // Guard exposes the fencing gate (for tests asserting fencing
@@ -404,7 +490,7 @@ func (m *Manager) journalAppend(rec journal.Record) error {
 	if m.cfg.Journal == nil {
 		return nil
 	}
-	rec.EventSeq = m.nextSeq
+	rec.EventSeq = m.lastSeq.Load()
 	return m.cfg.Journal.Append(rec)
 }
 
@@ -450,6 +536,7 @@ func (m *Manager) AddHost(h *hypervisor.Host) error {
 		}
 	}
 	m.hosts = append(m.hosts, h)
+	m.publishAll()
 	return nil
 }
 
@@ -466,11 +553,13 @@ func (m *Manager) Hosts() []string {
 }
 
 // HostsStatus snapshots every registered host, sorted by name.
+// Lock-free: the host list comes from the published snapshot and each
+// host's health/VM count is read live through the host's own (short)
+// mutex — never the manager lock.
 func (m *Manager) HostsStatus() []HostInfo {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	infos := make([]HostInfo, 0, len(m.hosts))
-	for _, h := range m.hosts {
+	snap := m.statusPub.Load()
+	infos := make([]HostInfo, 0, len(snap.hosts))
+	for _, h := range snap.hosts {
 		infos = append(infos, hostInfo(h))
 	}
 	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
@@ -548,46 +637,52 @@ func (m *Manager) linkBetween(a, b hypervisor.Hypervisor) (*simnet.Link, error) 
 	return l, nil
 }
 
-// record appends an event. Caller holds m.mu.
+// record appends an event: draw a sequence number, append under the
+// lock, atomically publish the new slice header, then tell the
+// sequencer the number is visible. Caller holds m.mu.
 func (m *Manager) record(kind EventKind, vm, detail string) {
-	m.nextSeq++
+	seq := m.seq.Next()
+	m.lastSeq.Store(seq)
 	m.events = append(m.events, Event{
-		Seq: m.nextSeq, Time: m.cfg.Clock.Now(), Kind: kind, VM: vm, Detail: detail,
+		Seq: seq, Time: m.cfg.Clock.Now(), Kind: kind, VM: vm, Detail: detail,
 	})
+	view := m.events
+	m.eventsPub.Store(&view)
+	m.seq.Publish(seq)
 }
 
-// Events returns a copy of the fleet event log.
+// eventsView loads the published event log. Readers may iterate it
+// freely: appends never write below a published header's length.
+func (m *Manager) eventsView() []Event {
+	if v := m.eventsPub.Load(); v != nil {
+		return *v
+	}
+	return nil
+}
+
+// Events returns a copy of the fleet event log. Lock-free.
 func (m *Manager) Events() []Event {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return append([]Event(nil), m.events...)
+	return append([]Event(nil), m.eventsView()...)
 }
 
 // EventsSince returns the events with Seq > seq — the polling cursor:
 // pass the largest Seq already seen (0 for everything) and only the
-// new tail is copied, O(new events) instead of O(log).
+// new tail is copied. Lock-free: the tail is found by binary search
+// over the published log (per-manager seqs are strictly increasing
+// even when a shared sequencer interleaves groups).
 func (m *Manager) EventsSince(seq uint64) []Event {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	// Seqs are contiguous, but after a restart-recovery they continue
-	// from the journaled watermark rather than 1, so events[0] carries
-	// Seq base+1 where base = nextSeq - len(events).
-	base := m.nextSeq - uint64(len(m.events))
-	if seq < base {
-		seq = base
-	}
-	if seq >= m.nextSeq {
+	evs := m.eventsView()
+	i := sort.Search(len(evs), func(i int) bool { return evs[i].Seq > seq })
+	if i == len(evs) {
 		return nil
 	}
-	return append([]Event(nil), m.events[seq-base:]...)
+	return append([]Event(nil), evs[i:]...)
 }
 
 // LastEventSeq reports the sequence number of the newest event (0 when
-// the log is empty).
+// the log is empty). Lock-free.
 func (m *Manager) LastEventSeq() uint64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.nextSeq
+	return m.lastSeq.Load()
 }
 
 // Protect boots spec on the planner's primary, pairs it with
@@ -603,6 +698,9 @@ func (m *Manager) Protect(spec VMSpec) (*Protection, error) {
 	}
 	if _, ok := m.prots[spec.Name]; ok {
 		return nil, fmt.Errorf("%w: %q", ErrAlreadyExists, spec.Name)
+	}
+	if !m.owns(spec.Name) {
+		return nil, fmt.Errorf("orchestrator: vm %q is not owned by this placement group", spec.Name)
 	}
 	want := spec.Secondaries
 	if want <= 0 {
@@ -667,6 +765,7 @@ func (m *Manager) Protect(spec VMSpec) (*Protection, error) {
 		return nil, err
 	}
 	m.prots[spec.Name] = prot
+	m.publishUpsert(prot)
 	m.record(EventProtected, spec.Name,
 		fmt.Sprintf("%s (%s) -> %s", primary.HostName(), primary.Product(),
 			chainDetail(asn.Secondaries)))
@@ -900,49 +999,78 @@ func (m *Manager) Protections() []string {
 	return names
 }
 
-// Status snapshots one protection.
-func (m *Manager) Status(name string) (Status, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	p, err := m.lookupLocked(name)
-	if err != nil {
-		return Status{}, err
-	}
-	return m.statusLocked(p), nil
+// protSnap is one protection's entry in the published fleet snapshot:
+// the Status fields materialized at publication time, plus the live
+// handles (VM, hosts) whose health is resolved at read time — a host
+// can crash while a group's tick holds the lock, and reads must see it
+// immediately, not the health at last publication.
+type protSnap struct {
+	st          Status // host info and Running left unfilled
+	vm          *hypervisor.VM
+	primary     hypervisor.Hypervisor
+	secondary   hypervisor.Hypervisor
+	secondaries []hypervisor.Hypervisor
+	transport   statusReporter // nil unless a dialed network client
 }
 
-// StatusAll snapshots every protection, sorted by name.
-func (m *Manager) StatusAll() []Status {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	out := make([]Status, 0, len(m.prots))
-	for _, p := range m.prots {
-		out = append(out, m.statusLocked(p))
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
-	return out
+// statusSnap is the RCU-published fleet view: mutators build a new one
+// (sharing unchanged protSnap entries) and store it atomically before
+// releasing m.mu; readers load and walk it without any lock.
+type statusSnap struct {
+	prots []*protSnap        // sorted by name
+	hosts []*hypervisor.Host // registration order
 }
 
-// statusLocked builds the snapshot. Caller holds m.mu.
-func (m *Manager) statusLocked(p *Protection) Status {
+// find binary-searches the sorted snapshot (no map: keeping the
+// structure a plain slice makes single-entry republication a memcpy).
+func (s *statusSnap) find(name string) *protSnap {
+	i := sort.Search(len(s.prots), func(i int) bool { return s.prots[i].st.Name >= name })
+	if i < len(s.prots) && s.prots[i].st.Name == name {
+		return s.prots[i]
+	}
+	return nil
+}
+
+// materialize completes a snapshot row with the live host and VM
+// views. Host handles use their own short mutexes; the manager lock is
+// never touched.
+func (ps *protSnap) materialize() Status {
+	st := ps.st
+	if ps.vm != nil {
+		st.Running = ps.vm.Running()
+	}
+	if ps.primary != nil {
+		st.Primary = hostInfo(ps.primary)
+	}
+	if ps.secondary != nil {
+		info := hostInfo(ps.secondary)
+		st.Secondary = &info
+	}
+	for _, s := range ps.secondaries {
+		st.Secondaries = append(st.Secondaries, hostInfo(s))
+	}
+	return st
+}
+
+// snapLocked captures one protection's snapshot entry. Caller holds
+// m.mu.
+func (m *Manager) snapLocked(p *Protection) *protSnap {
+	ps := &protSnap{
+		vm:        p.vm,
+		primary:   p.primary,
+		secondary: p.secondary,
+	}
+	for _, s := range p.secondaries {
+		ps.secondaries = append(ps.secondaries, s)
+	}
+	if r, ok := p.transport.(statusReporter); ok {
+		ps.transport = r
+	}
 	st := Status{
 		Name:       p.Name,
 		Generation: p.Generation,
 		Budget:     p.budget,
 		MaxPeriod:  p.tmax,
-	}
-	if p.vm != nil {
-		st.Running = p.vm.Running()
-	}
-	if p.primary != nil {
-		st.Primary = hostInfo(p.primary)
-	}
-	if p.secondary != nil {
-		info := hostInfo(p.secondary)
-		st.Secondary = &info
-	}
-	for _, s := range p.secondaries {
-		st.Secondaries = append(st.Secondaries, hostInfo(s))
 	}
 	st.Want = p.want
 	if st.Want <= 0 {
@@ -979,7 +1107,90 @@ func (m *Manager) statusLocked(p *Protection) Status {
 	} else if p.pm != nil {
 		st.Period = p.pm.Period()
 	}
-	return st
+	ps.st = st
+	return ps
+}
+
+// publishAll rebuilds and publishes the whole fleet snapshot. Caller
+// holds m.mu. O(protections) — used by whole-fleet mutators (Tick,
+// AddHost, recovery); single-protection mutators use publishUpsert /
+// publishRemove, which share every unchanged entry.
+func (m *Manager) publishAll() {
+	names := make([]string, 0, len(m.prots))
+	for n := range m.prots {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	snap := &statusSnap{
+		prots: make([]*protSnap, 0, len(names)),
+		hosts: append([]*hypervisor.Host(nil), m.hosts...),
+	}
+	for _, n := range names {
+		snap.prots = append(snap.prots, m.snapLocked(m.prots[n]))
+	}
+	m.statusPub.Store(snap)
+}
+
+// publishUpsert republishes the snapshot with p's entry refreshed
+// (inserted if new), sharing every other entry. Caller holds m.mu.
+func (m *Manager) publishUpsert(p *Protection) {
+	old := m.statusPub.Load()
+	ps := m.snapLocked(p)
+	i := sort.Search(len(old.prots), func(i int) bool { return old.prots[i].st.Name >= p.Name })
+	snap := &statusSnap{hosts: old.hosts}
+	if i < len(old.prots) && old.prots[i].st.Name == p.Name {
+		snap.prots = make([]*protSnap, len(old.prots))
+		copy(snap.prots, old.prots)
+		snap.prots[i] = ps
+	} else {
+		snap.prots = make([]*protSnap, 0, len(old.prots)+1)
+		snap.prots = append(snap.prots, old.prots[:i]...)
+		snap.prots = append(snap.prots, ps)
+		snap.prots = append(snap.prots, old.prots[i:]...)
+	}
+	m.statusPub.Store(snap)
+}
+
+// publishRemove republishes the snapshot without name. Caller holds
+// m.mu.
+func (m *Manager) publishRemove(name string) {
+	old := m.statusPub.Load()
+	i := sort.Search(len(old.prots), func(i int) bool { return old.prots[i].st.Name >= name })
+	if i == len(old.prots) || old.prots[i].st.Name != name {
+		return
+	}
+	snap := &statusSnap{hosts: old.hosts}
+	snap.prots = make([]*protSnap, 0, len(old.prots)-1)
+	snap.prots = append(snap.prots, old.prots[:i]...)
+	snap.prots = append(snap.prots, old.prots[i+1:]...)
+	m.statusPub.Store(snap)
+}
+
+// Status snapshots one protection. Lock-free: served from the
+// published fleet snapshot, with host health resolved live.
+func (m *Manager) Status(name string) (Status, error) {
+	snap := m.statusPub.Load()
+	ps := snap.find(name)
+	if ps == nil {
+		return Status{}, fmt.Errorf("%w: %q", ErrUnknownVM, name)
+	}
+	return ps.materialize(), nil
+}
+
+// StatusAll snapshots every protection, sorted by name. Lock-free.
+func (m *Manager) StatusAll() []Status {
+	snap := m.statusPub.Load()
+	out := make([]Status, 0, len(snap.prots))
+	for _, ps := range snap.prots {
+		out = append(out, ps.materialize())
+	}
+	return out
+}
+
+// ProtectionCount reports the number of protections in the published
+// snapshot. Lock-free.
+func (m *Manager) ProtectionCount() int {
+	return len(m.statusPub.Load().prots)
 }
 
 // Unprotect tears a protection down: the replication session is
@@ -995,6 +1206,7 @@ func (m *Manager) Unprotect(name string) error {
 		return err
 	}
 	delete(m.prots, name)
+	m.publishRemove(name)
 	detail := "torn down"
 	if !p.lost && p.vm != nil {
 		if host, ok := p.primary.(*hypervisor.Host); ok && host.Health() == hypervisor.Healthy {
@@ -1028,6 +1240,9 @@ func (m *Manager) Failover(name string) (failover.Result, error) {
 	if err != nil {
 		return failover.Result{}, err
 	}
+	// Republish on every exit: the activation mutates the protection
+	// across several steps, some of which can fail after state changed.
+	defer m.publishUpsert(p)
 	if p.lost {
 		return failover.Result{}, ErrServiceLost
 	}
@@ -1055,7 +1270,7 @@ func (m *Manager) Failover(name string) (failover.Result, error) {
 	// Journal the activation intent (with a freshly minted fencing
 	// token) BEFORE any side effect: a crash from here on is resolvable
 	// on restart by probing the target for the activated replica.
-	token := m.guard.Generation() + 1
+	token := m.guard.Mint()
 	if err := m.journalAppend(journal.Record{
 		Kind: journal.RecFenceIntent, VM: name,
 		Generation: gen, Target: target.HostName(), Fence: token,
@@ -1107,6 +1322,7 @@ func (m *Manager) SetPeriod(name string, d float64, tmax time.Duration) (time.Du
 	if err != nil {
 		return 0, err
 	}
+	defer m.publishUpsert(p)
 	if err := (period.Config{D: d, Tmax: tmax}).Validate(); err != nil {
 		return 0, err
 	}
@@ -1138,20 +1354,24 @@ func (m *Manager) SetPeriod(name string, d float64, tmax time.Duration) (time.Du
 func (m *Manager) Tick() error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	defer m.publishAll()
 	prots := make([]*Protection, 0, len(m.prots))
 	for _, p := range m.prots {
 		prots = append(prots, p)
 	}
 	sort.Slice(prots, func(i, j int) bool { return prots[i].Name < prots[j].Name })
 
-	var firstErr error
+	// Every protection gets its round even when an earlier one fails;
+	// the errors are aggregated so one failing protection can't mask
+	// the others (errors.Is still matches each joined error).
+	var errs []error
 	for _, p := range prots {
-		if err := m.tickOne(p); err != nil && firstErr == nil &&
+		if err := m.tickOne(p); err != nil &&
 			!errors.Is(err, ErrServiceLost) && !errors.Is(err, ErrNoHeterogeneous) {
-			firstErr = err
+			errs = append(errs, err)
 		}
 	}
-	return firstErr
+	return errors.Join(errs...)
 }
 
 // tickOne runs one protection's round. Caller holds m.mu.
@@ -1405,7 +1625,7 @@ func (m *Manager) handleFailure(p *Protection) error {
 
 	gen := p.Generation + 1
 	replicaName := fmt.Sprintf("%s-g%d", p.Name, gen)
-	token := m.guard.Generation() + 1
+	token := m.guard.Mint()
 	if err := m.journalAppend(journal.Record{
 		Kind: journal.RecFenceIntent, VM: p.Name,
 		Generation: gen, Target: target.HostName(), Fence: token,

@@ -69,58 +69,115 @@ type RecoverReport struct {
 //     deposit, exactly as if the failure had been detected live;
 //   - anything else is service-lost.
 func (m *Manager) Recover() (RecoverReport, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	var rep RecoverReport
 	if m.cfg.Journal == nil {
 		return rep, errors.New("orchestrator: recover without a journal")
 	}
-	if len(m.prots) > 0 {
+	m.mu.Lock()
+	dirty := len(m.prots) > 0
+	m.mu.Unlock()
+	if dirty {
 		return rep, errors.New("orchestrator: recover on a manager that already has protections")
 	}
-
 	st := m.cfg.Journal.State()
-	m.nextSeq = st.EventSeq
-	// Adopt the journaled fence before resolving intents (so their
-	// tokens compare against the right base), bump it after.
-	m.guard.Advance(st.Fence)
+	if err := m.ResolveIntents(&st); err != nil {
+		return rep, err
+	}
+	fence, err := m.FenceRecovery(&st)
+	if err != nil {
+		return rep, err
+	}
+	rep, err = m.RecoverProtections(&st)
+	rep.Fence = fence
+	return rep, err
+}
 
+// adoptWatermarks raises the event sequencer and fencing guard to the
+// journaled watermarks. Idempotent, so each recovery phase can call it
+// (a sharded fleet runs the phases on different groups). Caller holds
+// m.mu.
+func (m *Manager) adoptWatermarks(st *journal.State) {
+	m.seq.Advance(st.EventSeq)
+	if st.EventSeq > m.lastSeq.Load() {
+		m.lastSeq.Store(st.EventSeq)
+	}
+	m.guard.Advance(st.Fence)
+}
+
+// ownedNames lists the journaled protections this manager's placement
+// group owns, sorted. Caller holds m.mu.
+func (m *Manager) ownedNames(st *journal.State) []string {
 	names := make([]string, 0, len(st.Protections))
 	for name := range st.Protections {
-		names = append(names, name)
+		if m.owns(name) {
+			names = append(names, name)
+		}
 	}
 	sort.Strings(names)
+	return names
+}
 
-	// Phase 1: resolve pending activation intents against reality.
-	// This must precede the fence record — a crash between the two
-	// must not lose the resolution (the fence record clears pendings
-	// on replay).
-	for _, name := range names {
+// ResolveIntents is recovery phase 1: every owned protection's pending
+// activation intent is resolved against reality (did the activation
+// complete before the crash?), mutating st in place so phase 3 sees
+// the resolution. With a sharded fleet every group runs this phase —
+// against the SAME captured journal state — before any group appends
+// the phase-2 fence record, because that record voids all pendings on
+// replay.
+func (m *Manager) ResolveIntents(st *journal.State) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	// Adopt the journaled fence before resolving intents (so their
+	// tokens compare against the right base); phase 2 bumps it.
+	m.adoptWatermarks(st)
+	for _, name := range m.ownedNames(st) {
 		jp := st.Protections[name]
 		if jp.Pending == nil || jp.Lost {
 			continue
 		}
 		if err := m.resolveIntent(name, jp); err != nil {
-			return rep, err
+			return err
 		}
 	}
+	return nil
+}
 
-	// Phase 2: establish the new fencing generation. Every token the
-	// previous lifetime minted is ≤ st.Fence, so none can activate
-	// anything from here on.
+// FenceRecovery is recovery phase 2: append the RecFence record
+// establishing the new fencing generation (st.Fence + 1) and advance
+// the guard past it. Every token the previous lifetime minted is
+// ≤ st.Fence, so none can activate anything from here on. With a
+// sharded fleet exactly ONE group runs this phase on behalf of all
+// (the guard is shared); st.Fence is updated in place.
+func (m *Manager) FenceRecovery(st *journal.State) (uint64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.adoptWatermarks(st)
 	fence := st.Fence + 1
 	if err := m.cfg.Journal.Append(journal.Record{
-		Kind: journal.RecFence, Fence: fence, EventSeq: m.nextSeq,
+		Kind: journal.RecFence, Fence: fence, EventSeq: m.lastSeq.Load(),
 	}); err != nil {
-		return rep, err
+		return 0, err
 	}
 	m.guard.Advance(fence)
-	rep.Fence = fence
+	st.Fence = fence
+	return fence, nil
+}
 
-	// Phase 3: bring each protection back.
-	for _, name := range names {
-		jp := st.Protections[name]
-		if err := m.recoverOne(name, jp, &rep); err != nil {
+// RecoverProtections is recovery phase 3: bring each owned journaled
+// protection back by the cheapest safe path. Must run on a manager
+// with hosts added and no protections.
+func (m *Manager) RecoverProtections(st *journal.State) (RecoverReport, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	defer m.publishAll()
+	var rep RecoverReport
+	if len(m.prots) > 0 {
+		return rep, errors.New("orchestrator: recover on a manager that already has protections")
+	}
+	m.adoptWatermarks(st)
+	rep.Fence = st.Fence
+	for _, name := range m.ownedNames(st) {
+		if err := m.recoverOne(name, st.Protections[name], &rep); err != nil {
 			return rep, err
 		}
 	}
@@ -159,7 +216,7 @@ func (m *Manager) resolveIntent(name string, jp *journal.Protection) error {
 	m.record(EventRecovered, name,
 		fmt.Sprintf("crash-interrupted failover committed: %s runs on %s", replicaName, pending.Target))
 	return m.cfg.Journal.Append(journal.Record{
-		Kind: journal.RecFailover, VM: name, EventSeq: m.nextSeq,
+		Kind: journal.RecFailover, VM: name, EventSeq: m.lastSeq.Load(),
 		Generation: pending.Generation, Primary: pending.Target,
 		VMName: replicaName, Fence: pending.Fence,
 	})
@@ -396,7 +453,7 @@ func (m *Manager) recoverFailover(prot *Protection, jp *journal.Protection,
 	}
 	gen := jp.Generation + 1
 	replicaName := fmt.Sprintf("%s-g%d", prot.Name, gen)
-	token := m.guard.Generation() + 1
+	token := m.guard.Mint()
 	if err := m.journalAppend(journal.Record{
 		Kind: journal.RecFenceIntent, VM: prot.Name,
 		Generation: gen, Target: secondary.HostName(), Fence: token,

@@ -1,0 +1,82 @@
+package orchestrator_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/here-ft/here/internal/hypervisor"
+	"github.com/here-ft/here/internal/workload"
+)
+
+// faultyWorkload steps normally until armed, then fails every step
+// with its error. Arming after Protect keeps the seed checkpoint
+// clean so the failure surfaces through Tick, not Protect.
+type faultyWorkload struct {
+	armed bool
+	err   error
+}
+
+func (f *faultyWorkload) Name() string { return "faulty" }
+
+func (f *faultyWorkload) Step(vm *hypervisor.VM, d time.Duration) (workload.StepStats, error) {
+	if f.armed {
+		return workload.StepStats{}, f.err
+	}
+	return workload.StepStats{}, nil
+}
+
+// TestTickAggregatesErrors: a round where several protections fail
+// must report every failure, not just the first. Before the
+// errors.Join aggregation, a fleet-wide Tick would surface one
+// protection's error and silently swallow the rest.
+func TestTickAggregatesErrors(t *testing.T) {
+	m, _, _ := fleet(t, "xxkk")
+
+	errA := errors.New("guest A wedged")
+	errB := errors.New("guest B wedged")
+	wlA := &faultyWorkload{err: errA}
+	wlB := &faultyWorkload{err: errB}
+
+	sa := spec("vm-a")
+	sa.Workload = wlA
+	if _, err := m.Protect(sa); err != nil {
+		t.Fatal(err)
+	}
+	sb := spec("vm-b")
+	sb.Workload = wlB
+	if _, err := m.Protect(sb); err != nil {
+		t.Fatal(err)
+	}
+	sc := spec("vm-c")
+	if _, err := m.Protect(sc); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := m.Tick(); err != nil {
+		t.Fatalf("healthy tick: %v", err)
+	}
+
+	wlA.armed = true
+	wlB.armed = true
+	err := m.Tick()
+	if err == nil {
+		t.Fatal("tick with two failing workloads returned nil")
+	}
+	if !errors.Is(err, errA) {
+		t.Errorf("aggregate error lost vm-a's failure: %v", err)
+	}
+	if !errors.Is(err, errB) {
+		t.Errorf("aggregate error lost vm-b's failure: %v", err)
+	}
+
+	// The healthy protection must keep making progress despite its
+	// neighbours' failures.
+	st, err := m.Status("vm-c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Epoch == 0 {
+		t.Error("healthy protection made no progress during failing round")
+	}
+}
