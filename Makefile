@@ -1,8 +1,8 @@
 GO ?= go
 
-RACE_PKGS = ./internal/replication ./internal/failover ./internal/faults ./internal/simnet ./internal/trace ./internal/wire ./internal/journal ./internal/orchestrator ./internal/controlplane ./internal/transport ./internal/placement ./internal/hypervisor ./internal/fleet
+RACE_PKGS = ./internal/replication ./internal/failover ./internal/faults ./internal/simnet ./internal/trace ./internal/wire ./internal/journal ./internal/orchestrator ./internal/controlplane ./internal/transport ./internal/placement ./internal/hypervisor ./internal/fleet ./internal/recovery
 
-.PHONY: check vet fmt build test race fuzz-smoke bench bench-fleet bench-gate trace-demo serve-demo transport-demo placement-demo
+.PHONY: check vet fmt build test race fuzz-smoke bench bench-fleet bench-recovery bench-gate trace-demo serve-demo transport-demo placement-demo recovery-demo
 
 check: vet fmt build test race fuzz-smoke
 
@@ -45,10 +45,17 @@ bench:
 bench-fleet:
 	$(GO) run ./cmd/here-bench -only fleet
 
+# In-place microreboot vs fenced failover on the same seeded incident;
+# refreshes the checked-in BENCH_recovery.json baseline.
+bench-recovery:
+	$(GO) run ./cmd/here-bench -only recovery
+
 # Regression gate: fresh quick bench vs the committed baselines; fails
 # (non-zero exit) when encode ns/page, trace ns/event, fleet tick
-# ns/protection or fleet status-read latency regresses beyond the
-# tolerance. Never rewrites the baselines.
+# ns/protection, fleet status-read latency, recovery latency or
+# recovery pages-resent regresses beyond the tolerance — or when
+# in-place recovery stops beating failover outright. Never rewrites
+# the baselines.
 bench-gate:
 	$(GO) run ./cmd/here-bench -quick -gate
 
@@ -74,3 +81,10 @@ transport-demo:
 # show the re-plan — all on the simulated four-flavor fleet.
 placement-demo:
 	$(GO) run ./examples/placement
+
+# In-place recovery walkthrough: the same transient hypervisor hang
+# answered twice — microreboot ladder (guest survives in RAM, delta
+# resync) versus the baseline fenced failover (full re-seed, rollback,
+# generation bump) — with the event timeline printed for each.
+recovery-demo:
+	$(GO) run ./examples/recovery

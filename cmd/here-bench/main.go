@@ -32,12 +32,13 @@ func main() {
 func run() error {
 	var (
 		quick     = flag.Bool("quick", false, "reduced-scale run")
-		only      = flag.String("only", "", "comma-separated artifact list (table1,table2,table5,fig5..fig17,sec87,tenants,colo,adaptive,ablation,wire,trace,fleet)")
+		only      = flag.String("only", "", "comma-separated artifact list (table1,table2,table5,fig5..fig17,sec87,tenants,colo,adaptive,ablation,wire,trace,fleet,recovery)")
 		csvDir    = flag.String("csv", "", "directory to write fig9/fig10 trace CSVs into")
 		wireJSON  = flag.String("wirejson", "BENCH_wire.json", "path for the wire artifact's machine-readable output (empty = don't write)")
 		traceJSON = flag.String("tracejson", "BENCH_trace.json", "path for the trace artifact's machine-readable output (empty = don't write)")
 		fleetJSON = flag.String("fleetjson", "BENCH_fleet.json", "path for the fleet artifact's machine-readable output (empty = don't write)")
-		gate      = flag.Bool("gate", false, "regression gate: run a fresh wire+trace+fleet bench, compare against the committed baselines, exit non-zero on regression (never overwrites the baselines)")
+		recJSON   = flag.String("recoveryjson", "BENCH_recovery.json", "path for the recovery artifact's machine-readable output (empty = don't write)")
+		gate      = flag.Bool("gate", false, "regression gate: run a fresh wire+trace+fleet+recovery bench, compare against the committed baselines, exit non-zero on regression (never overwrites the baselines)")
 		gateTol   = flag.Float64("gate-tol", 0.25, "gate tolerance as a fraction (0.25 = fresh may be up to 25% worse than baseline)")
 	)
 	flag.Parse()
@@ -47,7 +48,7 @@ func run() error {
 		scale = experiments.QuickScale()
 	}
 	if *gate {
-		return runGate(scale, *wireJSON, *traceJSON, *fleetJSON, *gateTol)
+		return runGate(scale, *wireJSON, *traceJSON, *fleetJSON, *recJSON, *gateTol)
 	}
 	want := map[string]bool{}
 	if *only != "" {
@@ -251,6 +252,14 @@ func run() error {
 			fmt.Println(experiments.RenderFleetBench(rows))
 			return writeFleetJSON(*fleetJSON, rows)
 		}},
+		{"recovery", func() error {
+			rows, err := experiments.RecoveryBench(scale)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.RenderRecoveryBench(rows))
+			return writeRecoveryJSON(*recJSON, rows)
+		}},
 		{"ablation", func() error {
 			threads, err := experiments.ThreadAblation(scale, nil)
 			if err != nil {
@@ -289,11 +298,12 @@ func run() error {
 	return nil
 }
 
-// runGate is the bench regression gate: run a fresh wire+trace+fleet
-// bench at the given scale, load the committed baselines, and fail
-// (non-zero exit) if the fresh figures of merit regressed beyond the
-// tolerance. The committed baseline files are never overwritten.
-func runGate(scale experiments.Scale, wirePath, tracePath, fleetPath string, tol float64) error {
+// runGate is the bench regression gate: run a fresh
+// wire+trace+fleet+recovery bench at the given scale, load the
+// committed baselines, and fail (non-zero exit) if the fresh figures
+// of merit regressed beyond the tolerance. The committed baseline
+// files are never overwritten.
+func runGate(scale experiments.Scale, wirePath, tracePath, fleetPath, recPath string, tol float64) error {
 	baseWire, err := experiments.LoadWireBaseline(wirePath)
 	if err != nil {
 		return fmt.Errorf("gate: wire baseline: %w", err)
@@ -305,6 +315,10 @@ func runGate(scale experiments.Scale, wirePath, tracePath, fleetPath string, tol
 	baseFleet, err := experiments.LoadFleetBaseline(fleetPath)
 	if err != nil {
 		return fmt.Errorf("gate: fleet baseline: %w", err)
+	}
+	baseRec, err := experiments.LoadRecoveryBaseline(recPath)
+	if err != nil {
+		return fmt.Errorf("gate: recovery baseline: %w", err)
 	}
 
 	fmt.Printf("gate: fresh wire bench (tolerance %.0f%%)...\n", tol*100)
@@ -322,6 +336,11 @@ func runGate(scale experiments.Scale, wirePath, tracePath, fleetPath string, tol
 	if err != nil {
 		return fmt.Errorf("gate: fleet bench: %w", err)
 	}
+	fmt.Println("gate: fresh recovery bench...")
+	recRows, err := experiments.RecoveryBench(scale)
+	if err != nil {
+		return fmt.Errorf("gate: recovery bench: %w", err)
+	}
 
 	g := experiments.GateWire(baseWire, experiments.WireRowsJSON(rows), tol)
 	gt := experiments.GateTrace(baseTrace, experiments.TraceResultJSON(res), tol, 3.0)
@@ -330,6 +349,9 @@ func runGate(scale experiments.Scale, wirePath, tracePath, fleetPath string, tol
 	gf := experiments.GateFleet(baseFleet, experiments.FleetRowsJSON(fleetRows), tol)
 	g.Checks = append(g.Checks, gf.Checks...)
 	g.Failures = append(g.Failures, gf.Failures...)
+	gr := experiments.GateRecovery(baseRec, experiments.RecoveryRowsJSON(recRows), tol)
+	g.Checks = append(g.Checks, gr.Checks...)
+	g.Failures = append(g.Failures, gr.Failures...)
 
 	for _, c := range g.Checks {
 		fmt.Println("  " + c)
@@ -387,6 +409,24 @@ func writeFleetJSON(path string, rows []experiments.FleetBenchRow) error {
 		return nil
 	}
 	data, err := json.MarshalIndent(experiments.FleetRowsJSON(rows), "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("[wrote %s]\n", path)
+	return nil
+}
+
+// writeRecoveryJSON stores the in-place versus failover incident
+// comparison machine-readably: recovery latency, epochs rolled back,
+// pages re-shipped, and the recovery counters per strategy.
+func writeRecoveryJSON(path string, rows []experiments.RecoveryBenchRow) error {
+	if path == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(experiments.RecoveryRowsJSON(rows), "", "  ")
 	if err != nil {
 		return err
 	}

@@ -44,7 +44,7 @@ func extractAddr(args []string) (addr string, retries int, rest []string) {
 // runClient executes one client-mode verb against the daemon at addr.
 func runClient(addr string, retries int, args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("client mode needs a verb: protect, list, status, unprotect, failover, period, events, hosts, placement, metrics, trace, timeline, fleet, health")
+		return fmt.Errorf("client mode needs a verb: protect, list, status, unprotect, failover, period, recovery, events, hosts, placement, metrics, trace, timeline, fleet, health")
 	}
 	c := controlplane.NewClient(addr)
 	if retries >= 0 {
@@ -66,6 +66,8 @@ func runClient(addr string, retries int, args []string) error {
 		return clientFailover(c, args)
 	case "period":
 		return clientPeriod(c, args)
+	case "recovery":
+		return clientRecovery(c, args)
 	case "events":
 		return clientEvents(c, args)
 	case "hosts":
@@ -271,6 +273,45 @@ func clientPeriod(c *controlplane.Client, args []string) error {
 	return nil
 }
 
+func clientRecovery(c *controlplane.Client, args []string) error {
+	name, args, err := takeName(args, "recovery <name> [-deadline D] [-attempts N] [-backoff B] [-jitter J] | recovery <name> -off")
+	if err != nil {
+		return err
+	}
+	fs := flag.NewFlagSet("recovery", flag.ExitOnError)
+	deadline := fs.Duration("deadline", 30*time.Second, "hard recovery deadline before escalating to failover")
+	attempts := fs.Int("attempts", 3, "microreboot attempts before escalating (0 disables in-place recovery)")
+	backoff := fs.Duration("backoff", 2*time.Second, "base backoff between attempts")
+	jitter := fs.Float64("jitter", 0.2, "backoff jitter fraction [0,1)")
+	off := fs.Bool("off", false, "disable in-place recovery (every failure fails over)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	patch := controlplane.RecoveryPatch{
+		DeadlineMS:  deadline.Milliseconds(),
+		MaxAttempts: *attempts,
+		BackoffMS:   backoff.Milliseconds(),
+		Jitter:      *jitter,
+	}
+	if *off {
+		patch = controlplane.RecoveryPatch{}
+	}
+	res, err := c.SetRecovery(name, patch)
+	if err != nil {
+		return err
+	}
+	if !res.Enabled {
+		fmt.Printf("recovery: %s in-place recovery DISABLED (every failure fails over)\n", res.Name)
+		return nil
+	}
+	fmt.Printf("recovery: %s up to %d in-place attempts, deadline %v, backoff %v (jitter %.0f%%)\n",
+		res.Name, res.Policy.MaxAttempts,
+		time.Duration(res.Policy.DeadlineMS)*time.Millisecond,
+		time.Duration(res.Policy.BackoffMS)*time.Millisecond,
+		100*res.Policy.Jitter)
+	return nil
+}
+
 func clientEvents(c *controlplane.Client, args []string) error {
 	fs := flag.NewFlagSet("events", flag.ExitOnError)
 	since := fs.Uint64("since", 0, "only events with seq greater than this cursor")
@@ -295,9 +336,13 @@ func clientHosts(c *controlplane.Client) error {
 		return err
 	}
 	w := bufio.NewWriter(os.Stdout)
-	fmt.Fprintf(w, "%-12s %-5s %-24s %-10s %4s\n", "NAME", "KIND", "PRODUCT", "HEALTH", "VMS")
+	fmt.Fprintf(w, "%-12s %-5s %-24s %-10s %4s  %s\n", "NAME", "KIND", "PRODUCT", "HEALTH", "VMS", "REASON")
 	for _, h := range hosts {
-		fmt.Fprintf(w, "%-12s %-5s %-24s %-10s %4d\n", h.Name, h.Kind, h.Product, h.Health, h.VMs)
+		reason := h.Reason
+		if reason == "" {
+			reason = "-"
+		}
+		fmt.Fprintf(w, "%-12s %-5s %-24s %-10s %4d  %s\n", h.Name, h.Kind, h.Product, h.Health, h.VMs, reason)
 	}
 	return w.Flush()
 }

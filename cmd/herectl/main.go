@@ -23,6 +23,7 @@
 //	herectl -addr 127.0.0.1:7070 list
 //	herectl -addr 127.0.0.1:7070 failover svc
 //	herectl -addr 127.0.0.1:7070 period svc -budget 0.2 -tmax 10s
+//	herectl -addr 127.0.0.1:7070 recovery svc -attempts 3 -deadline 30s
 //	herectl -addr 127.0.0.1:7070 events -since 0
 //	herectl -addr 127.0.0.1:7070 metrics          # live /metrics scrape
 //	herectl -addr 127.0.0.1:7070 trace svc -o svc.jsonl

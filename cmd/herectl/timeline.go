@@ -134,6 +134,13 @@ func clientFleet(c *controlplane.Client) error {
 	for mode, n := range fl.Modes {
 		fmt.Printf("          %d %s\n", n, mode)
 	}
+	for _, h := range fl.DownHosts {
+		reason := h.Reason
+		if reason == "" {
+			reason = "unspecified"
+		}
+		fmt.Printf("  down  : %s (%s) %s — %s\n", h.Name, h.Product, h.Health, reason)
+	}
 	if len(fl.Groups) > 0 {
 		groups := append([]controlplane.FleetGroup(nil), fl.Groups...)
 		sort.Slice(groups, func(i, j int) bool { return groups[i].Group < groups[j].Group })

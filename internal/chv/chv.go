@@ -118,7 +118,11 @@ func (flavor) Capabilities() hypervisor.Capabilities {
 		SnapshotRestore: true,
 		LiveDirtyLog:    true,
 		DeviceNaming:    "chv-virtio-pci",
-		VulnFlavor:      vulns.FlavorCHV,
+		// No in-place recovery path: cloud-hypervisor offers no
+		// kexec-with-VM-preservation story, so a failed chv host can
+		// only be failed over.
+		Microreboot: false,
+		VulnFlavor:  vulns.FlavorCHV,
 	}
 }
 

@@ -57,7 +57,10 @@ type HostDTO struct {
 	Kind    string `json:"kind"`
 	Product string `json:"product"`
 	Health  string `json:"health"`
-	VMs     int    `json:"vms"`
+	// Reason is the recorded cause of the current failure state; empty
+	// while healthy.
+	Reason string `json:"reason,omitempty"`
+	VMs    int    `json:"vms"`
 }
 
 // RecoveryDTO mirrors replication.RecoveryStats on the wire.
@@ -118,6 +121,9 @@ type VMStatus struct {
 	// protection's current chain: chosen hosts with scores, and every
 	// rejected candidate with a typed reason (e.g. shared-cve-surface).
 	Placement *placement.Decision `json:"placement,omitempty"`
+	// RecoveryPolicy is the in-place recovery ladder in force for this
+	// protection; omitted while disabled (every failure fails over).
+	RecoveryPolicy *RecoveryPolicyDTO `json:"recovery_policy,omitempty"`
 
 	Checkpoints uint64      `json:"checkpoints"`
 	PagesSent   int64       `json:"pages_sent"`
@@ -173,6 +179,33 @@ type PeriodResponse struct {
 	Budget      float64 `json:"degradation_budget"`
 	MaxPeriodMS int64   `json:"max_period_ms"`
 	PeriodMS    int64   `json:"period_ms"`
+}
+
+// RecoveryPolicyDTO mirrors recovery.Policy on the wire: one
+// protection's in-place recovery ladder. MaxAttempts 0 disables
+// in-place recovery (every failure escalates straight to failover).
+type RecoveryPolicyDTO struct {
+	DeadlineMS  int64   `json:"deadline_ms"`
+	MaxAttempts int     `json:"max_attempts"`
+	BackoffMS   int64   `json:"backoff_ms"`
+	Jitter      float64 `json:"jitter"`
+}
+
+// RecoveryPatch is the body of PATCH /v1/vms/{name}/recovery:
+// live-tunes the protection's in-place recovery policy. An all-zero
+// body disables in-place recovery.
+type RecoveryPatch struct {
+	DeadlineMS  int64   `json:"deadline_ms"`
+	MaxAttempts int     `json:"max_attempts"`
+	BackoffMS   int64   `json:"backoff_ms"`
+	Jitter      float64 `json:"jitter"`
+}
+
+// RecoveryResponse reports the policy in force after a PATCH.
+type RecoveryResponse struct {
+	Name    string            `json:"name"`
+	Enabled bool              `json:"enabled"`
+	Policy  RecoveryPolicyDTO `json:"policy"`
 }
 
 // EventDTO is one fleet event.

@@ -298,6 +298,15 @@ func (c *Client) SetPeriod(name string, budget float64, maxPeriod time.Duration)
 	return out, err
 }
 
+// SetRecovery live-tunes the named protection's in-place recovery
+// ladder; an all-zero patch disables in-place recovery.
+func (c *Client) SetRecovery(name string, patch RecoveryPatch) (RecoveryResponse, error) {
+	var out RecoveryResponse
+	err := c.do(http.MethodPatch, "/v1/vms/"+url.PathEscape(name)+"/recovery",
+		patch, &out)
+	return out, err
+}
+
 // Events fetches the event-log tail after the since cursor.
 func (c *Client) Events(since uint64) (EventsResponse, error) {
 	var out EventsResponse

@@ -41,6 +41,10 @@ type FleetResponse struct {
 	Modes        map[string]int `json:"modes"`
 	Hosts        int            `json:"hosts"`
 	HealthyHosts int            `json:"healthy_hosts"`
+	// DownHosts lists every host not currently healthy, with the
+	// recorded failure reason, so the rollup explains *why* capacity is
+	// missing, not just how much.
+	DownHosts []HostDTO `json:"down_hosts,omitempty"`
 	// Groups carries per-placement-group rollups when the daemon runs
 	// a sharded fleet (hered -fleet-groups > 1); empty otherwise.
 	Groups []FleetGroup `json:"groups,omitempty"`
@@ -139,6 +143,8 @@ func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
 		resp.Hosts++
 		if h.Health == "healthy" {
 			resp.HealthyHosts++
+		} else {
+			resp.DownHosts = append(resp.DownHosts, toHostDTO(h))
 		}
 	}
 

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"github.com/here-ft/here/internal/orchestrator"
+	"github.com/here-ft/here/internal/recovery"
 )
 
 // errNoTrace is served when a trace download is requested for a
@@ -50,7 +51,18 @@ func workloadSpec(req ProtectRequest) (orchestrator.WorkloadSpec, error) {
 
 // toHostDTO converts an orchestrator host snapshot.
 func toHostDTO(h orchestrator.HostInfo) HostDTO {
-	return HostDTO{Name: h.Name, Kind: h.Kind, Product: h.Product, Health: h.Health, VMs: h.VMs}
+	return HostDTO{Name: h.Name, Kind: h.Kind, Product: h.Product,
+		Health: h.Health, Reason: h.Reason, VMs: h.VMs}
+}
+
+// toRecoveryPolicyDTO converts an in-place recovery policy.
+func toRecoveryPolicyDTO(p recovery.Policy) RecoveryPolicyDTO {
+	return RecoveryPolicyDTO{
+		DeadlineMS:  p.Deadline.Milliseconds(),
+		MaxAttempts: p.MaxAttempts,
+		BackoffMS:   p.Backoff.Milliseconds(),
+		Jitter:      p.Jitter,
+	}
 }
 
 // toVMStatus converts an orchestrator protection snapshot.
@@ -108,6 +120,10 @@ func toVMStatus(st orchestrator.Status) VMStatus {
 		})
 	}
 	out.Placement = st.Placement
+	if st.RecoveryPolicy.Enabled() {
+		dto := toRecoveryPolicyDTO(st.RecoveryPolicy)
+		out.RecoveryPolicy = &dto
+	}
 	return out
 }
 
@@ -234,6 +250,42 @@ func (s *Server) handlePeriod(w http.ResponseWriter, r *http.Request) {
 		Budget:      req.Budget,
 		MaxPeriodMS: req.MaxPeriodMS,
 		PeriodMS:    cur.Milliseconds(),
+	})
+}
+
+// handleRecovery serves PATCH /v1/vms/{name}/recovery: live-tune the
+// in-place recovery ladder (attempt budget, backoff, hard deadline).
+// An all-zero body disables in-place recovery for the protection.
+func (s *Server) handleRecovery(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req RecoveryPatch
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	if req.DeadlineMS < 0 || req.BackoffMS < 0 {
+		writeError(w, badRequest("deadline_ms and backoff_ms must be >= 0"))
+		return
+	}
+	pol := recovery.Policy{
+		Deadline:    time.Duration(req.DeadlineMS) * time.Millisecond,
+		MaxAttempts: req.MaxAttempts,
+		Backoff:     time.Duration(req.BackoffMS) * time.Millisecond,
+		Jitter:      req.Jitter,
+	}
+	if err := pol.Validate(); err != nil {
+		writeError(w, badRequest("%v", err))
+		return
+	}
+	cur, err := s.m.SetRecovery(name, pol)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, RecoveryResponse{
+		Name:    name,
+		Enabled: cur.Enabled(),
+		Policy:  toRecoveryPolicyDTO(cur),
 	})
 }
 

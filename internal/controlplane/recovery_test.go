@@ -1,0 +1,87 @@
+package controlplane
+
+// PATCH /v1/vms/{name}/recovery end to end: tune the in-place
+// recovery ladder through the typed client, read it back from status,
+// disable it with an all-zero patch, and check the validation arm.
+
+import (
+	"testing"
+	"time"
+
+	"github.com/here-ft/here/internal/vclock"
+)
+
+func TestRecoveryPatchOverHTTP(t *testing.T) {
+	m, _ := newFleet(t, vclock.NewSim(), "xk")
+	_, ts := newTestServer(t, m, nil)
+	c := NewClient(ts.URL)
+
+	if _, err := c.Protect(protectReq("svc")); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.VM("svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.RecoveryPolicy != nil {
+		t.Fatalf("fresh protection advertises a recovery policy: %+v", st.RecoveryPolicy)
+	}
+
+	patch := RecoveryPatch{DeadlineMS: 2000, MaxAttempts: 3, BackoffMS: 100, Jitter: 0.2}
+	res, err := c.SetRecovery("svc", patch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Enabled {
+		t.Fatalf("patched policy reported disabled: %+v", res)
+	}
+	want := RecoveryPolicyDTO{DeadlineMS: 2000, MaxAttempts: 3, BackoffMS: 100, Jitter: 0.2}
+	if res.Policy != want {
+		t.Fatalf("policy in force = %+v, want %+v", res.Policy, want)
+	}
+	st, err = c.VM("svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.RecoveryPolicy == nil || *st.RecoveryPolicy != want {
+		t.Fatalf("tuning not visible in status: %+v", st.RecoveryPolicy)
+	}
+	// The tuning is a fleet event operators can audit.
+	evs, err := c.Events(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, e := range evs.Events {
+		if e.Kind == "recovery-retuned" && e.VM == "svc" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no recovery-retuned event recorded")
+	}
+
+	// An all-zero patch disables the ladder; status drops the policy.
+	res, err = c.SetRecovery("svc", RecoveryPatch{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Enabled {
+		t.Fatalf("all-zero patch left recovery enabled: %+v", res)
+	}
+	st, err = c.VM("svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.RecoveryPolicy != nil {
+		t.Fatalf("disabled policy still in status: %+v", st.RecoveryPolicy)
+	}
+
+	// Validation: negative durations are rejected, unknown VMs 404.
+	if _, err := c.SetRecovery("svc", RecoveryPatch{DeadlineMS: -1, MaxAttempts: 1}); err == nil {
+		t.Fatal("negative deadline accepted")
+	}
+	if _, err := c.SetRecovery("ghost", RecoveryPatch{MaxAttempts: 1, DeadlineMS: time.Second.Milliseconds()}); err == nil {
+		t.Fatal("patch of an unknown VM accepted")
+	}
+}

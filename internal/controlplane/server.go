@@ -16,6 +16,7 @@ import (
 	"github.com/here-ft/here/internal/journal"
 	"github.com/here-ft/here/internal/orchestrator"
 	"github.com/here-ft/here/internal/placement"
+	"github.com/here-ft/here/internal/recovery"
 	"github.com/here-ft/here/internal/trace"
 	"github.com/here-ft/here/internal/transport"
 	"github.com/here-ft/here/internal/vclock"
@@ -38,6 +39,7 @@ type Orchestrator interface {
 	Unprotect(name string) error
 	Failover(name string) (failover.Result, error)
 	SetPeriod(name string, d float64, tmax time.Duration) (time.Duration, error)
+	SetRecovery(name string, pol recovery.Policy) (recovery.Policy, error)
 	Status(name string) (orchestrator.Status, error)
 	StatusAll() []orchestrator.Status
 	Lookup(name string) (*orchestrator.Protection, error)
@@ -187,6 +189,7 @@ func (s *Server) buildHandler() http.Handler {
 	mux.HandleFunc("DELETE /v1/vms/{name}", s.admit(s.handleUnprotect))
 	mux.HandleFunc("POST /v1/vms/{name}/failover", s.admit(s.handleFailover))
 	mux.HandleFunc("PATCH /v1/vms/{name}/period", s.handlePeriod)
+	mux.HandleFunc("PATCH /v1/vms/{name}/recovery", s.handleRecovery)
 	mux.HandleFunc("GET /v1/vms/{name}/trace", s.handleTrace)
 	mux.HandleFunc("GET /v1/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/hosts", s.handleHosts)

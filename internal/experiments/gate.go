@@ -54,6 +54,20 @@ type FleetJSONRow struct {
 	ProtectMs   float64 `json:"protect_ms"`
 }
 
+// RecoveryJSONRow is the machine-readable form of one RecoveryBenchRow
+// — the schema of BENCH_recovery.json.
+type RecoveryJSONRow struct {
+	Strategy         string  `json:"strategy"`
+	RecoveryMS       float64 `json:"recovery_ms"`
+	Ticks            int     `json:"ticks"`
+	EpochsRolledBack uint64  `json:"epochs_rolled_back"`
+	PagesResent      int64   `json:"pages_resent"`
+	Attempts         int64   `json:"attempts"`
+	InPlace          int64   `json:"inplace"`
+	Escalations      int64   `json:"escalations"`
+	Generation       int     `json:"generation"`
+}
+
 // WireRowsJSON converts bench rows to their exported JSON schema.
 func WireRowsJSON(rows []WireBenchRow) []WireJSONRow {
 	out := make([]WireJSONRow, 0, len(rows))
@@ -137,6 +151,39 @@ func LoadFleetBaseline(path string) ([]FleetJSONRow, error) {
 		return nil, err
 	}
 	var rows []FleetJSONRow
+	if err := json.Unmarshal(data, &rows); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rows, nil
+}
+
+// RecoveryRowsJSON converts recovery-bench rows to their exported
+// JSON schema.
+func RecoveryRowsJSON(rows []RecoveryBenchRow) []RecoveryJSONRow {
+	out := make([]RecoveryJSONRow, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, RecoveryJSONRow{
+			Strategy:         r.Strategy,
+			RecoveryMS:       float64(r.RecoverySim.Microseconds()) / 1e3,
+			Ticks:            r.Ticks,
+			EpochsRolledBack: r.EpochsRolledBack,
+			PagesResent:      r.PagesResent,
+			Attempts:         r.Attempts,
+			InPlace:          r.InPlace,
+			Escalations:      r.Escalations,
+			Generation:       r.Generation,
+		})
+	}
+	return out
+}
+
+// LoadRecoveryBaseline reads a committed BENCH_recovery.json.
+func LoadRecoveryBaseline(path string) ([]RecoveryJSONRow, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rows []RecoveryJSONRow
 	if err := json.Unmarshal(data, &rows); err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
@@ -261,6 +308,62 @@ func GateFleet(baseline, fresh []FleetJSONRow, tol float64) GateResult {
 		}
 		g.check("fleet "+key+" tick ns/protection", b.TickNsPerProtection(), f.TickNsPerProtection(), tol)
 		g.check("fleet "+key+" status p50 µs", b.StatusP50us, f.StatusP50us, tol)
+	}
+	return g
+}
+
+// GateRecovery compares a fresh recovery-bench run against the
+// committed baseline and enforces the bench's structural claims. Per
+// strategy, recovery time and pages re-sent must stay within tol of
+// the baseline (the scenario is simulated-time deterministic, so these
+// are stable figures). Across strategies, the in-place row must
+// actually beat the failover row on both recovery latency and pages
+// re-shipped, keep its fencing generation, and never escalate — if the
+// microreboot path stops winning, the tentpole claim is broken
+// regardless of how either row moved against its baseline.
+func GateRecovery(baseline, fresh []RecoveryJSONRow, tol float64) GateResult {
+	var g GateResult
+	byStrategy := func(rows []RecoveryJSONRow) map[string]RecoveryJSONRow {
+		m := make(map[string]RecoveryJSONRow, len(rows))
+		for _, r := range rows {
+			m[r.Strategy] = r
+		}
+		return m
+	}
+	base, cur := byStrategy(baseline), byStrategy(fresh)
+	for _, strategy := range []string{"in-place", "failover"} {
+		f, ok := cur[strategy]
+		if !ok {
+			g.Failures = append(g.Failures, fmt.Sprintf("recovery bench: missing %q row", strategy))
+			continue
+		}
+		b, ok := base[strategy]
+		if !ok {
+			g.Checks = append(g.Checks, fmt.Sprintf("recovery %s: skipped (no baseline row)", strategy))
+			continue
+		}
+		g.check("recovery "+strategy+" ms", b.RecoveryMS, f.RecoveryMS, tol)
+		g.check("recovery "+strategy+" pages resent", float64(b.PagesResent), float64(f.PagesResent), tol)
+	}
+	ip, okIP := cur["in-place"]
+	fo, okFO := cur["failover"]
+	if okIP && okFO {
+		claim := func(name string, holds bool) {
+			verdict := "ok"
+			if !holds {
+				verdict = "FAIL"
+				g.Failures = append(g.Failures, "recovery claim broken: "+name)
+			}
+			g.Checks = append(g.Checks, fmt.Sprintf("recovery claim %s (%s)", name, verdict))
+		}
+		claim(fmt.Sprintf("in-place faster (%.1f ms vs %.1f ms)", ip.RecoveryMS, fo.RecoveryMS),
+			ip.RecoveryMS < fo.RecoveryMS)
+		claim(fmt.Sprintf("in-place ships fewer pages (%d vs %d)", ip.PagesResent, fo.PagesResent),
+			ip.PagesResent < fo.PagesResent)
+		claim("in-place keeps generation 0", ip.Generation == 0)
+		claim("failover bumps generation", fo.Generation > 0)
+		claim("in-place never escalated", ip.Escalations == 0)
+		claim("in-place recovered in place", ip.InPlace >= 1)
 	}
 	return g
 }

@@ -50,8 +50,12 @@ const (
 	KindHostCrash      Kind = "host-crash"
 	KindHostHang       Kind = "host-hang"
 	KindHostStarve     Kind = "host-starve"
-	KindDaemonKill     Kind = "daemon-kill"
-	KindDaemonRestart  Kind = "daemon-restart"
+	// Transient host faults: the hypervisor is down but heals after a
+	// bounded latency, so an in-place microreboot can bring it back.
+	KindHostTransientHang  Kind = "host-transient-hang"
+	KindHostTransientCrash Kind = "host-transient-crash"
+	KindDaemonKill         Kind = "daemon-kill"
+	KindDaemonRestart      Kind = "daemon-restart"
 )
 
 // Applied is one fired event in the plan's log.
@@ -81,17 +85,21 @@ type Plan struct {
 	inner vclock.Clock
 	base  time.Time
 
-	mu       sync.Mutex
-	rng      *rand.Rand
-	events   []event
-	nextSeq  int
-	sorted   bool
-	link     *simnet.Link
-	loss     float64
-	applied  []Applied
-	pumping  bool
-	tracer   *trace.Tracer
-	injected *trace.Counter
+	mu      sync.Mutex
+	rng     *rand.Rand
+	events  []event
+	nextSeq int
+	sorted  bool
+	link    *simnet.Link
+	loss    float64
+	// rebootFail is the seeded probability that a microreboot attempt
+	// on a healed transient fault still fails (the reboot itself
+	// wedges), exercising the retry/escalation ladder deterministically.
+	rebootFail float64
+	applied    []Applied
+	pumping    bool
+	tracer     *trace.Tracer
+	injected   *trace.Counter
 }
 
 // Instrument wires the plan into the telemetry layer: every applied
@@ -269,6 +277,53 @@ func (p *Plan) hostFail(at time.Duration, kind Kind, state hypervisor.HealthStat
 	h hypervisor.Hypervisor, reason string) {
 	p.add(at, kind, fmt.Sprintf("%s: %s", h.HostName(), reason), func(*Plan) {
 		h.Fail(state, reason)
+	})
+}
+
+// MicrorebootFailure sets the seeded probability that a microreboot
+// attempt fails even after a transient fault has healed — the reboot
+// itself wedging, which forces the policy engine's retry/escalation
+// ladder. Zero (the default) means healed attempts always succeed.
+func (p *Plan) MicrorebootFailure(prob float64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.rebootFail = prob
+}
+
+// HostTransientHang hangs the host at the given offset with a bounded
+// heal latency: microreboot attempts before at+heal fail ("still
+// healing"), attempts after it succeed — unless the seeded
+// MicrorebootFailure probability says this one wedged too.
+func (p *Plan) HostTransientHang(at, heal time.Duration, h *hypervisor.Host, reason string) {
+	p.hostTransient(at, heal, KindHostTransientHang, hypervisor.Hung, h, reason)
+}
+
+// HostTransientCrash crashes the host at the given offset with a
+// bounded heal latency, like HostTransientHang.
+func (p *Plan) HostTransientCrash(at, heal time.Duration, h *hypervisor.Host, reason string) {
+	p.hostTransient(at, heal, KindHostTransientCrash, hypervisor.Crashed, h, reason)
+}
+
+func (p *Plan) hostTransient(at, heal time.Duration, kind Kind, state hypervisor.HealthState,
+	h *hypervisor.Host, reason string) {
+	healAt := p.at(at + heal)
+	note := fmt.Sprintf("%s: %s (heals after %v)", h.HostName(), reason, heal)
+	p.add(at, kind, note, func(p *Plan) {
+		h.Fail(state, reason)
+		h.SetMicrorebootGate(func() error {
+			// The gate reads the inner clock, not the pumping one: it is
+			// called from inside recovery paths that already pump events.
+			if now := p.inner.Now(); now.Before(healAt) {
+				return fmt.Errorf("%s still healing for %v", reason, healAt.Sub(now))
+			}
+			p.mu.Lock()
+			wedged := p.rebootFail > 0 && p.rng.Float64() < p.rebootFail
+			p.mu.Unlock()
+			if wedged {
+				return fmt.Errorf("reboot wedged (injected, after %s)", reason)
+			}
+			return nil
+		})
 	})
 }
 

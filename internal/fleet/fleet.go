@@ -28,6 +28,7 @@ import (
 	"github.com/here-ft/here/internal/hypervisor"
 	"github.com/here-ft/here/internal/orchestrator"
 	"github.com/here-ft/here/internal/placement"
+	"github.com/here-ft/here/internal/recovery"
 	"github.com/here-ft/here/internal/trace"
 	"github.com/here-ft/here/internal/transport"
 	"github.com/here-ft/here/internal/vclock"
@@ -209,6 +210,11 @@ func (s *Scheduler) Failover(name string) (failover.Result, error) {
 // SetPeriod routes to the owning group.
 func (s *Scheduler) SetPeriod(name string, d float64, tmax time.Duration) (time.Duration, error) {
 	return s.groupFor(name).SetPeriod(name, d, tmax)
+}
+
+// SetRecovery routes to the owning group.
+func (s *Scheduler) SetRecovery(name string, pol recovery.Policy) (recovery.Policy, error) {
+	return s.groupFor(name).SetRecovery(name, pol)
 }
 
 // Status routes to the owning group. Lock-free.

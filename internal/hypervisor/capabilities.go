@@ -41,6 +41,13 @@ type Capabilities struct {
 	// or "kvmtool-virtio". Purely informational: the translator always
 	// rewrites models through DeviceModel().
 	DeviceNaming string
+	// Microreboot reports whether the backend supports ReHype-style
+	// in-place hypervisor recovery: rebooting the hypervisor control
+	// state while guest memory (and replica deposits) stay resident in
+	// RAM. The recovery policy engine consults this before attempting a
+	// microreboot; without it, the only answer to a host failure is
+	// failover.
+	Microreboot bool
 	// VulnFlavor is the deployment flavor in the vulnerability study —
 	// what the placement engine scores CVE overlap with (§8.2).
 	VulnFlavor vulns.Flavor

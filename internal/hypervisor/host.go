@@ -45,6 +45,10 @@ type Host struct {
 	health   HealthState
 	reason   string
 	replicas map[string]ReplicaDeposit
+	// microgate, when set, arbitrates Microreboot attempts: faults
+	// injection installs it to model heal latency and attempts that
+	// themselves fail. nil means attempts always succeed.
+	microgate func() error
 }
 
 // ReplicaDeposit is replica-side checkpoint state parked on a
@@ -296,17 +300,79 @@ func (h *Host) Fail(state HealthState, reason string) {
 	}
 }
 
-// Recover returns the host to Healthy with no VMs (a reboot). Replica
-// deposits are wiped too — they were RAM on the machine that just
-// rebooted. (While the host is down, Replica already refuses to serve
+// Recover returns the host to Healthy. After a Crashed or Hung
+// hypervisor this is a real reboot: VMs and replica deposits are
+// wiped — they were RAM on the machine that just rebooted. A Starved
+// host, by contrast, never lost power: un-starving it keeps VMs (still
+// stopped; the caller decides what to resume) and replica deposits
+// intact. (While the host is down, Replica already refuses to serve
 // them.)
 func (h *Host) Recover() {
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	wasStarved := h.health == Starved
 	h.health = Healthy
 	h.reason = ""
-	h.vms = make(map[string]*VM)
-	h.replicas = nil
+	if !wasStarved {
+		h.vms = make(map[string]*VM)
+		h.replicas = nil
+	}
+}
+
+// SetMicrorebootGate installs (or, with nil, removes) the hook that
+// arbitrates Microreboot attempts. Fault injection uses it to model
+// heal latency and a seeded probability that an attempt itself fails.
+func (h *Host) SetMicrorebootGate(gate func() error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.microgate = gate
+}
+
+// Microreboot attempts a ReHype-style in-place hypervisor reboot: the
+// failed control state is rebuilt while guest memory and replica
+// deposits stay resident in RAM. On success the host is Healthy again
+// and its VMs are back — paused, with their dirty logs conservatively
+// re-marked (every populated page dirty), because the tracking
+// hardware state did not survive the reboot and the replication engine
+// must not trust a bitmap the dead hypervisor maintained. The caller
+// resumes the VMs once it has re-attached protection.
+//
+// It fails when the backend does not advertise Capabilities.Microreboot
+// (chv has no such path) or when the injected gate says the attempt
+// failed (still healing, or the reboot itself wedged).
+func (h *Host) Microreboot() error {
+	if !h.flavor.Capabilities().Microreboot {
+		return fmt.Errorf("host %q (%s): %w", h.hostName, h.Product(), ErrNoMicroreboot)
+	}
+	h.mu.Lock()
+	if h.health == Healthy {
+		h.mu.Unlock()
+		return nil
+	}
+	gate := h.microgate
+	h.mu.Unlock()
+	// Run the gate outside the lock: it may consult clocks or seeded
+	// randomness and must not deadlock against concurrent host calls.
+	if gate != nil {
+		if err := gate(); err != nil {
+			return fmt.Errorf("host %q: microreboot: %w", h.hostName, err)
+		}
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.health = Healthy
+	h.reason = ""
+	for _, vm := range h.vms {
+		// Conservative dirty re-mark: the tracker survives in our
+		// simulation, but a real microrebooted hypervisor rebuilds its
+		// log-dirty state from scratch, so every populated page must be
+		// considered dirty until the next checkpoint proves otherwise.
+		tr := vm.Tracker()
+		for _, n := range vm.Memory().PopulatedList() {
+			tr.MarkDirty(0, n)
+		}
+	}
+	return nil
 }
 
 // FailureReason reports why the host failed, or "".

@@ -67,6 +67,9 @@ var (
 	ErrVMExists    = errors.New("hypervisor: vm already exists")
 	ErrVMNotFound  = errors.New("hypervisor: vm not found")
 	ErrVMNotPaused = errors.New("hypervisor: vm must be paused")
+	// ErrNoMicroreboot marks a backend without an in-place recovery
+	// path; the policy engine treats it as "failover is the only option".
+	ErrNoMicroreboot = errors.New("hypervisor: backend does not support microreboot")
 )
 
 // DeviceSpec requests one virtual device at VM creation. The concrete
@@ -217,6 +220,11 @@ type Hypervisor interface {
 	Fail(state HealthState, reason string)
 	// Recover returns the host to Healthy (reboot/repair).
 	Recover()
+	// Microreboot attempts a ReHype-style in-place hypervisor reboot:
+	// control state is rebuilt while guest memory and replica deposits
+	// stay resident. Only backends advertising Capabilities.Microreboot
+	// support it.
+	Microreboot() error
 	// FailureReason reports why the host failed, if it did.
 	FailureReason() string
 }

@@ -1,0 +1,242 @@
+package hypervisor_test
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/here-ft/here/internal/chv"
+	"github.com/here-ft/here/internal/hypervisor"
+	"github.com/here-ft/here/internal/memory"
+	"github.com/here-ft/here/internal/vclock"
+)
+
+// Satellite regression: un-starving a Starved host must not wipe VMs
+// or replica deposits — the machine never lost power, RAM survived.
+func TestRecoverFromStarvationPreservesState(t *testing.T) {
+	h, _ := newXen(t)
+	vm, err := h.CreateVM(basicCfg("vm1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep := hypervisor.ReplicaDeposit{
+		Mem: memory.NewGuestMemory(4 * memory.PageSize), Image: []byte{1, 2}, Epoch: 7,
+	}
+	if err := h.DepositReplica("other-vm", dep); err != nil {
+		t.Fatal(err)
+	}
+	h.Fail(hypervisor.Starved, "noisy neighbor ate the cores")
+	if vm.Running() {
+		t.Fatal("VM kept running on a starved host")
+	}
+	h.Recover()
+	if h.Health() != hypervisor.Healthy || h.FailureReason() != "" {
+		t.Fatalf("health = %v reason = %q after un-starve", h.Health(), h.FailureReason())
+	}
+	if _, err := h.LookupVM("vm1"); err != nil {
+		t.Fatalf("un-starve wiped the VM: %v", err)
+	}
+	got, ok := h.Replica("other-vm")
+	if !ok || got.Epoch != 7 {
+		t.Fatalf("un-starve wiped the replica deposit (ok=%v epoch=%d)", ok, got.Epoch)
+	}
+	if vm.Running() {
+		t.Fatal("un-starve must leave VMs stopped; the orchestrator resumes them")
+	}
+}
+
+// A crash or hang is a real reboot: recovery still wipes everything.
+func TestRecoverFromCrashStillWipes(t *testing.T) {
+	for _, state := range []hypervisor.HealthState{hypervisor.Crashed, hypervisor.Hung} {
+		h, _ := newXen(t)
+		if _, err := h.CreateVM(basicCfg("vm1")); err != nil {
+			t.Fatal(err)
+		}
+		if err := h.DepositReplica("k", hypervisor.ReplicaDeposit{
+			Mem: memory.NewGuestMemory(memory.PageSize),
+		}); err != nil {
+			t.Fatal(err)
+		}
+		h.Fail(state, "boom")
+		h.Recover()
+		if len(h.VMs()) != 0 {
+			t.Fatalf("recover from %v kept VMs", state)
+		}
+		if _, ok := h.Replica("k"); ok {
+			t.Fatalf("recover from %v kept replica deposits", state)
+		}
+	}
+}
+
+func TestMicrorebootPreservesVMsAndDeposits(t *testing.T) {
+	h, _ := newXen(t)
+	vm, err := h.CreateVM(basicCfg("vm1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.WriteGuest(0, 0, []byte("populated")); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.DepositReplica("peer-vm", hypervisor.ReplicaDeposit{
+		Mem: memory.NewGuestMemory(memory.PageSize), Epoch: 3,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	h.Fail(hypervisor.Hung, "transient lockup")
+	if err := h.Microreboot(); err != nil {
+		t.Fatal(err)
+	}
+	if h.Health() != hypervisor.Healthy || h.FailureReason() != "" {
+		t.Fatalf("health = %v reason = %q after microreboot", h.Health(), h.FailureReason())
+	}
+	got, err := h.LookupVM("vm1")
+	if err != nil {
+		t.Fatalf("microreboot lost the VM: %v", err)
+	}
+	if got.Running() {
+		t.Fatal("VM must come back paused from a microreboot")
+	}
+	if _, ok := h.Replica("peer-vm"); !ok {
+		t.Fatal("microreboot wiped replica deposits")
+	}
+}
+
+func TestMicrorebootConservativelyRemarksDirty(t *testing.T) {
+	h, _ := newXen(t)
+	vm, err := h.CreateVM(basicCfg("vm1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		addr := memory.Addr(i) * memory.PageSize
+		if err := vm.WriteGuest(0, addr, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Simulate the checkpoint cycle consuming the dirty log.
+	bm := vm.Tracker().Bitmap()
+	bm.Snapshot()
+	if bm.Count() != 0 {
+		t.Fatal("dirty log not drained")
+	}
+	h.Fail(hypervisor.Crashed, "transient panic")
+	if err := h.Microreboot(); err != nil {
+		t.Fatal(err)
+	}
+	// Every populated page must be dirty again: the rebooted hypervisor
+	// cannot vouch for the old log.
+	for _, n := range vm.Memory().PopulatedList() {
+		if !bm.Test(n) {
+			t.Fatalf("populated page %d not re-marked dirty after microreboot", n)
+		}
+	}
+}
+
+func TestMicrorebootUnsupportedBackend(t *testing.T) {
+	clk := vclock.NewSim()
+	h, err := chv.New("host-c", clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Capabilities().Microreboot {
+		t.Fatal("chv must not advertise microreboot")
+	}
+	h.Fail(hypervisor.Crashed, "boom")
+	if err := h.Microreboot(); !errors.Is(err, hypervisor.ErrNoMicroreboot) {
+		t.Fatalf("chv microreboot err = %v, want ErrNoMicroreboot", err)
+	}
+	if h.Health() != hypervisor.Crashed {
+		t.Fatal("failed microreboot changed host health")
+	}
+}
+
+func TestMicrorebootGateArbitrates(t *testing.T) {
+	h, _ := newXen(t)
+	if _, err := h.CreateVM(basicCfg("vm1")); err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	h.SetMicrorebootGate(func() error {
+		calls++
+		if calls < 3 {
+			return fmt.Errorf("still healing")
+		}
+		return nil
+	})
+	h.Fail(hypervisor.Hung, "wedged")
+	for i := 0; i < 2; i++ {
+		if err := h.Microreboot(); err == nil {
+			t.Fatalf("attempt %d succeeded before the gate opened", i+1)
+		}
+		if h.Health() != hypervisor.Hung {
+			t.Fatal("failed attempt changed health")
+		}
+	}
+	if err := h.Microreboot(); err != nil {
+		t.Fatalf("gated attempt 3: %v", err)
+	}
+	if h.Health() != hypervisor.Healthy {
+		t.Fatal("host not healthy after gate opened")
+	}
+	// A healthy host microreboots as a no-op without consulting the gate.
+	before := calls
+	if err := h.Microreboot(); err != nil {
+		t.Fatalf("no-op microreboot: %v", err)
+	}
+	if calls != before {
+		t.Fatal("no-op microreboot consulted the gate")
+	}
+}
+
+// Satellite: hammer the host health/deposit surface from many
+// goroutines under -race to lock in the invariants the recovery policy
+// engine relies on (Replica never serves from an unhealthy host,
+// DepositReplica never lands on one, Fail/Recover/Microreboot never
+// tear state).
+func TestHostConcurrentFailRecoverDepositRace(t *testing.T) {
+	h, _ := newXen(t)
+	if _, err := h.CreateVM(basicCfg("vm1")); err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	const iters = 200
+	var wg sync.WaitGroup
+	states := []hypervisor.HealthState{hypervisor.Crashed, hypervisor.Hung, hypervisor.Starved}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			key := fmt.Sprintf("dep-%d", w)
+			for i := 0; i < iters; i++ {
+				switch (w + i) % 6 {
+				case 0:
+					h.Fail(states[i%len(states)], "chaos")
+				case 1:
+					h.Recover()
+				case 2:
+					_ = h.Microreboot()
+				case 3:
+					_ = h.DepositReplica(key, hypervisor.ReplicaDeposit{Epoch: uint64(i)})
+				case 4:
+					if d, ok := h.Replica(key); ok && h.Health() == hypervisor.Healthy && d.Epoch > uint64(iters) {
+						t.Errorf("impossible epoch %d", d.Epoch)
+					}
+				case 5:
+					_ = h.VMs()
+					_ = h.Health()
+					_ = h.FailureReason()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Settle to a known state and check the deposit invariant directly.
+	h.Fail(hypervisor.Crashed, "final")
+	if err := h.DepositReplica("k", hypervisor.ReplicaDeposit{}); !errors.Is(err, hypervisor.ErrHostDown) {
+		t.Fatalf("deposit on crashed host: err = %v", err)
+	}
+	if _, ok := h.Replica("k"); ok {
+		t.Fatal("crashed host served a replica")
+	}
+}

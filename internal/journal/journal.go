@@ -113,6 +113,17 @@ const (
 	RecSecondaryLost RecordKind = "secondary-lost"
 	// RecLost records service loss (both hosts gone).
 	RecLost RecordKind = "lost"
+	// RecRecovery records a recovery-policy retune: the per-protection
+	// in-place recovery ladder (deadline, attempt budget, backoff).
+	RecRecovery RecordKind = "recovery-policy"
+	// RecRebootIntent is the durable intent to recover the failed
+	// primary in place (microreboot): appended before the first
+	// attempt, so a daemon crash mid-ladder is resolved on restart the
+	// same way an in-flight failover is.
+	RecRebootIntent RecordKind = "reboot-intent"
+	// RecRebooted commits a completed in-place recovery: the primary
+	// microrebooted and the protection resumed without a failover.
+	RecRebooted RecordKind = "rebooted"
 	// RecFence bumps the daemon-wide fencing generation; appended on
 	// every restart-recovery so generations strictly increase across
 	// restarts and void any pre-crash activation intent.
@@ -149,6 +160,29 @@ type FenceIntent struct {
 	Fence uint64 `json:"fence"`
 }
 
+// RebootIntent is a pending in-place recovery: the orchestrator
+// journaled its intent to microreboot the failed primary, but neither
+// the commit (RecRebooted) nor an escalation (RecFailover) made it.
+// Restart recovery resolves it from the primary's observed state: a
+// healthy primary still holding the VM resumes in place, a dead one
+// escalates to failover. No fencing token is at stake — microreboot
+// never activates a second instance, so there is no split-brain arm.
+type RebootIntent struct {
+	// Target is the host being microrebooted (the failed primary).
+	Target string `json:"target"`
+	// Generation the protection had when the intent was journaled.
+	Generation int `json:"generation"`
+}
+
+// RecoveryTuning is the journaled per-protection in-place recovery
+// policy. nil means the orchestrator's configured default applies.
+type RecoveryTuning struct {
+	DeadlineMS  int64   `json:"deadline_ms"`
+	MaxAttempts int     `json:"max_attempts"`
+	BackoffMS   int64   `json:"backoff_ms"`
+	Jitter      float64 `json:"jitter,omitempty"`
+}
+
 // Protection is the journaled state of one protected VM.
 type Protection struct {
 	Spec ProtectionSpec `json:"spec"`
@@ -177,6 +211,12 @@ type Protection struct {
 	Lost bool `json:"lost,omitempty"`
 	// Pending is an unresolved activation intent, nil otherwise.
 	Pending *FenceIntent `json:"pending,omitempty"`
+	// PendingReboot is an unresolved in-place recovery intent, nil
+	// otherwise.
+	PendingReboot *RebootIntent `json:"pending_reboot,omitempty"`
+	// Recovery is the protection's in-place recovery policy override,
+	// nil when the daemon default applies.
+	Recovery *RecoveryTuning `json:"recovery,omitempty"`
 }
 
 // SecondaryList returns the replica host list in leg order, falling
@@ -217,6 +257,14 @@ func (s *State) Clone() State {
 			pending := *p.Pending
 			cp.Pending = &pending
 		}
+		if p.PendingReboot != nil {
+			reboot := *p.PendingReboot
+			cp.PendingReboot = &reboot
+		}
+		if p.Recovery != nil {
+			rec := *p.Recovery
+			cp.Recovery = &rec
+		}
 		cp.Secondaries = append([]string(nil), p.Secondaries...)
 		out.Protections[name] = &cp
 	}
@@ -246,6 +294,7 @@ type Record struct {
 	Epoch       uint64          `json:"epoch,omitempty"`
 	Budget      float64         `json:"budget,omitempty"`
 	MaxPeriodMS int64           `json:"max_period_ms,omitempty"`
+	Recovery    *RecoveryTuning `json:"recovery,omitempty"`
 }
 
 // apply folds one record into the state — the replay reducer. Records
@@ -297,11 +346,24 @@ func (s *State) apply(r Record) {
 		if p := s.Protections[r.VM]; p != nil {
 			p.Budget, p.MaxPeriodMS = r.Budget, r.MaxPeriodMS
 		}
+	case RecRecovery:
+		if p := s.Protections[r.VM]; p != nil && r.Recovery != nil {
+			rec := *r.Recovery
+			p.Recovery = &rec
+		}
 	case RecFenceIntent:
 		if p := s.Protections[r.VM]; p != nil {
 			p.Pending = &FenceIntent{
 				Generation: r.Generation, Target: r.Target, Fence: r.Fence,
 			}
+		}
+	case RecRebootIntent:
+		if p := s.Protections[r.VM]; p != nil {
+			p.PendingReboot = &RebootIntent{Target: r.Target, Generation: r.Generation}
+		}
+	case RecRebooted:
+		if p := s.Protections[r.VM]; p != nil {
+			p.PendingReboot = nil
 		}
 	case RecFailover:
 		if p := s.Protections[r.VM]; p != nil {
@@ -312,6 +374,8 @@ func (s *State) apply(r Record) {
 			p.VMName = r.VMName
 			p.AckedEpoch = 0
 			p.Pending = nil
+			// An escalation resolves any in-flight in-place recovery.
+			p.PendingReboot = nil
 		}
 	case RecReprotect:
 		// Carries the FULL current secondary list (not an increment), so
@@ -343,9 +407,11 @@ func (s *State) apply(r Record) {
 	case RecFence:
 		// A restart voids every unresolved activation intent: recovery
 		// resolved them (or found them never-started) before appending
-		// this record.
+		// this record. In-flight in-place recoveries resolve the same
+		// way — from the primary's observed state, not the journal.
 		for _, p := range s.Protections {
 			p.Pending = nil
+			p.PendingReboot = nil
 		}
 	}
 }

@@ -1,0 +1,87 @@
+package journal
+
+import "testing"
+
+// The in-place recovery lifecycle through the WAL: policy retune,
+// reboot intent, and the three ways an intent resolves (rebooted,
+// escalated to failover, voided by a restart fence).
+func TestRebootIntentLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openT(t, dir, Options{})
+	appendT(t, s, Record{Kind: RecProtect, VM: "svc",
+		Spec:    &ProtectionSpec{Name: "svc", MemoryBytes: 1 << 20, VCPUs: 1},
+		Primary: "xen0", Secondary: "kvm0", EventSeq: 1})
+	appendT(t, s, Record{Kind: RecRecovery, VM: "svc", EventSeq: 2,
+		Recovery: &RecoveryTuning{DeadlineMS: 2000, MaxAttempts: 3, BackoffMS: 250, Jitter: 0.5}})
+	appendT(t, s, Record{Kind: RecRebootIntent, VM: "svc", Target: "xen0", Generation: 0, EventSeq: 3})
+	s.Close()
+
+	s2, _ := openT(t, dir, Options{})
+	p := s2.State().Protections["svc"]
+	if p == nil {
+		t.Fatal("protection lost")
+	}
+	if p.Recovery == nil || p.Recovery.MaxAttempts != 3 || p.Recovery.DeadlineMS != 2000 {
+		t.Fatalf("recovery tuning lost: %+v", p.Recovery)
+	}
+	if p.PendingReboot == nil || p.PendingReboot.Target != "xen0" {
+		t.Fatalf("reboot intent lost: %+v", p.PendingReboot)
+	}
+
+	// Success commit clears the intent but not the policy.
+	appendT(t, s2, Record{Kind: RecRebooted, VM: "svc", Target: "xen0", EventSeq: 4})
+	st := s2.State()
+	if st.Protections["svc"].PendingReboot != nil {
+		t.Fatal("RecRebooted did not clear the intent")
+	}
+	if st.Protections["svc"].Recovery == nil {
+		t.Fatal("RecRebooted cleared the policy")
+	}
+}
+
+func TestRebootIntentClearedByFailover(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openT(t, dir, Options{})
+	appendT(t, s, Record{Kind: RecProtect, VM: "svc",
+		Spec: &ProtectionSpec{Name: "svc", MemoryBytes: 1 << 20, VCPUs: 1}, Primary: "xen0"})
+	appendT(t, s, Record{Kind: RecRebootIntent, VM: "svc", Target: "xen0"})
+	appendT(t, s, Record{Kind: RecFailover, VM: "svc", Primary: "kvm0",
+		VMName: "svc-g1", Generation: 1})
+	p := s.State().Protections["svc"]
+	if p.PendingReboot != nil {
+		t.Fatal("escalation to failover did not clear the reboot intent")
+	}
+	if p.Generation != 1 || p.Primary != "kvm0" {
+		t.Fatalf("failover state wrong: %+v", p)
+	}
+}
+
+func TestRebootIntentVoidedByFence(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openT(t, dir, Options{})
+	appendT(t, s, Record{Kind: RecProtect, VM: "svc",
+		Spec: &ProtectionSpec{Name: "svc", MemoryBytes: 1 << 20, VCPUs: 1}, Primary: "xen0"})
+	appendT(t, s, Record{Kind: RecRebootIntent, VM: "svc", Target: "xen0"})
+	appendT(t, s, Record{Kind: RecFence, Fence: 9})
+	if s.State().Protections["svc"].PendingReboot != nil {
+		t.Fatal("restart fence did not void the reboot intent")
+	}
+}
+
+func TestCloneDeepCopiesRecoveryState(t *testing.T) {
+	st := State{Protections: map[string]*Protection{
+		"svc": {
+			PendingReboot: &RebootIntent{Target: "xen0"},
+			Recovery:      &RecoveryTuning{MaxAttempts: 2},
+		},
+	}}
+	cp := st.Clone()
+	cp.Protections["svc"].PendingReboot.Target = "mutated"
+	cp.Protections["svc"].Recovery.MaxAttempts = 99
+	if st.Protections["svc"].PendingReboot.Target != "xen0" {
+		t.Fatal("Clone shared the reboot intent")
+	}
+	if st.Protections["svc"].Recovery.MaxAttempts != 2 {
+		t.Fatal("Clone shared the recovery tuning")
+	}
+}

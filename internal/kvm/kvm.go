@@ -113,7 +113,9 @@ func (flavor) Capabilities() hypervisor.Capabilities {
 		SnapshotRestore: true,
 		LiveDirtyLog:    true,
 		DeviceNaming:    "kvmtool-virtio",
-		VulnFlavor:      vulns.FlavorKVM,
+		// kexec-based in-place kernel reboot with guest RAM preserved.
+		Microreboot: true,
+		VulnFlavor:  vulns.FlavorKVM,
 	}
 }
 

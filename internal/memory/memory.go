@@ -80,6 +80,38 @@ func (m *GuestMemory) PopulatedList() []PageNum {
 	return out
 }
 
+// DiffPages returns, in ascending order, the populated pages of m
+// whose content differs from ref's view of the same page (an
+// unpopulated page reads as zeroes on either side). A nil ref makes
+// every non-zero populated page differ. It is the precise delta-resync
+// set against a replica copy of this guest, for when a dirty log
+// cannot be trusted — e.g. across a hypervisor microreboot, where the
+// conservative alternative is re-shipping every populated page the
+// replica already holds.
+func (m *GuestMemory) DiffPages(ref *GuestMemory) []PageNum {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if ref != nil && ref != m {
+		ref.mu.RLock()
+		defer ref.mu.RUnlock()
+	}
+	var zero [PageSize]byte
+	out := make([]PageNum, 0, len(m.pages))
+	for n, pg := range m.pages {
+		rp := &zero
+		if ref != nil {
+			if p := ref.pages[n]; p != nil {
+				rp = p
+			}
+		}
+		if *pg != *rp {
+			out = append(out, n)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
 // Populated reports whether page n is backed by real storage. An
 // unpopulated page reads as zeroes; a populated page may still be
 // logically zero if it was overwritten byte-wise. The wire encoder

@@ -29,6 +29,7 @@ import (
 	"github.com/here-ft/here/internal/journal"
 	"github.com/here-ft/here/internal/period"
 	"github.com/here-ft/here/internal/placement"
+	"github.com/here-ft/here/internal/recovery"
 	"github.com/here-ft/here/internal/replication"
 	"github.com/here-ft/here/internal/simnet"
 	"github.com/here-ft/here/internal/trace"
@@ -63,6 +64,16 @@ const (
 	EventRemoved       EventKind = "removed"
 	EventRetuned       EventKind = "period-retuned"
 	EventRecovered     EventKind = "recovered"
+	// EventMicrorebooted: a failed primary hypervisor was recovered in
+	// place (microreboot or un-starve) and the protection resumed
+	// degraded with a delta resync — no failover, no generation bump.
+	EventMicrorebooted EventKind = "microrebooted"
+	// EventRecoveryEscalated: the in-place ladder spent its attempt
+	// budget or deadline and the failure escalated to fenced failover.
+	EventRecoveryEscalated EventKind = "recovery-escalated"
+	// EventRecoveryTuned: an operator retuned the in-place recovery
+	// policy via SetRecovery.
+	EventRecoveryTuned EventKind = "recovery-retuned"
 )
 
 // Event is one fleet-level occurrence. Seq is a monotone sequence
@@ -99,6 +110,15 @@ type Config struct {
 	// overrides are applied with SetPeriod.
 	DegradationBudget float64
 	MaxPeriod         time.Duration
+	// Recovery is the default in-place recovery policy applied to every
+	// protection (per-protection overrides with SetRecovery): on a
+	// detected primary failure the orchestrator first tries to
+	// microreboot the hypervisor in place (ReHype-style, guest RAM
+	// preserved) under this ladder's budget and deadline, and only
+	// escalates to fenced failover when it is spent. The zero value
+	// disables in-place recovery — every failure fails over immediately,
+	// the paper's baseline behavior.
+	Recovery recovery.Policy
 	// Metrics, when set, is the registry every protection's
 	// replicator, wire codec, heartbeat monitor, tracer and link
 	// register their here_* instruments into — the fleet-wide scrape
@@ -261,8 +281,11 @@ type Protection struct {
 	wlSpec   WorkloadSpec
 	budget   float64
 	tmax     time.Duration
-	lost     bool
-	acked    uint64 // last checkpoint epoch journaled + deposited
+	// recoveryPol is the in-place recovery ladder in force for this
+	// protection (zero = disabled: every failure escalates to failover).
+	recoveryPol recovery.Policy
+	lost        bool
+	acked       uint64 // last checkpoint epoch journaled + deposited
 	// transport carries this protection's checkpoints: the shared
 	// simnet link, or a dedicated real network client when the manager
 	// was configured with DialTransport.
@@ -343,7 +366,10 @@ type HostInfo struct {
 	Kind    string
 	Product string
 	Health  string
-	VMs     int
+	// Reason is the operator-facing cause of the current failure state
+	// ("" while healthy) — what Host.Fail recorded.
+	Reason string
+	VMs    int
 }
 
 // Status is a consistent point-in-time snapshot of one protection,
@@ -379,7 +405,10 @@ type Status struct {
 	Budget    float64
 	MaxPeriod time.Duration
 	Recovery  replication.RecoveryStats
-	Totals    replication.Totals
+	// RecoveryPolicy is the in-place recovery ladder in force for this
+	// protection (zero = disabled; see Config.Recovery / SetRecovery).
+	RecoveryPolicy recovery.Policy
+	Totals         replication.Totals
 }
 
 // Manager orchestrates a host fleet. It is safe for concurrent use.
@@ -399,6 +428,13 @@ type Manager struct {
 	// planner scores replica placements by shared-CVE overlap and host
 	// load (internal/placement); built at construction.
 	planner *placement.Engine
+
+	// here_recovery_* instruments of the in-place recovery subsystem;
+	// nil without a metrics registry (trace.Counter increments are
+	// nil-safe, so the ladder needs no guards).
+	recAttempts  *trace.Counter
+	recInPlace   *trace.Counter
+	recEscalated *trace.Counter
 
 	mu      sync.Mutex
 	hosts   []*hypervisor.Host
@@ -440,6 +476,9 @@ func New(cfg Config) (*Manager, error) {
 	if cfg.MaxPeriod == 0 {
 		cfg.MaxPeriod = 25 * time.Second
 	}
+	if err := cfg.Recovery.Validate(); err != nil {
+		return nil, err
+	}
 	guard := cfg.Guard
 	if guard == nil {
 		guard = failover.NewGuard(0)
@@ -455,6 +494,14 @@ func New(cfg Config) (*Manager, error) {
 		planner: placement.New(placement.Config{Metrics: cfg.Metrics}),
 		links:   make(map[string]*simnet.Link),
 		prots:   make(map[string]*Protection),
+	}
+	if cfg.Metrics != nil {
+		m.recAttempts = cfg.Metrics.Counter("here_recovery_attempts_total",
+			"in-place recovery attempts (microreboot or un-starve)")
+		m.recInPlace = cfg.Metrics.Counter("here_recovery_inplace_total",
+			"primary failures recovered in place without a failover")
+		m.recEscalated = cfg.Metrics.Counter("here_recovery_escalations_total",
+			"in-place recovery ladders that escalated to fenced failover")
 	}
 	m.publishAll()
 	return m, nil
@@ -572,6 +619,7 @@ func hostInfo(h hypervisor.Hypervisor) HostInfo {
 		Kind:    string(h.Kind()),
 		Product: h.Product(),
 		Health:  h.Health().String(),
+		Reason:  h.FailureReason(),
 	}
 	if host, ok := h.(*hypervisor.Host); ok {
 		info.VMs = len(host.VMs())
@@ -743,16 +791,17 @@ func (m *Manager) Protect(spec VMSpec) (*Protection, error) {
 		return nil, err
 	}
 	prot := &Protection{
-		Name:     spec.Name,
-		m:        m,
-		vm:       vm,
-		wl:       wl,
-		wlSpec:   spec.WorkloadSpec,
-		want:     want,
-		quorum:   spec.Quorum,
-		decision: asn.Decision,
-		budget:   m.cfg.DegradationBudget,
-		tmax:     m.cfg.MaxPeriod,
+		Name:        spec.Name,
+		m:           m,
+		vm:          vm,
+		wl:          wl,
+		wlSpec:      spec.WorkloadSpec,
+		want:        want,
+		quorum:      spec.Quorum,
+		decision:    asn.Decision,
+		budget:      m.cfg.DegradationBudget,
+		tmax:        m.cfg.MaxPeriod,
+		recoveryPol: m.cfg.Recovery,
 	}
 	if !m.cfg.NoTrace {
 		prot.tr = trace.New(m.cfg.Clock, m.cfg.TraceCapacity)
@@ -1067,10 +1116,11 @@ func (m *Manager) snapLocked(p *Protection) *protSnap {
 		ps.transport = r
 	}
 	st := Status{
-		Name:       p.Name,
-		Generation: p.Generation,
-		Budget:     p.budget,
-		MaxPeriod:  p.tmax,
+		Name:           p.Name,
+		Generation:     p.Generation,
+		Budget:         p.budget,
+		MaxPeriod:      p.tmax,
+		RecoveryPolicy: p.recoveryPol,
 	}
 	st.Want = p.want
 	if st.Want <= 0 {
@@ -1345,6 +1395,39 @@ func (m *Manager) SetPeriod(name string, d float64, tmax time.Duration) (time.Du
 	return 0, nil
 }
 
+// SetRecovery live-tunes a protection's in-place recovery policy: the
+// microreboot attempt budget, backoff shape, and the hard deadline
+// past which a failure escalates to fenced failover. A zero-value
+// policy disables in-place recovery for the protection. The tuning is
+// journaled, so it survives a daemon restart. Returns the policy now
+// in force.
+func (m *Manager) SetRecovery(name string, pol recovery.Policy) (recovery.Policy, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p, err := m.lookupLocked(name)
+	if err != nil {
+		return recovery.Policy{}, err
+	}
+	defer m.publishUpsert(p)
+	if err := pol.Validate(); err != nil {
+		return recovery.Policy{}, err
+	}
+	p.recoveryPol = pol
+	m.record(EventRecoveryTuned, name, pol.String())
+	if err := m.journalAppend(journal.Record{
+		Kind: journal.RecRecovery, VM: name,
+		Recovery: &journal.RecoveryTuning{
+			DeadlineMS:  pol.Deadline.Milliseconds(),
+			MaxAttempts: pol.MaxAttempts,
+			BackoffMS:   pol.Backoff.Milliseconds(),
+			Jitter:      pol.Jitter,
+		},
+	}); err != nil {
+		return recovery.Policy{}, err
+	}
+	return p.recoveryPol, nil
+}
+
 // Tick advances the fleet by one orchestration round: every healthy
 // protection runs one replication cycle; failed primaries are detected
 // and failed over, and survivors are re-protected onto a new
@@ -1592,9 +1675,14 @@ func (m *Manager) dropSecondaries(p *Protection) {
 	_ = m.journalAppend(journal.Record{Kind: journal.RecSecondaryLost, VM: p.Name})
 }
 
-// handleFailure detects the failure via the heartbeat monitor, fails
-// over to the freshest surviving chain leg and re-protects. Caller
-// holds m.mu.
+// handleFailure answers a failed primary. The failure is detected via
+// the heartbeat monitor and classified: a transient failure on a
+// microreboot-capable backend (or plain starvation) first runs the
+// in-place recovery ladder, which brings the hypervisor back under the
+// guest — no failover, no generation bump, delta resync instead of
+// re-seed. Everything else — and any ladder that spends its budget or
+// deadline — escalates to fenced failover onto the freshest surviving
+// chain leg. Caller holds m.mu.
 func (m *Manager) handleFailure(p *Protection) error {
 	var (
 		legIdx int
@@ -1609,19 +1697,47 @@ func (m *Manager) handleFailure(p *Protection) error {
 			}
 		}
 	}
-	if target == nil {
+	dec := recovery.Failover
+	primaryHost, _ := p.primary.(*hypervisor.Host)
+	if primaryHost != nil {
+		dec = recovery.Classify(primaryHost.Health(), primaryHost.Capabilities(), p.recoveryPol)
+	}
+	if dec == recovery.Failover && target == nil {
 		p.lost = true
 		m.record(EventServiceLost, p.Name, "no healthy replica host")
 		_ = m.journalAppend(journal.Record{Kind: journal.RecLost, VM: p.Name})
 		return ErrServiceLost
 	}
-	detect, err := p.mon.WaitForFailure(0)
-	if err != nil {
-		return fmt.Errorf("orchestrator: vm %q: %w", p.Name, err)
+	var detect time.Duration
+	if p.mon != nil {
+		d, err := p.mon.WaitForFailure(0)
+		if err != nil {
+			return fmt.Errorf("orchestrator: vm %q: %w", p.Name, err)
+		}
+		detect = d
 	}
 	m.record(EventFailureFound, p.Name,
 		fmt.Sprintf("%s %s (detected in %v)", p.primary.HostName(),
 			p.primary.Health(), detect))
+
+	if dec != recovery.Failover {
+		ok, err := m.recoverInPlace(p, primaryHost, dec)
+		if err != nil {
+			return err
+		}
+		if ok {
+			return nil
+		}
+		// The ladder is spent; without a surviving leg there is nothing
+		// to escalate onto either.
+		if target == nil {
+			p.lost = true
+			m.record(EventServiceLost, p.Name,
+				"in-place recovery exhausted and no healthy replica host")
+			_ = m.journalAppend(journal.Record{Kind: journal.RecLost, VM: p.Name})
+			return ErrServiceLost
+		}
+	}
 
 	gen := p.Generation + 1
 	replicaName := fmt.Sprintf("%s-g%d", p.Name, gen)

@@ -12,6 +12,7 @@ import (
 	"github.com/here-ft/here/internal/hypervisor"
 	"github.com/here-ft/here/internal/journal"
 	"github.com/here-ft/here/internal/placement"
+	"github.com/here-ft/here/internal/recovery"
 	"github.com/here-ft/here/internal/replication"
 	"github.com/here-ft/here/internal/trace"
 	"github.com/here-ft/here/internal/translate"
@@ -247,6 +248,15 @@ func (m *Manager) recoverOne(name string, jp *journal.Protection, rep *RecoverRe
 	if prot.tmax == 0 {
 		prot.tmax = m.cfg.MaxPeriod
 	}
+	prot.recoveryPol = m.cfg.Recovery
+	if jp.Recovery != nil {
+		prot.recoveryPol = recovery.Policy{
+			Deadline:    time.Duration(jp.Recovery.DeadlineMS) * time.Millisecond,
+			MaxAttempts: jp.Recovery.MaxAttempts,
+			Backoff:     time.Duration(jp.Recovery.BackoffMS) * time.Millisecond,
+			Jitter:      jp.Recovery.Jitter,
+		}
+	}
 	wl, err := prot.wlSpec.Build()
 	if err != nil {
 		return err
@@ -277,6 +287,18 @@ func (m *Manager) recoverOne(name string, jp *journal.Protection, rep *RecoverRe
 		}
 	}
 
+	if jp.PendingReboot != nil {
+		// The daemon died mid-microreboot. The intent minted no fencing
+		// token and activated nothing, so there is no split brain to
+		// arbitrate: the primary's actual state below decides — healthy
+		// again with the VM preserved → re-attach (resume below); still
+		// dead → the normal deposit failover. The recovery fence already
+		// voided the intent in the durable state.
+		m.record(EventRecovered, name, fmt.Sprintf(
+			"crash-interrupted in-place recovery of %s resolved from the host's state",
+			jp.PendingReboot.Target))
+	}
+
 	if primary == nil || primary.Health() != hypervisor.Healthy {
 		return m.recoverFailover(prot, jp, secondaries, rep)
 	}
@@ -284,8 +306,12 @@ func (m *Manager) recoverOne(name string, jp *journal.Protection, rep *RecoverRe
 
 	vm, err := primary.LookupVM(jp.VMName)
 	if err == nil {
-		// The VM survived the control-plane crash; re-attach.
+		// The VM survived the control-plane crash; re-attach. A guest
+		// the previous lifetime left paused (a checkpoint pause, or a
+		// microreboot completed just before the crash) resumes —
+		// Resume is a no-op on a running guest.
 		prot.vm = vm
+		vm.Resume()
 		return m.recoverAttach(prot, jp, primary, secondaries, rep)
 	}
 	// The hosts restarted with the daemon: rebuild the VM from the

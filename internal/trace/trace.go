@@ -71,6 +71,10 @@ const (
 	// SpanRemoteAck is the secondary-side acknowledgement: stage-timing
 	// encode plus the ack write back to the primary.
 	SpanRemoteAck
+	// SpanMicroreboot is one in-place recovery attempt on a failed
+	// primary (Outcome "ok"/"failed", Note carries the attempt number
+	// and error).
+	SpanMicroreboot
 
 	// EventRetry is one transfer attempt beyond the first.
 	EventRetry
@@ -88,6 +92,10 @@ const (
 	// disconnect, reconnect, fencing rejection (Outcome/Note carry the
 	// detail).
 	EventTransport
+	// EventRecovery is a recovery-ladder transition: classified,
+	// microrebooted, escalated (Outcome carries the step, Note the
+	// detail).
+	EventRecovery
 )
 
 // String names the kind as it appears in exported traces.
@@ -117,6 +125,8 @@ func (k Kind) String() string {
 		return "remote-apply"
 	case SpanRemoteAck:
 		return "remote-ack"
+	case SpanMicroreboot:
+		return "microreboot"
 	case EventRetry:
 		return "retry"
 	case EventRollback:
@@ -129,13 +139,15 @@ func (k Kind) String() string {
 		return "heartbeat-miss"
 	case EventTransport:
 		return "transport"
+	case EventRecovery:
+		return "recovery"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
 }
 
 // IsSpan reports whether the kind carries a duration.
-func (k Kind) IsSpan() bool { return k >= SpanPause && k <= SpanRemoteAck }
+func (k Kind) IsSpan() bool { return k >= SpanPause && k <= SpanMicroreboot }
 
 // NoEpoch marks an event that is not scoped to a checkpoint epoch
 // (fault injections, heartbeat misses).

@@ -104,7 +104,10 @@ func (flavor) Capabilities() hypervisor.Capabilities {
 		SnapshotRestore: true,
 		LiveDirtyLog:    true,
 		DeviceNaming:    "xen-pv",
-		VulnFlavor:      vulns.FlavorXen,
+		// ReHype's original host: the hypervisor microreboots while
+		// dom0 and guest memory stay resident.
+		Microreboot: true,
+		VulnFlavor:  vulns.FlavorXen,
 	}
 }
 
